@@ -1,0 +1,118 @@
+//! Criterion benchmarks of the server-side substrates: the LSM key-value
+//! store (LevelDB substitute), the share index, and container storage. These
+//! quantify the index/metadata costs that the cost model (§5.6) sizes EC2
+//! instances for.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use cdstore_crypto::Fingerprint;
+use cdstore_index::{KvStore, ShareIndex, ShareLocation};
+use cdstore_storage::{ContainerStore, MemoryBackend};
+
+fn bench_kvstore(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kvstore");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("put", |b| {
+        let mut store = KvStore::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            store.put(i.to_be_bytes().to_vec(), vec![0u8; 64]);
+            i += 1;
+        })
+    });
+    group.bench_function("get_hit", |b| {
+        let mut store = KvStore::new();
+        for i in 0..100_000u64 {
+            store.put(i.to_be_bytes().to_vec(), vec![0u8; 64]);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            let v = store.get(&(i % 100_000).to_be_bytes());
+            i += 1;
+            v
+        })
+    });
+    group.bench_function("get_miss_bloom_filtered", |b| {
+        let mut store = KvStore::new();
+        for i in 0..100_000u64 {
+            store.put(i.to_be_bytes().to_vec(), vec![0u8; 64]);
+        }
+        store.flush();
+        let mut i = 1_000_000u64;
+        b.iter(|| {
+            let v = store.get(&i.to_be_bytes());
+            i += 1;
+            v
+        })
+    });
+    group.finish();
+}
+
+fn bench_share_index(c: &mut Criterion) {
+    let mut group = c.benchmark_group("share_index");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("add_reference_new", |b| {
+        let mut index = ShareIndex::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            let fp = Fingerprint::of(&i.to_be_bytes());
+            index.add_reference(
+                &fp,
+                ShareLocation { container_id: i, offset: 0, size: 2752 },
+                i % 9,
+            );
+            i += 1;
+        })
+    });
+    group.bench_function("dedup_lookup", |b| {
+        let mut index = ShareIndex::new();
+        for i in 0..50_000u64 {
+            let fp = Fingerprint::of(&i.to_be_bytes());
+            index.add_reference(
+                &fp,
+                ShareLocation { container_id: i, offset: 0, size: 2752 },
+                1,
+            );
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            let fp = Fingerprint::of(&(i % 100_000).to_be_bytes());
+            let hit = index.is_stored(&fp);
+            i += 1;
+            hit
+        })
+    });
+    group.finish();
+}
+
+fn bench_container_store(c: &mut Criterion) {
+    let share = vec![0x5au8; 2752];
+    let mut group = c.benchmark_group("container_store");
+    group.throughput(Throughput::Bytes(share.len() as u64));
+    group.bench_function("store_share", |b| {
+        let store = ContainerStore::new(Arc::new(MemoryBackend::new()));
+        let mut i = 0u64;
+        b.iter(|| {
+            let fp = Fingerprint::of(&i.to_be_bytes());
+            i += 1;
+            store.store_share(1, fp, &share).unwrap()
+        })
+    });
+    group.bench_function("fetch_cached", |b| {
+        let store = ContainerStore::new(Arc::new(MemoryBackend::new()));
+        let fp = Fingerprint::of(b"hot share");
+        let loc = store.store_share(1, fp, &share).unwrap();
+        store.flush().unwrap();
+        b.iter(|| store.fetch(&loc).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = dedup_index;
+    config = Criterion::default().sample_size(30);
+    targets = bench_kvstore, bench_share_index, bench_container_store
+);
+criterion_main!(dedup_index);

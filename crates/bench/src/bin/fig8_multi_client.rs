@@ -1,0 +1,40 @@
+//! Figure 8: aggregate upload speed of multiple concurrent CDStore clients
+//! (1–8) on the LAN testbed with four servers and (n, k) = (4, 3), for both
+//! unique and duplicate data.
+//!
+//! Run with `cargo run --release -p cdstore-bench --bin fig8_multi_client [data_mb]`.
+
+use cdstore_bench::transfer::MultiClientModel;
+use cdstore_bench::{chunk_and_encode_speed, random_secrets};
+use cdstore_secretsharing::CaontRs;
+
+fn main() {
+    let data_mb: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(64);
+    let (n, k) = (4usize, 3usize);
+    let scheme = CaontRs::new(n, k).unwrap();
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(8);
+    let flat: Vec<u8> = random_secrets(data_mb * 1024 * 1024, 8 * 1024, 8).concat();
+    let compute_mbps = chunk_and_encode_speed(&scheme, &flat, threads);
+
+    let model = MultiClientModel::lan(n, k, compute_mbps);
+    let per_client_mb = 2048.0;
+
+    println!("Figure 8: aggregate upload speeds (MB/s) vs number of clients, LAN, (n, k) = ({n}, {k})");
+    println!("(measured per-client chunk+encode speed: {compute_mbps:.1} MB/s)");
+    println!(
+        "{:<10} {:>16} {:>16}",
+        "Clients", "Upload (uniq)", "Upload (dup)"
+    );
+    for clients in 1..=8usize {
+        let uniq = model.aggregate_unique_upload(clients, per_client_mb);
+        let dup = model.aggregate_duplicate_upload(clients, per_client_mb);
+        println!("{clients:<10} {uniq:>16.1} {dup:>16.1}");
+    }
+    println!();
+    println!("Paper: unique-data aggregate reaches 282 MB/s at 8 clients (310 MB/s without disk I/O,");
+    println!("i.e. about the aggregate Ethernet speed of k = 3 servers); duplicate-data aggregate reaches");
+    println!("572 MB/s with a knee at 4 clients where server CPU saturates.");
+}

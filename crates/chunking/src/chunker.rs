@@ -1,0 +1,373 @@
+//! Fixed-size and Rabin content-defined chunkers.
+
+use cdstore_crypto::Fingerprint;
+
+use crate::rabin::{RabinHasher, WINDOW_SIZE};
+
+/// One chunk ("secret" in the paper's terminology) cut from an input stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Chunk {
+    /// Byte offset of the chunk within the input.
+    pub offset: usize,
+    /// The chunk content.
+    pub data: Vec<u8>,
+}
+
+impl Chunk {
+    /// Length of the chunk in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the chunk is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// SHA-256 fingerprint of the chunk content.
+    pub fn fingerprint(&self) -> Fingerprint {
+        Fingerprint::of(&self.data)
+    }
+}
+
+/// Configuration of chunk-size bounds.
+///
+/// Defaults follow §4.2: 8 KB average, 2 KB minimum, 16 KB maximum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkerConfig {
+    /// Minimum chunk size in bytes (boundaries are not considered earlier).
+    pub min_size: usize,
+    /// Average (target) chunk size in bytes; must be a power of two for the
+    /// Rabin boundary mask.
+    pub avg_size: usize,
+    /// Maximum chunk size in bytes (a boundary is forced at this size).
+    pub max_size: usize,
+}
+
+impl Default for ChunkerConfig {
+    fn default() -> Self {
+        ChunkerConfig {
+            min_size: 2 * 1024,
+            avg_size: 8 * 1024,
+            max_size: 16 * 1024,
+        }
+    }
+}
+
+impl ChunkerConfig {
+    /// Creates a configuration, validating the size relationships.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_size > avg_size`, `avg_size > max_size`, or `avg_size`
+    /// is not a power of two.
+    pub fn new(min_size: usize, avg_size: usize, max_size: usize) -> Self {
+        assert!(min_size >= 1, "min_size must be at least 1");
+        assert!(min_size <= avg_size, "min_size must not exceed avg_size");
+        assert!(avg_size <= max_size, "avg_size must not exceed max_size");
+        assert!(avg_size.is_power_of_two(), "avg_size must be a power of two");
+        ChunkerConfig {
+            min_size,
+            avg_size,
+            max_size,
+        }
+    }
+
+    /// The bit mask applied to the Rabin fingerprint: a boundary is declared
+    /// when `fingerprint & mask == mask`, which happens with probability
+    /// `1/avg_size` per byte for a uniform fingerprint.
+    pub fn boundary_mask(&self) -> u64 {
+        (self.avg_size as u64) - 1
+    }
+}
+
+/// A chunking algorithm: splits a buffer into contiguous chunks.
+pub trait Chunker {
+    /// Splits `data` into chunks that concatenate back to `data`.
+    fn chunk(&self, data: &[u8]) -> Vec<Chunk>;
+
+    /// Human-readable name of the algorithm.
+    fn name(&self) -> &'static str;
+}
+
+/// Fixed-size chunking: every chunk is exactly `size` bytes except the last.
+#[derive(Debug, Clone)]
+pub struct FixedChunker {
+    size: usize,
+}
+
+impl FixedChunker {
+    /// Creates a fixed-size chunker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0`.
+    pub fn new(size: usize) -> Self {
+        assert!(size > 0, "chunk size must be positive");
+        FixedChunker { size }
+    }
+}
+
+impl Chunker for FixedChunker {
+    fn chunk(&self, data: &[u8]) -> Vec<Chunk> {
+        data.chunks(self.size)
+            .enumerate()
+            .map(|(i, piece)| Chunk {
+                offset: i * self.size,
+                data: piece.to_vec(),
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "fixed-size"
+    }
+}
+
+/// Rabin-fingerprint content-defined chunking (the paper's default).
+#[derive(Debug, Clone)]
+pub struct RabinChunker {
+    config: ChunkerConfig,
+}
+
+impl RabinChunker {
+    /// Creates a content-defined chunker with the given size bounds.
+    pub fn new(config: ChunkerConfig) -> Self {
+        RabinChunker { config }
+    }
+
+    /// Returns the configuration in use.
+    pub fn config(&self) -> ChunkerConfig {
+        self.config
+    }
+}
+
+impl Default for RabinChunker {
+    fn default() -> Self {
+        RabinChunker::new(ChunkerConfig::default())
+    }
+}
+
+impl Chunker for RabinChunker {
+    fn chunk(&self, data: &[u8]) -> Vec<Chunk> {
+        let mask = self.config.boundary_mask();
+        let mut chunks = Vec::new();
+        let mut hasher = RabinHasher::new();
+        let mut start = 0usize;
+        let mut pos = 0usize;
+        while pos < data.len() {
+            let in_chunk = pos - start;
+            // Skip hashing below min_size - WINDOW_SIZE: the window must be
+            // warm by the time boundaries become eligible.
+            if in_chunk + WINDOW_SIZE >= self.config.min_size {
+                let fp = hasher.roll(data[pos]);
+                let eligible = in_chunk + 1 >= self.config.min_size;
+                let is_boundary = eligible && (fp & mask) == mask;
+                let at_max = in_chunk + 1 >= self.config.max_size;
+                if is_boundary || at_max {
+                    chunks.push(Chunk {
+                        offset: start,
+                        data: data[start..=pos].to_vec(),
+                    });
+                    start = pos + 1;
+                    hasher.reset();
+                }
+            }
+            pos += 1;
+        }
+        if start < data.len() {
+            chunks.push(Chunk {
+                offset: start,
+                data: data[start..].to_vec(),
+            });
+        }
+        chunks
+    }
+
+    fn name(&self) -> &'static str {
+        "rabin"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+
+    fn random_data(len: usize, seed: u64) -> Vec<u8> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..len).map(|_| rng.gen()).collect()
+    }
+
+    fn check_reassembly(chunks: &[Chunk], data: &[u8]) {
+        let mut rebuilt = Vec::with_capacity(data.len());
+        let mut expected_offset = 0usize;
+        for c in chunks {
+            assert_eq!(c.offset, expected_offset);
+            rebuilt.extend_from_slice(&c.data);
+            expected_offset += c.data.len();
+        }
+        assert_eq!(rebuilt, data);
+    }
+
+    #[test]
+    fn fixed_chunker_splits_exactly() {
+        let data: Vec<u8> = (0..100).collect();
+        let chunks = FixedChunker::new(32).chunk(&data);
+        assert_eq!(chunks.len(), 4);
+        assert_eq!(chunks[0].len(), 32);
+        assert_eq!(chunks[3].len(), 4);
+        check_reassembly(&chunks, &data);
+    }
+
+    #[test]
+    fn fixed_chunker_handles_empty_and_small_inputs() {
+        assert!(FixedChunker::new(4096).chunk(&[]).is_empty());
+        let chunks = FixedChunker::new(4096).chunk(&[1, 2, 3]);
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(chunks[0].data, vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size must be positive")]
+    fn fixed_chunker_rejects_zero_size() {
+        FixedChunker::new(0);
+    }
+
+    #[test]
+    fn rabin_chunker_respects_size_bounds() {
+        let config = ChunkerConfig::default();
+        let data = random_data(1 << 20, 42);
+        let chunks = RabinChunker::new(config).chunk(&data);
+        check_reassembly(&chunks, &data);
+        for (i, c) in chunks.iter().enumerate() {
+            assert!(c.len() <= config.max_size, "chunk {i} exceeds max");
+            if i + 1 < chunks.len() {
+                assert!(c.len() >= config.min_size, "chunk {i} below min");
+            }
+        }
+    }
+
+    #[test]
+    fn rabin_average_size_is_near_target() {
+        let config = ChunkerConfig::default();
+        let data = random_data(8 << 20, 7);
+        let chunks = RabinChunker::new(config).chunk(&data);
+        let avg = data.len() as f64 / chunks.len() as f64;
+        // With min/max clamping the practical average sits between min and
+        // max and in the broad vicinity of the 8 KB target.
+        assert!(avg > 4.0 * 1024.0 && avg < 14.0 * 1024.0, "average {avg}");
+    }
+
+    #[test]
+    fn rabin_boundaries_are_content_defined() {
+        // Inserting bytes near the start only disturbs chunk boundaries in a
+        // localised region; most boundaries (by content) are preserved.
+        let config = ChunkerConfig::default();
+        let original = random_data(2 << 20, 99);
+        let mut shifted = original.clone();
+        shifted.splice(1000..1000, [0xaau8; 7]);
+
+        let chunker = RabinChunker::new(config);
+        let chunks_a = chunker.chunk(&original);
+        let chunks_b = chunker.chunk(&shifted);
+        let fps_a: std::collections::HashSet<Fingerprint> =
+            chunks_a.iter().map(|c| c.fingerprint()).collect();
+        let shared = chunks_b
+            .iter()
+            .filter(|c| fps_a.contains(&c.fingerprint()))
+            .count();
+        // The vast majority of chunks must be unchanged.
+        assert!(
+            shared as f64 > 0.9 * chunks_b.len() as f64,
+            "only {shared}/{} chunks shared after a 7-byte insert",
+            chunks_b.len()
+        );
+    }
+
+    #[test]
+    fn fixed_chunking_is_fragile_to_shifts_unlike_rabin() {
+        // Motivation for content-defined chunking: a small insert destroys
+        // almost all fixed-size chunk identities.
+        let original = random_data(1 << 20, 5);
+        let mut shifted = original.clone();
+        shifted.insert(0, 0x42);
+
+        let fixed = FixedChunker::new(4096);
+        let fps_a: std::collections::HashSet<Fingerprint> =
+            fixed.chunk(&original).iter().map(|c| c.fingerprint()).collect();
+        let chunks_b = fixed.chunk(&shifted);
+        let shared = chunks_b
+            .iter()
+            .filter(|c| fps_a.contains(&c.fingerprint()))
+            .count();
+        assert!(
+            (shared as f64) < 0.1 * chunks_b.len() as f64,
+            "{shared}/{} fixed chunks unexpectedly survived the shift",
+            chunks_b.len()
+        );
+    }
+
+    #[test]
+    fn rabin_chunking_is_deterministic() {
+        let data = random_data(512 * 1024, 11);
+        let chunker = RabinChunker::default();
+        assert_eq!(chunker.chunk(&data), chunker.chunk(&data));
+    }
+
+    #[test]
+    fn identical_regions_produce_identical_chunks() {
+        // Two files sharing a large aligned region of content share most
+        // chunk fingerprints — the basis of deduplication savings.
+        let shared_region = random_data(1 << 20, 3);
+        let mut file_a = random_data(64 * 1024, 4);
+        file_a.extend_from_slice(&shared_region);
+        let mut file_b = random_data(200 * 1024, 6);
+        file_b.extend_from_slice(&shared_region);
+
+        let chunker = RabinChunker::default();
+        let fps_a: std::collections::HashSet<Fingerprint> =
+            chunker.chunk(&file_a).iter().map(|c| c.fingerprint()).collect();
+        let chunks_b = chunker.chunk(&file_b);
+        let shared = chunks_b.iter().filter(|c| fps_a.contains(&c.fingerprint())).count();
+        assert!(shared as f64 > 0.7 * chunks_b.len() as f64);
+    }
+
+    #[test]
+    fn chunker_config_validation() {
+        let cfg = ChunkerConfig::new(1024, 4096, 8192);
+        assert_eq!(cfg.boundary_mask(), 4095);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn chunker_config_rejects_non_power_of_two_average() {
+        ChunkerConfig::new(1024, 5000, 8192);
+    }
+
+    #[test]
+    fn small_inputs_form_a_single_chunk() {
+        let chunker = RabinChunker::default();
+        assert!(chunker.chunk(&[]).is_empty());
+        let chunks = chunker.chunk(&[9u8; 100]);
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(chunks[0].data.len(), 100);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn chunks_always_reassemble(data in proptest::collection::vec(any::<u8>(), 0..100_000)) {
+            let chunker = RabinChunker::new(ChunkerConfig::new(256, 1024, 4096));
+            let chunks = chunker.chunk(&data);
+            check_reassembly(&chunks, &data);
+            for (i, c) in chunks.iter().enumerate() {
+                prop_assert!(c.len() <= 4096);
+                if i + 1 < chunks.len() {
+                    prop_assert!(c.len() >= 256);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Rabin fingerprinting [49]: a rolling hash over a sliding byte window.
+//!
+//! The fingerprint of a window is the residue of the window's bytes,
+//! interpreted as a polynomial over GF(2), modulo a fixed irreducible
+//! polynomial. Because the hash "rolls" — the fingerprint after sliding the
+//! window one byte can be computed from the previous fingerprint in O(1) —
+//! it is the standard primitive for content-defined chunk boundaries.
+
+/// The fixed degree-64 modulus polynomial used for the fingerprint (the
+/// `x^64` term is implicit; this constant encodes the lower 64 coefficients).
+pub const IRREDUCIBLE_POLY: u64 = 0xbfe6b8a5bf378d83;
+
+/// Size of the sliding window in bytes.
+pub const WINDOW_SIZE: usize = 48;
+
+/// Precomputed tables for O(1) rolling updates.
+#[derive(Clone)]
+struct Tables {
+    /// `mod_table[b]` = reduction of `b << 64` modulo the polynomial.
+    mod_table: [u64; 256],
+    /// `out_table[b]` = contribution of byte `b` leaving the window.
+    out_table: [u64; 256],
+}
+
+fn poly_mod_step(fp: u64, byte: u8, mod_table: &[u64; 256]) -> u64 {
+    let top = (fp >> 56) as u8;
+    ((fp << 8) | byte as u64) ^ mod_table[top as usize]
+}
+
+fn build_tables() -> Tables {
+    // mod_table[b] = (b * x^64) mod P: start from the residue b and multiply
+    // by x sixty-four times, reducing whenever the degree-64 term appears
+    // (x^64 ≡ IRREDUCIBLE_POLY mod P).
+    let mut mod_table = [0u64; 256];
+    for b in 0..256u64 {
+        let mut remainder = b;
+        for _ in 0..64 {
+            let carry = remainder >> 63;
+            remainder <<= 1;
+            if carry != 0 {
+                remainder ^= IRREDUCIBLE_POLY;
+            }
+        }
+        mod_table[b as usize] = remainder;
+    }
+    // out_table[b] = (b * x^(8*(WINDOW_SIZE-1))) mod P: the contribution of
+    // the byte about to leave the window, removed just before the next shift.
+    let mut out_table = [0u64; 256];
+    for b in 0..256usize {
+        let mut fp = 0u64;
+        fp = poly_mod_step(fp, b as u8, &mod_table);
+        for _ in 0..WINDOW_SIZE - 1 {
+            fp = poly_mod_step(fp, 0, &mod_table);
+        }
+        out_table[b] = fp;
+    }
+    Tables { mod_table, out_table }
+}
+
+/// A rolling Rabin fingerprint over a fixed-size window.
+#[derive(Clone)]
+pub struct RabinHasher {
+    tables: Tables,
+    window: [u8; WINDOW_SIZE],
+    pos: usize,
+    filled: usize,
+    fingerprint: u64,
+}
+
+impl Default for RabinHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RabinHasher {
+    /// Creates a hasher with an empty window.
+    pub fn new() -> Self {
+        RabinHasher {
+            tables: build_tables(),
+            window: [0u8; WINDOW_SIZE],
+            pos: 0,
+            filled: 0,
+            fingerprint: 0,
+        }
+    }
+
+    /// Resets the window and fingerprint without rebuilding the tables.
+    pub fn reset(&mut self) {
+        self.window = [0u8; WINDOW_SIZE];
+        self.pos = 0;
+        self.filled = 0;
+        self.fingerprint = 0;
+    }
+
+    /// Slides one byte into the window and returns the updated fingerprint.
+    #[inline]
+    pub fn roll(&mut self, byte: u8) -> u64 {
+        let outgoing = self.window[self.pos];
+        self.window[self.pos] = byte;
+        self.pos = (self.pos + 1) % WINDOW_SIZE;
+        if self.filled < WINDOW_SIZE {
+            self.filled += 1;
+        } else {
+            // Remove the contribution of the byte leaving the window.
+            self.fingerprint ^= self.tables.out_table[outgoing as usize];
+        }
+        self.fingerprint = poly_mod_step(self.fingerprint, byte, &self.tables.mod_table);
+        self.fingerprint
+    }
+
+    /// Returns the current fingerprint.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Computes the fingerprint of an entire buffer from scratch (no
+    /// windowing) — used by tests to validate the rolling update.
+    pub fn fingerprint_of(&self, data: &[u8]) -> u64 {
+        let mut fp = 0u64;
+        for &b in data {
+            fp = poly_mod_step(fp, b, &self.tables.mod_table);
+        }
+        fp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rolling_matches_full_recompute_once_window_filled() {
+        let data: Vec<u8> = (0..1000u32).map(|i| (i * 37 % 251) as u8).collect();
+        let mut hasher = RabinHasher::new();
+        for (i, &b) in data.iter().enumerate() {
+            let rolled = hasher.roll(b);
+            if i + 1 >= WINDOW_SIZE {
+                let window = &data[i + 1 - WINDOW_SIZE..=i];
+                let expected = hasher.fingerprint_of(window);
+                assert_eq!(rolled, expected, "position {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn fingerprint_depends_only_on_window_content() {
+        // Two streams that end with the same WINDOW_SIZE bytes give the same
+        // fingerprint — the property that makes chunking content-defined.
+        let tail: Vec<u8> = (0..WINDOW_SIZE as u32).map(|i| (i * 7 % 256) as u8).collect();
+        let mut stream_a = vec![1u8; 200];
+        stream_a.extend_from_slice(&tail);
+        let mut stream_b = vec![9u8; 500];
+        stream_b.extend_from_slice(&tail);
+
+        let mut ha = RabinHasher::new();
+        for &b in &stream_a {
+            ha.roll(b);
+        }
+        let mut hb = RabinHasher::new();
+        for &b in &stream_b {
+            hb.roll(b);
+        }
+        assert_eq!(ha.fingerprint(), hb.fingerprint());
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut h = RabinHasher::new();
+        for b in 0..200u8 {
+            h.roll(b);
+        }
+        assert_ne!(h.fingerprint(), 0);
+        h.reset();
+        assert_eq!(h.fingerprint(), 0);
+        let mut fresh = RabinHasher::new();
+        for b in [1u8, 2, 3] {
+            assert_eq!(h.roll(b), fresh.roll(b));
+        }
+    }
+
+    #[test]
+    fn fingerprints_spread_over_the_mask_space() {
+        // Boundary selection uses the low bits; check they are not constant.
+        let mut h = RabinHasher::new();
+        let mut low_bits = std::collections::HashSet::new();
+        let data: Vec<u8> = (0..100_000u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
+        for &b in &data {
+            let fp = h.roll(b);
+            low_bits.insert(fp & 0x1fff);
+        }
+        // With 100k samples over a 13-bit space nearly every value appears.
+        assert!(low_bits.len() > 4000, "only {} distinct low-bit patterns", low_bits.len());
+    }
+
+    proptest! {
+        #[test]
+        fn same_window_same_fingerprint(prefix_a in proptest::collection::vec(any::<u8>(), 0..300),
+                                        prefix_b in proptest::collection::vec(any::<u8>(), 0..300),
+                                        window in proptest::collection::vec(any::<u8>(), WINDOW_SIZE)) {
+            let mut ha = RabinHasher::new();
+            for &b in prefix_a.iter().chain(&window) {
+                ha.roll(b);
+            }
+            let mut hb = RabinHasher::new();
+            for &b in prefix_b.iter().chain(&window) {
+                hb.roll(b);
+            }
+            prop_assert_eq!(ha.fingerprint(), hb.fingerprint());
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! Simulated clouds and the multi-cloud deployment.
+
+use std::fmt;
+use std::sync::Arc;
+
+use cdstore_storage::{MemoryBackend, StorageBackend, StorageError};
+use parking_lot::Mutex;
+
+use crate::profile::{CloudProfile, Direction};
+
+/// Errors returned by simulated cloud operations.
+#[derive(Debug)]
+pub enum CloudError {
+    /// The cloud is currently unavailable (failure injection).
+    Unavailable(String),
+    /// An error from the cloud's storage backend.
+    Storage(StorageError),
+}
+
+impl fmt::Display for CloudError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CloudError::Unavailable(name) => write!(f, "cloud {name} is unavailable"),
+            CloudError::Storage(e) => write!(f, "cloud storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CloudError {}
+
+impl From<StorageError> for CloudError {
+    fn from(e: StorageError) -> Self {
+        CloudError::Storage(e)
+    }
+}
+
+/// Accumulated traffic and simulated-time statistics of one cloud.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CloudStats {
+    /// Bytes uploaded to the cloud.
+    pub bytes_uploaded: u64,
+    /// Bytes downloaded from the cloud.
+    pub bytes_downloaded: u64,
+    /// Number of upload requests.
+    pub upload_requests: u64,
+    /// Number of download requests.
+    pub download_requests: u64,
+    /// Simulated seconds spent uploading (single-flow model).
+    pub upload_seconds: f64,
+    /// Simulated seconds spent downloading (single-flow model).
+    pub download_seconds: f64,
+}
+
+/// One simulated cloud: an object store plus a bandwidth profile and an
+/// availability flag for failure injection.
+pub struct SimCloud {
+    index: usize,
+    profile: CloudProfile,
+    backend: Arc<MemoryBackend>,
+    available: Mutex<bool>,
+    stats: Mutex<CloudStats>,
+    /// Request unit used for latency accounting (4 MB batches, §4.1).
+    unit_bytes: u64,
+}
+
+impl SimCloud {
+    /// Creates a simulated cloud with the given index and profile.
+    pub fn new(index: usize, profile: CloudProfile) -> Self {
+        SimCloud {
+            index,
+            profile,
+            backend: Arc::new(MemoryBackend::new()),
+            available: Mutex::new(true),
+            stats: Mutex::new(CloudStats::default()),
+            unit_bytes: 4 * 1024 * 1024,
+        }
+    }
+
+    /// The cloud's index (share `i` of every secret is stored on cloud `i`).
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The cloud's bandwidth profile.
+    pub fn profile(&self) -> &CloudProfile {
+        &self.profile
+    }
+
+    /// The cloud's object-storage backend (shared with the co-located
+    /// CDStore server, which accesses it free of charge over the internal
+    /// network, §3.1).
+    pub fn backend(&self) -> Arc<MemoryBackend> {
+        self.backend.clone()
+    }
+
+    /// Marks the cloud available or unavailable (failure injection).
+    pub fn set_available(&self, available: bool) {
+        *self.available.lock() = available;
+    }
+
+    /// Whether the cloud is currently reachable.
+    pub fn is_available(&self) -> bool {
+        *self.available.lock()
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CloudStats {
+        *self.stats.lock()
+    }
+
+    fn ensure_available(&self) -> Result<(), CloudError> {
+        if self.is_available() {
+            Ok(())
+        } else {
+            Err(CloudError::Unavailable(self.profile.name.to_string()))
+        }
+    }
+
+    /// Uploads an object over the simulated WAN, returning the simulated
+    /// transfer time in seconds.
+    pub fn upload(&self, key: &str, data: &[u8]) -> Result<f64, CloudError> {
+        self.ensure_available()?;
+        self.backend.put(key, data)?;
+        let seconds =
+            self.profile
+                .transfer_seconds(data.len() as u64, Direction::Upload, self.unit_bytes);
+        let mut stats = self.stats.lock();
+        stats.bytes_uploaded += data.len() as u64;
+        stats.upload_requests += 1;
+        stats.upload_seconds += seconds;
+        Ok(seconds)
+    }
+
+    /// Downloads an object over the simulated WAN, returning the data and the
+    /// simulated transfer time in seconds.
+    pub fn download(&self, key: &str) -> Result<(Vec<u8>, f64), CloudError> {
+        self.ensure_available()?;
+        let data = self.backend.get(key)?;
+        let seconds =
+            self.profile
+                .transfer_seconds(data.len() as u64, Direction::Download, self.unit_bytes);
+        let mut stats = self.stats.lock();
+        stats.bytes_downloaded += data.len() as u64;
+        stats.download_requests += 1;
+        stats.download_seconds += seconds;
+        Ok((data, seconds))
+    }
+
+    /// Total bytes stored in the cloud.
+    pub fn stored_bytes(&self) -> u64 {
+        self.backend.total_bytes().unwrap_or(0)
+    }
+}
+
+/// The set of `n` clouds a CDStore deployment spans.
+pub struct MultiCloud {
+    clouds: Vec<Arc<SimCloud>>,
+}
+
+impl MultiCloud {
+    /// Builds a multi-cloud from explicit profiles (one cloud per profile).
+    pub fn new(profiles: &[CloudProfile]) -> Self {
+        MultiCloud {
+            clouds: profiles
+                .iter()
+                .enumerate()
+                .map(|(i, p)| Arc::new(SimCloud::new(i, p.clone())))
+                .collect(),
+        }
+    }
+
+    /// The paper's cloud testbed: Amazon, Google, Azure, Rackspace.
+    pub fn commercial() -> Self {
+        Self::new(&CloudProfile::COMMERCIAL_CLOUDS)
+    }
+
+    /// A LAN testbed with `n` servers.
+    pub fn lan(n: usize) -> Self {
+        Self::new(&CloudProfile::lan_clouds(n))
+    }
+
+    /// Number of clouds.
+    pub fn len(&self) -> usize {
+        self.clouds.len()
+    }
+
+    /// Whether the deployment has no clouds.
+    pub fn is_empty(&self) -> bool {
+        self.clouds.is_empty()
+    }
+
+    /// Returns cloud `i`.
+    pub fn cloud(&self, i: usize) -> Arc<SimCloud> {
+        self.clouds[i].clone()
+    }
+
+    /// Iterates over all clouds.
+    pub fn clouds(&self) -> impl Iterator<Item = &Arc<SimCloud>> {
+        self.clouds.iter()
+    }
+
+    /// Indices of currently available clouds.
+    pub fn available_clouds(&self) -> Vec<usize> {
+        self.clouds
+            .iter()
+            .filter(|c| c.is_available())
+            .map(|c| c.index())
+            .collect()
+    }
+
+    /// Injects a failure of cloud `i`.
+    pub fn fail_cloud(&self, i: usize) {
+        self.clouds[i].set_available(false);
+    }
+
+    /// Restores cloud `i`.
+    pub fn restore_cloud(&self, i: usize) {
+        self.clouds[i].set_available(true);
+    }
+
+    /// Total bytes stored across all clouds.
+    pub fn total_stored_bytes(&self) -> u64 {
+        self.clouds.iter().map(|c| c.stored_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upload_download_round_trip_with_timing() {
+        let cloud = SimCloud::new(0, CloudProfile::AZURE);
+        let data = vec![1u8; 8 * 1024 * 1024];
+        let up = cloud.upload("obj", &data).unwrap();
+        let (fetched, down) = cloud.download("obj").unwrap();
+        assert_eq!(fetched, data);
+        assert!(up > 0.0 && down > 0.0);
+        // Azure uploads faster than it downloads in Table 2, so uploading the
+        // same object takes less time.
+        assert!(up < down);
+        let stats = cloud.stats();
+        assert_eq!(stats.bytes_uploaded, data.len() as u64);
+        assert_eq!(stats.bytes_downloaded, data.len() as u64);
+        assert_eq!(stats.upload_requests, 1);
+    }
+
+    #[test]
+    fn failure_injection_blocks_operations() {
+        let cloud = SimCloud::new(2, CloudProfile::GOOGLE);
+        cloud.upload("x", b"data").unwrap();
+        cloud.set_available(false);
+        assert!(matches!(cloud.upload("y", b"data"), Err(CloudError::Unavailable(_))));
+        assert!(matches!(cloud.download("x"), Err(CloudError::Unavailable(_))));
+        cloud.set_available(true);
+        assert!(cloud.download("x").is_ok());
+    }
+
+    #[test]
+    fn multicloud_construction_and_failures() {
+        let mc = MultiCloud::commercial();
+        assert_eq!(mc.len(), 4);
+        assert_eq!(mc.available_clouds(), vec![0, 1, 2, 3]);
+        mc.fail_cloud(1);
+        assert_eq!(mc.available_clouds(), vec![0, 2, 3]);
+        mc.restore_cloud(1);
+        assert_eq!(mc.available_clouds().len(), 4);
+        assert_eq!(mc.cloud(2).profile().name, "Azure");
+
+        let lan = MultiCloud::lan(6);
+        assert_eq!(lan.len(), 6);
+        assert!(lan.clouds().all(|c| c.profile().name == "LAN"));
+    }
+
+    #[test]
+    fn stored_bytes_accumulate_per_cloud() {
+        let mc = MultiCloud::lan(3);
+        mc.cloud(0).upload("a", &[0u8; 100]).unwrap();
+        mc.cloud(1).upload("b", &[0u8; 200]).unwrap();
+        assert_eq!(mc.cloud(0).stored_bytes(), 100);
+        assert_eq!(mc.total_stored_bytes(), 300);
+    }
+
+    #[test]
+    fn slow_clouds_take_longer_for_the_same_object() {
+        let fast = SimCloud::new(0, CloudProfile::AZURE);
+        let slow = SimCloud::new(1, CloudProfile::GOOGLE);
+        let data = vec![9u8; 4 * 1024 * 1024];
+        let t_fast = fast.upload("o", &data).unwrap();
+        let t_slow = slow.upload("o", &data).unwrap();
+        assert!(t_slow > 2.0 * t_fast);
+    }
+}

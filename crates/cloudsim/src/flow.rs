@@ -1,0 +1,340 @@
+//! A max-min-fair fluid flow simulator.
+//!
+//! The multi-client experiments (Figure 8) need a model of *concurrent*
+//! transfers that share bottleneck resources: every CDStore client's upload
+//! stream crosses the client's NIC, the receiving server's NIC, the server's
+//! CPU (inter-user dedup fingerprinting), and the server's disk (container
+//! writes). The standard fluid model allocates each flow a max-min fair rate
+//! subject to per-resource capacities (progressive filling), advances virtual
+//! time to the next flow completion, and repeats.
+
+use std::collections::HashMap;
+
+/// A capacity-constrained resource (a NIC, a disk, a CPU stage, ...).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Resource {
+    /// Stable identifier used by flows to reference the resource.
+    pub id: String,
+    /// Capacity in MB/s shared by all flows crossing the resource.
+    pub capacity_mbps: f64,
+}
+
+impl Resource {
+    /// Creates a resource.
+    pub fn new(id: impl Into<String>, capacity_mbps: f64) -> Self {
+        Resource {
+            id: id.into(),
+            capacity_mbps,
+        }
+    }
+}
+
+/// A data flow crossing a set of resources.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Flow {
+    /// Stable identifier of the flow (used to read back results).
+    pub id: String,
+    /// Size of the flow in megabytes.
+    pub size_mb: f64,
+    /// Identifiers of every resource the flow crosses.
+    pub resources: Vec<String>,
+}
+
+impl Flow {
+    /// Creates a flow of `size_mb` megabytes crossing the given resources.
+    pub fn new(id: impl Into<String>, size_mb: f64, resources: Vec<String>) -> Self {
+        Flow {
+            id: id.into(),
+            size_mb,
+            resources,
+        }
+    }
+}
+
+/// The result of simulating one flow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowResult {
+    /// The flow identifier.
+    pub id: String,
+    /// Virtual time at which the flow finished, in seconds.
+    pub completion_time: f64,
+}
+
+/// The fluid flow simulator.
+#[derive(Debug, Default)]
+pub struct FlowSimulator {
+    resources: Vec<Resource>,
+    flows: Vec<Flow>,
+}
+
+impl FlowSimulator {
+    /// Creates an empty simulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a resource. Later definitions with the same id override earlier
+    /// ones.
+    pub fn add_resource(&mut self, resource: Resource) -> &mut Self {
+        self.resources.retain(|r| r.id != resource.id);
+        self.resources.push(resource);
+        self
+    }
+
+    /// Adds a flow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flow references an unknown resource or has negative size.
+    pub fn add_flow(&mut self, flow: Flow) -> &mut Self {
+        assert!(flow.size_mb >= 0.0, "flow size must be non-negative");
+        for r in &flow.resources {
+            assert!(
+                self.resources.iter().any(|res| &res.id == r),
+                "flow {} references unknown resource {r}",
+                flow.id
+            );
+        }
+        self.flows.push(flow);
+        self
+    }
+
+    /// Computes max-min fair rates (MB/s) for the given remaining flows.
+    fn fair_rates(&self, active: &[usize]) -> Vec<f64> {
+        let mut rates = vec![0.0f64; active.len()];
+        let mut frozen = vec![false; active.len()];
+        let mut remaining_capacity: HashMap<&str, f64> = self
+            .resources
+            .iter()
+            .map(|r| (r.id.as_str(), r.capacity_mbps))
+            .collect();
+        loop {
+            // Count unfrozen flows crossing each resource.
+            let mut users: HashMap<&str, usize> = HashMap::new();
+            for (slot, &flow_idx) in active.iter().enumerate() {
+                if frozen[slot] {
+                    continue;
+                }
+                for r in &self.flows[flow_idx].resources {
+                    *users.entry(r.as_str()).or_insert(0) += 1;
+                }
+            }
+            if users.is_empty() {
+                break;
+            }
+            // The bottleneck resource limits the per-flow fair share most.
+            let (bottleneck, share) = users
+                .iter()
+                .map(|(rid, &count)| (*rid, remaining_capacity[rid] / count as f64))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite shares"))
+                .expect("at least one resource in use");
+            // Freeze every unfrozen flow crossing the bottleneck at `share`.
+            for (slot, &flow_idx) in active.iter().enumerate() {
+                if frozen[slot] {
+                    continue;
+                }
+                if self.flows[flow_idx].resources.iter().any(|r| r == bottleneck) {
+                    rates[slot] = share;
+                    frozen[slot] = true;
+                    for r in &self.flows[flow_idx].resources {
+                        if let Some(cap) = remaining_capacity.get_mut(r.as_str()) {
+                            *cap = (*cap - share).max(0.0);
+                        }
+                    }
+                }
+            }
+        }
+        rates
+    }
+
+    /// Runs the simulation, returning per-flow completion times (seconds).
+    pub fn run(&self) -> Vec<FlowResult> {
+        let mut remaining: Vec<f64> = self.flows.iter().map(|f| f.size_mb).collect();
+        let mut completion = vec![0.0f64; self.flows.len()];
+        let mut now = 0.0f64;
+        loop {
+            let active: Vec<usize> = remaining
+                .iter()
+                .enumerate()
+                .filter(|(_, &r)| r > 1e-12)
+                .map(|(i, _)| i)
+                .collect();
+            if active.is_empty() {
+                break;
+            }
+            let rates = self.fair_rates(&active);
+            // Time until the first active flow completes at these rates.
+            let mut dt = f64::INFINITY;
+            for (slot, &idx) in active.iter().enumerate() {
+                if rates[slot] > 1e-12 {
+                    dt = dt.min(remaining[idx] / rates[slot]);
+                }
+            }
+            if !dt.is_finite() {
+                // No flow can make progress (all rates zero): report the
+                // stalled flows as never completing.
+                for &idx in &active {
+                    completion[idx] = f64::INFINITY;
+                }
+                break;
+            }
+            now += dt;
+            for (slot, &idx) in active.iter().enumerate() {
+                remaining[idx] = (remaining[idx] - rates[slot] * dt).max(0.0);
+                if remaining[idx] <= 1e-9 {
+                    remaining[idx] = 0.0;
+                    completion[idx] = now;
+                }
+            }
+        }
+        self.flows
+            .iter()
+            .zip(completion)
+            .map(|(f, t)| FlowResult {
+                id: f.id.clone(),
+                completion_time: t,
+            })
+            .collect()
+    }
+
+    /// Convenience: runs the simulation and returns the time at which every
+    /// flow has completed (the makespan).
+    pub fn makespan(&self) -> f64 {
+        self.run()
+            .into_iter()
+            .map(|r| r.completion_time)
+            .fold(0.0, f64::max)
+    }
+
+    /// Convenience: aggregate throughput in MB/s = total bytes / makespan.
+    pub fn aggregate_throughput(&self) -> f64 {
+        let total: f64 = self.flows.iter().map(|f| f.size_mb).sum();
+        let makespan = self.makespan();
+        if makespan <= 0.0 {
+            0.0
+        } else {
+            total / makespan
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_flow_single_link() {
+        let mut sim = FlowSimulator::new();
+        sim.add_resource(Resource::new("link", 100.0));
+        sim.add_flow(Flow::new("f1", 500.0, vec!["link".into()]));
+        let results = sim.run();
+        assert_eq!(results.len(), 1);
+        assert!((results[0].completion_time - 5.0).abs() < 1e-9);
+        assert!((sim.aggregate_throughput() - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn two_flows_share_a_link_fairly() {
+        let mut sim = FlowSimulator::new();
+        sim.add_resource(Resource::new("link", 100.0));
+        sim.add_flow(Flow::new("a", 100.0, vec!["link".into()]));
+        sim.add_flow(Flow::new("b", 200.0, vec!["link".into()]));
+        let results = sim.run();
+        // Both run at 50 MB/s; "a" finishes at 2 s, then "b" gets the full
+        // link for its remaining 100 MB: 2 + 1 = 3 s.
+        assert!((results[0].completion_time - 2.0).abs() < 1e-9);
+        assert!((results[1].completion_time - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bottleneck_is_the_slowest_resource_on_the_path() {
+        let mut sim = FlowSimulator::new();
+        sim.add_resource(Resource::new("client-nic", 110.0));
+        sim.add_resource(Resource::new("server-disk", 40.0));
+        sim.add_flow(Flow::new("upload", 400.0, vec!["client-nic".into(), "server-disk".into()]));
+        assert!((sim.makespan() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn independent_flows_do_not_interfere() {
+        let mut sim = FlowSimulator::new();
+        sim.add_resource(Resource::new("l1", 50.0));
+        sim.add_resource(Resource::new("l2", 50.0));
+        sim.add_flow(Flow::new("a", 100.0, vec!["l1".into()]));
+        sim.add_flow(Flow::new("b", 100.0, vec!["l2".into()]));
+        let results = sim.run();
+        assert!((results[0].completion_time - 2.0).abs() < 1e-9);
+        assert!((results[1].completion_time - 2.0).abs() < 1e-9);
+        assert!((sim.aggregate_throughput() - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn aggregate_throughput_saturates_at_shared_bottleneck() {
+        // Eight clients with fast NICs all writing through one 300 MB/s
+        // server stage: the aggregate cannot exceed 300 MB/s.
+        let mut sim = FlowSimulator::new();
+        sim.add_resource(Resource::new("server", 300.0));
+        for i in 0..8 {
+            sim.add_resource(Resource::new(format!("client-{i}"), 110.0));
+            sim.add_flow(Flow::new(
+                format!("flow-{i}"),
+                2048.0,
+                vec![format!("client-{i}"), "server".into()],
+            ));
+        }
+        let agg = sim.aggregate_throughput();
+        assert!((agg - 300.0).abs() < 1.0, "aggregate {agg}");
+    }
+
+    #[test]
+    fn aggregate_scales_with_clients_until_saturation() {
+        // Reproduces the *shape* of Figure 8: aggregate grows with the number
+        // of clients and then flattens at the server-side bottleneck.
+        let per_client = 110.0;
+        let server_total = 330.0;
+        let mut last = 0.0;
+        let mut speeds = Vec::new();
+        for clients in 1..=8usize {
+            let mut sim = FlowSimulator::new();
+            sim.add_resource(Resource::new("servers", server_total));
+            for i in 0..clients {
+                sim.add_resource(Resource::new(format!("client-{i}"), per_client));
+                sim.add_flow(Flow::new(
+                    format!("f{i}"),
+                    2048.0,
+                    vec![format!("client-{i}"), "servers".into()],
+                ));
+            }
+            let agg = sim.aggregate_throughput();
+            assert!(agg >= last - 1e-6, "aggregate must be non-decreasing");
+            last = agg;
+            speeds.push(agg);
+        }
+        assert!(speeds[0] < 120.0);
+        assert!((speeds[7] - server_total).abs() < 1.0);
+    }
+
+    #[test]
+    fn zero_size_flows_complete_immediately() {
+        let mut sim = FlowSimulator::new();
+        sim.add_resource(Resource::new("link", 10.0));
+        sim.add_flow(Flow::new("empty", 0.0, vec!["link".into()]));
+        let results = sim.run();
+        assert_eq!(results[0].completion_time, 0.0);
+    }
+
+    #[test]
+    fn zero_capacity_resources_stall_flows() {
+        let mut sim = FlowSimulator::new();
+        sim.add_resource(Resource::new("dead", 0.0));
+        sim.add_flow(Flow::new("stuck", 10.0, vec!["dead".into()]));
+        assert!(sim.run()[0].completion_time.is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown resource")]
+    fn flows_must_reference_known_resources() {
+        let mut sim = FlowSimulator::new();
+        sim.add_flow(Flow::new("f", 1.0, vec!["missing".into()]));
+    }
+}

@@ -1,0 +1,418 @@
+//! The CDStore client (§4.1–§4.3): chunking, CAONT-RS encoding, intra-user
+//! deduplication, batched uploads, and restores.
+
+use cdstore_chunking::{Chunker, ChunkerConfig, RabinChunker};
+use cdstore_crypto::Fingerprint;
+use cdstore_secretsharing::{CaontRs, SecretSharing};
+
+use crate::dedup::DedupStats;
+use crate::error::CdStoreError;
+use crate::metadata::{FileRecipe, RecipeEntry, ShareMetadata};
+use crate::server::CdStoreServer;
+
+/// Size of the per-cloud upload buffer: shares are batched into 4 MB units
+/// before being sent over the Internet (§4.1).
+pub const UPLOAD_BATCH_BYTES: u64 = 4 * 1024 * 1024;
+
+/// The result of one file upload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UploadReport {
+    /// Number of secrets (chunks) the file produced.
+    pub num_secrets: usize,
+    /// Deduplication byte counters for this upload.
+    pub dedup: DedupStats,
+    /// Share bytes transferred to each cloud after intra-user deduplication.
+    pub transferred_per_cloud: Vec<u64>,
+    /// Number of 4 MB upload batches sent to each cloud.
+    pub batches_per_cloud: Vec<u64>,
+    /// Share bytes newly stored at each cloud after inter-user deduplication.
+    pub physical_per_cloud: Vec<u64>,
+}
+
+impl UploadReport {
+    /// Convenience accessor mirroring §5.4's "logical data".
+    pub fn logical_bytes(&self) -> u64 {
+        self.dedup.logical_bytes
+    }
+}
+
+/// The CDStore client run by each user machine.
+pub struct CdStoreClient {
+    user: u64,
+    n: usize,
+    k: usize,
+    scheme: CaontRs,
+    chunker: RabinChunker,
+}
+
+impl CdStoreClient {
+    /// Creates a client for `user` dispersing across `n` clouds with
+    /// threshold `k`, using the default 8 KB average chunk size.
+    pub fn new(user: u64, n: usize, k: usize) -> Result<Self, CdStoreError> {
+        Self::with_chunker(user, n, k, ChunkerConfig::default())
+    }
+
+    /// Creates a client with an explicit chunking configuration.
+    pub fn with_chunker(
+        user: u64,
+        n: usize,
+        k: usize,
+        chunker: ChunkerConfig,
+    ) -> Result<Self, CdStoreError> {
+        let scheme = CaontRs::new(n, k).map_err(CdStoreError::Sharing)?;
+        Ok(CdStoreClient {
+            user,
+            n,
+            k,
+            scheme,
+            chunker: RabinChunker::new(chunker),
+        })
+    }
+
+    /// The user this client acts for.
+    pub fn user(&self) -> u64 {
+        self.user
+    }
+
+    /// The convergent dispersal scheme in use.
+    pub fn scheme(&self) -> &CaontRs {
+        &self.scheme
+    }
+
+    /// Encodes a pathname into its per-cloud shares. Pathnames are sensitive
+    /// metadata, so they are dispersed via secret sharing rather than
+    /// replicated (§4.3); because convergent dispersal is deterministic, the
+    /// client can recompute the same encoded pathname at restore time.
+    pub fn encode_pathname(&self, pathname: &str) -> Result<Vec<Vec<u8>>, CdStoreError> {
+        Ok(self.scheme.split(pathname.as_bytes())?)
+    }
+
+    /// Uploads a file: chunk → encode → intra-user dedup → batched upload →
+    /// metadata offload. `servers[i]` must be the server co-located with
+    /// cloud `i`; unavailable servers are passed as `None` (uploads require
+    /// all `n` clouds so redundancy is not silently degraded).
+    pub fn upload(
+        &self,
+        servers: &mut [CdStoreServer],
+        pathname: &str,
+        data: &[u8],
+    ) -> Result<UploadReport, CdStoreError> {
+        let chunks = self.chunker.chunk(data);
+        let chunk_data: Vec<Vec<u8>> = chunks.into_iter().map(|c| c.data).collect();
+        self.upload_chunks(servers, pathname, &chunk_data)
+    }
+
+    /// Uploads a file already divided into secrets (chunks). Used directly by
+    /// the trace-driven experiments, where the datasets provide chunk
+    /// boundaries (§5.2).
+    pub fn upload_chunks(
+        &self,
+        servers: &mut [CdStoreServer],
+        pathname: &str,
+        chunks: &[Vec<u8>],
+    ) -> Result<UploadReport, CdStoreError> {
+        if servers.len() != self.n {
+            return Err(CdStoreError::InvalidConfig(format!(
+                "expected {} servers, got {}",
+                self.n,
+                servers.len()
+            )));
+        }
+        let mut dedup = DedupStats::new();
+        let mut recipes: Vec<Vec<RecipeEntry>> = vec![Vec::with_capacity(chunks.len()); self.n];
+        // Per-cloud upload staging: (metadata, share bytes).
+        let mut pending: Vec<Vec<(ShareMetadata, Vec<u8>)>> = vec![Vec::new(); self.n];
+        // Client-local view of what this user has already scheduled in this
+        // upload (first stage of intra-user dedup, before asking the server).
+        let mut scheduled: Vec<std::collections::HashSet<Fingerprint>> =
+            vec![std::collections::HashSet::new(); self.n];
+
+        for (seq, secret) in chunks.iter().enumerate() {
+            dedup.logical_bytes += secret.len() as u64;
+            let shares = self.scheme.split(secret)?;
+            for (cloud, share) in shares.into_iter().enumerate() {
+                dedup.logical_share_bytes += share.len() as u64;
+                let fp = Fingerprint::of(&share);
+                recipes[cloud].push(RecipeEntry {
+                    share_fingerprint: fp,
+                    secret_size: secret.len() as u32,
+                });
+                if scheduled[cloud].contains(&fp) {
+                    continue;
+                }
+                scheduled[cloud].insert(fp);
+                pending[cloud].push((
+                    ShareMetadata {
+                        fingerprint: fp,
+                        share_size: share.len() as u32,
+                        secret_seq: seq as u64,
+                        secret_size: secret.len() as u32,
+                    },
+                    share,
+                ));
+            }
+        }
+
+        let mut transferred_per_cloud = vec![0u64; self.n];
+        let mut physical_per_cloud = vec![0u64; self.n];
+        let mut batches_per_cloud = vec![0u64; self.n];
+
+        for (cloud, server) in servers.iter_mut().enumerate() {
+            // Second stage of intra-user dedup: ask the server which of the
+            // candidate shares this user has uploaded in previous backups.
+            let fps: Vec<Fingerprint> = pending[cloud].iter().map(|(m, _)| m.fingerprint).collect();
+            let already = server.intra_user_query(self.user, &fps);
+            let to_upload: Vec<(ShareMetadata, Vec<u8>)> = pending[cloud]
+                .drain(..)
+                .zip(already)
+                .filter_map(|(item, dup)| (!dup).then_some(item))
+                .collect();
+            let bytes: u64 = to_upload.iter().map(|(_, d)| d.len() as u64).sum();
+            transferred_per_cloud[cloud] = bytes;
+            batches_per_cloud[cloud] = bytes.div_ceil(UPLOAD_BATCH_BYTES).max(1);
+            dedup.transferred_share_bytes += bytes;
+            let new_bytes = server.store_shares(self.user, &to_upload)?;
+            physical_per_cloud[cloud] = new_bytes;
+            dedup.physical_share_bytes += new_bytes;
+        }
+
+        // Offload file metadata: each server gets its own recipe, keyed by its
+        // own share of the encoded pathname.
+        let encoded_paths = self.encode_pathname(pathname)?;
+        let file_size: u64 = chunks.iter().map(|c| c.len() as u64).sum();
+        for (cloud, server) in servers.iter_mut().enumerate() {
+            let recipe = FileRecipe {
+                file_size,
+                entries: std::mem::take(&mut recipes[cloud]),
+            };
+            server.put_file(self.user, &encoded_paths[cloud], &recipe)?;
+        }
+
+        Ok(UploadReport {
+            num_secrets: chunks.len(),
+            dedup,
+            transferred_per_cloud,
+            batches_per_cloud,
+            physical_per_cloud,
+        })
+    }
+
+    /// Restores a file by contacting any `k` of the `n` servers.
+    /// `available[i]` states whether cloud `i` (and its server) is reachable.
+    pub fn download(
+        &self,
+        servers: &mut [CdStoreServer],
+        available: &[bool],
+        pathname: &str,
+    ) -> Result<Vec<u8>, CdStoreError> {
+        if servers.len() != self.n || available.len() != self.n {
+            return Err(CdStoreError::InvalidConfig(format!(
+                "expected {} servers/availability flags",
+                self.n
+            )));
+        }
+        let chosen: Vec<usize> = (0..self.n).filter(|&i| available[i]).take(self.k).collect();
+        if chosen.len() < self.k {
+            return Err(CdStoreError::NotEnoughClouds {
+                needed: self.k,
+                available: chosen.len(),
+            });
+        }
+        let encoded_paths = self.encode_pathname(pathname)?;
+
+        // Fetch the per-cloud recipes.
+        let mut recipes: Vec<(usize, FileRecipe)> = Vec::with_capacity(self.k);
+        for &cloud in &chosen {
+            let recipe = servers[cloud].get_recipe(self.user, &encoded_paths[cloud])?;
+            recipes.push((cloud, recipe));
+        }
+        let num_secrets = recipes[0].1.num_secrets();
+        let file_size = recipes[0].1.file_size;
+        if recipes
+            .iter()
+            .any(|(_, r)| r.num_secrets() != num_secrets || r.file_size != file_size)
+        {
+            return Err(CdStoreError::InconsistentMetadata(
+                "servers disagree on the file recipe".into(),
+            ));
+        }
+
+        // Fetch all shares from each chosen cloud in one batch.
+        let mut shares_by_cloud: Vec<(usize, Vec<Vec<u8>>)> = Vec::with_capacity(self.k);
+        for (cloud, recipe) in &recipes {
+            let fps: Vec<Fingerprint> = recipe.entries.iter().map(|e| e.share_fingerprint).collect();
+            let shares = servers[*cloud].fetch_shares(self.user, &fps)?;
+            shares_by_cloud.push((*cloud, shares));
+        }
+
+        // Decode secret by secret and reassemble the file.
+        let mut out = Vec::with_capacity(file_size as usize);
+        for seq in 0..num_secrets {
+            let mut share_slots: Vec<Option<Vec<u8>>> = vec![None; self.n];
+            for (cloud, shares) in &shares_by_cloud {
+                share_slots[*cloud] = Some(shares[seq].clone());
+            }
+            let secret_size = recipes[0].1.entries[seq].secret_size as usize;
+            let secret = self
+                .scheme
+                .reconstruct(&share_slots, secret_size)
+                .map_err(|e| match e {
+                    cdstore_secretsharing::SharingError::IntegrityCheckFailed => {
+                        CdStoreError::IntegrityFailure(format!("secret {seq} failed its hash check"))
+                    }
+                    other => CdStoreError::Sharing(other),
+                })?;
+            out.extend_from_slice(&secret);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make_servers(n: usize) -> Vec<CdStoreServer> {
+        (0..n).map(CdStoreServer::new).collect()
+    }
+
+    fn test_data(len: usize, seed: u8) -> Vec<u8> {
+        // Low-entropy but position-dependent data so chunking finds stable
+        // boundaries and dedup behaves deterministically.
+        (0..len)
+            .map(|i| ((i / 512) as u8).wrapping_mul(31).wrapping_add(seed))
+            .collect()
+    }
+
+    #[test]
+    fn upload_then_download_round_trips() {
+        let mut servers = make_servers(4);
+        let client = CdStoreClient::new(1, 4, 3).unwrap();
+        let data = test_data(300_000, 1);
+        let report = client.upload(&mut servers, "/backup/a.tar", &data).unwrap();
+        assert!(report.num_secrets > 1);
+        assert_eq!(report.dedup.logical_bytes, data.len() as u64);
+        let restored = client
+            .download(&mut servers, &[true; 4], "/backup/a.tar")
+            .unwrap();
+        assert_eq!(restored, data);
+    }
+
+    #[test]
+    fn download_works_with_any_k_clouds() {
+        let mut servers = make_servers(4);
+        let client = CdStoreClient::new(1, 4, 3).unwrap();
+        let data = test_data(150_000, 2);
+        client.upload(&mut servers, "/f", &data).unwrap();
+        for down in 0..4 {
+            let mut available = [true; 4];
+            available[down] = false;
+            let restored = client.download(&mut servers, &available, "/f").unwrap();
+            assert_eq!(restored, data, "cloud {down} down");
+        }
+        // Two clouds down is too many for k = 3.
+        assert!(matches!(
+            client.download(&mut servers, &[true, true, false, false], "/f"),
+            Err(CdStoreError::NotEnoughClouds { .. })
+        ));
+    }
+
+    #[test]
+    fn second_identical_upload_transfers_no_share_data() {
+        let mut servers = make_servers(4);
+        let client = CdStoreClient::new(1, 4, 3).unwrap();
+        let data = test_data(200_000, 3);
+        let first = client.upload(&mut servers, "/weekly/v1", &data).unwrap();
+        assert!(first.dedup.transferred_share_bytes > 0);
+        // The same content under a new pathname: intra-user dedup removes
+        // every share transfer.
+        let second = client.upload(&mut servers, "/weekly/v2", &data).unwrap();
+        assert_eq!(second.dedup.transferred_share_bytes, 0);
+        assert!((second.dedup.intra_user_saving() - 1.0).abs() < 1e-9);
+        // Both versions remain restorable.
+        assert_eq!(client.download(&mut servers, &[true; 4], "/weekly/v1").unwrap(), data);
+        assert_eq!(client.download(&mut servers, &[true; 4], "/weekly/v2").unwrap(), data);
+    }
+
+    #[test]
+    fn cross_user_duplicates_are_removed_server_side_only() {
+        let mut servers = make_servers(4);
+        let alice = CdStoreClient::new(1, 4, 3).unwrap();
+        let bob = CdStoreClient::new(2, 4, 3).unwrap();
+        let data = test_data(120_000, 4);
+        let a = alice.upload(&mut servers, "/a", &data).unwrap();
+        let b = bob.upload(&mut servers, "/b", &data).unwrap();
+        // Bob still transfers his shares (no client-side global dedup — that
+        // would open the side channel)...
+        assert!(b.dedup.transferred_share_bytes > 0);
+        assert_eq!(b.dedup.transferred_share_bytes, a.dedup.transferred_share_bytes);
+        // ...but the servers store nothing new for Bob.
+        assert_eq!(b.dedup.physical_share_bytes, 0);
+        assert!((b.dedup.inter_user_saving() - 1.0).abs() < 1e-9);
+        // Both users can restore independently.
+        assert_eq!(alice.download(&mut servers, &[true; 4], "/a").unwrap(), data);
+        assert_eq!(bob.download(&mut servers, &[true; 4], "/b").unwrap(), data);
+    }
+
+    #[test]
+    fn modified_backup_transfers_only_changed_chunks() {
+        let mut servers = make_servers(4);
+        let client = CdStoreClient::new(1, 4, 3).unwrap();
+        let week1 = test_data(400_000, 5);
+        let mut week2 = week1.clone();
+        // Modify a small region (simulating an incremental change).
+        for b in &mut week2[100_000..101_000] {
+            *b ^= 0xff;
+        }
+        let r1 = client.upload(&mut servers, "/w1", &week1).unwrap();
+        let r2 = client.upload(&mut servers, "/w2", &week2).unwrap();
+        assert!(r2.dedup.transferred_share_bytes < r1.dedup.transferred_share_bytes / 4);
+        assert!(r2.dedup.intra_user_saving() > 0.7);
+        assert_eq!(client.download(&mut servers, &[true; 4], "/w2").unwrap(), week2);
+    }
+
+    #[test]
+    fn unknown_file_and_wrong_user_are_rejected() {
+        let mut servers = make_servers(4);
+        let client = CdStoreClient::new(1, 4, 3).unwrap();
+        let data = test_data(50_000, 6);
+        client.upload(&mut servers, "/mine", &data).unwrap();
+        assert!(matches!(
+            client.download(&mut servers, &[true; 4], "/missing"),
+            Err(CdStoreError::FileNotFound(_))
+        ));
+        // Another user cannot restore the file even if they guess the path.
+        let eve = CdStoreClient::new(66, 4, 3).unwrap();
+        assert!(eve.download(&mut servers, &[true; 4], "/mine").is_err());
+    }
+
+    #[test]
+    fn upload_requires_matching_server_count() {
+        let mut servers = make_servers(3);
+        let client = CdStoreClient::new(1, 4, 3).unwrap();
+        assert!(matches!(
+            client.upload(&mut servers, "/f", b"data"),
+            Err(CdStoreError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn empty_file_round_trips() {
+        let mut servers = make_servers(4);
+        let client = CdStoreClient::new(1, 4, 3).unwrap();
+        let report = client.upload(&mut servers, "/empty", b"").unwrap();
+        assert_eq!(report.num_secrets, 0);
+        assert_eq!(client.download(&mut servers, &[true; 4], "/empty").unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn logical_share_bytes_reflect_dispersal_blowup() {
+        let mut servers = make_servers(4);
+        let client = CdStoreClient::new(1, 4, 3).unwrap();
+        let data = test_data(256_000, 7);
+        let report = client.upload(&mut servers, "/blowup", &data).unwrap();
+        let blowup = report.dedup.logical_share_bytes as f64 / report.dedup.logical_bytes as f64;
+        // n/k = 4/3 plus the per-secret CAONT tail overhead.
+        assert!(blowup > 1.33 && blowup < 1.40, "blowup {blowup}");
+    }
+}

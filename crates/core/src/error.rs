@@ -1,0 +1,88 @@
+//! The error type shared by CDStore clients, servers, and the system façade.
+
+use core::fmt;
+
+use cdstore_cloudsim::CloudError;
+use cdstore_secretsharing::SharingError;
+use cdstore_storage::StorageError;
+
+/// Errors surfaced by CDStore operations.
+#[derive(Debug)]
+pub enum CdStoreError {
+    /// The `(n, k)` or chunking configuration is invalid.
+    InvalidConfig(String),
+    /// A convergent-dispersal (CAONT-RS) error.
+    Sharing(SharingError),
+    /// A container / backend storage error on some server.
+    Storage(StorageError),
+    /// A simulated-cloud error (e.g. the cloud is unavailable).
+    Cloud(CloudError),
+    /// Fewer than `k` CDStore servers are reachable.
+    NotEnoughClouds {
+        /// Servers required (`k`).
+        needed: usize,
+        /// Servers reachable.
+        available: usize,
+    },
+    /// The requested file is not known to the contacted servers.
+    FileNotFound(String),
+    /// A share referenced by a file recipe is missing from a server.
+    MissingShare(String),
+    /// The recovered data failed its integrity check on every decode subset.
+    IntegrityFailure(String),
+    /// Recipes fetched from different servers disagree.
+    InconsistentMetadata(String),
+}
+
+impl fmt::Display for CdStoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CdStoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            CdStoreError::Sharing(e) => write!(f, "convergent dispersal error: {e}"),
+            CdStoreError::Storage(e) => write!(f, "storage error: {e}"),
+            CdStoreError::Cloud(e) => write!(f, "cloud error: {e}"),
+            CdStoreError::NotEnoughClouds { needed, available } => {
+                write!(f, "need {needed} reachable clouds, only {available} available")
+            }
+            CdStoreError::FileNotFound(path) => write!(f, "file not found: {path}"),
+            CdStoreError::MissingShare(fp) => write!(f, "missing share: {fp}"),
+            CdStoreError::IntegrityFailure(msg) => write!(f, "integrity failure: {msg}"),
+            CdStoreError::InconsistentMetadata(msg) => write!(f, "inconsistent metadata: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CdStoreError {}
+
+impl From<SharingError> for CdStoreError {
+    fn from(e: SharingError) -> Self {
+        CdStoreError::Sharing(e)
+    }
+}
+
+impl From<StorageError> for CdStoreError {
+    fn from(e: StorageError) -> Self {
+        CdStoreError::Storage(e)
+    }
+}
+
+impl From<CloudError> for CdStoreError {
+    fn from(e: CloudError) -> Self {
+        CdStoreError::Cloud(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_human_readable_messages() {
+        let e = CdStoreError::NotEnoughClouds { needed: 3, available: 2 };
+        assert!(e.to_string().contains("need 3"));
+        let e = CdStoreError::FileNotFound("/backup.tar".into());
+        assert!(e.to_string().contains("/backup.tar"));
+        let e: CdStoreError = SharingError::IntegrityCheckFailed.into();
+        assert!(matches!(e, CdStoreError::Sharing(_)));
+    }
+}

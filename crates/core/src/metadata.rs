@@ -1,0 +1,157 @@
+//! File and share metadata (§4.3).
+//!
+//! When uploading a file, a CDStore client collects *file metadata* (the
+//! pathname, file size, and number of secrets) and *share metadata* per share
+//! (share size, fingerprint for intra-user dedup, sequence number of the
+//! input secret, and the secret size needed to strip CAONT padding on
+//! decode). The client offloads all of it to the CDStore servers, which use
+//! it to build their indices and the per-file *file recipes*.
+
+use cdstore_crypto::Fingerprint;
+
+/// Metadata the client attaches to each uploaded share.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShareMetadata {
+    /// Client-computed fingerprint of the share content (intra-user dedup).
+    pub fingerprint: Fingerprint,
+    /// Size of the share in bytes.
+    pub share_size: u32,
+    /// Sequence number of the secret within the file.
+    pub secret_seq: u64,
+    /// Size of the original secret in bytes (to remove padded zeroes).
+    pub secret_size: u32,
+}
+
+/// One entry of a file recipe: how to retrieve and decode one secret's share
+/// on this server's cloud.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecipeEntry {
+    /// Fingerprint of this cloud's share of the secret.
+    pub share_fingerprint: Fingerprint,
+    /// Size of the original secret in bytes.
+    pub secret_size: u32,
+}
+
+/// The complete recipe of a file as stored on one server: the ordered list of
+/// share references plus summary metadata (§4.4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileRecipe {
+    /// Logical size of the file in bytes.
+    pub file_size: u64,
+    /// Ordered per-secret entries.
+    pub entries: Vec<RecipeEntry>,
+}
+
+impl FileRecipe {
+    /// Number of secrets in the file.
+    pub fn num_secrets(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Serialises the recipe to bytes (the blob written to a recipe container).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.entries.len() * 36);
+        out.extend_from_slice(&self.file_size.to_be_bytes());
+        out.extend_from_slice(&(self.entries.len() as u64).to_be_bytes());
+        for entry in &self.entries {
+            out.extend_from_slice(entry.share_fingerprint.as_bytes());
+            out.extend_from_slice(&entry.secret_size.to_be_bytes());
+        }
+        out
+    }
+
+    /// Parses a recipe serialised by [`FileRecipe::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Option<FileRecipe> {
+        if bytes.len() < 16 {
+            return None;
+        }
+        let file_size = u64::from_be_bytes(bytes[0..8].try_into().ok()?);
+        let count = u64::from_be_bytes(bytes[8..16].try_into().ok()?) as usize;
+        if bytes.len() != 16 + count * 36 {
+            return None;
+        }
+        let mut entries = Vec::with_capacity(count);
+        for i in 0..count {
+            let base = 16 + i * 36;
+            let fp: [u8; 32] = bytes[base..base + 32].try_into().ok()?;
+            let secret_size = u32::from_be_bytes(bytes[base + 32..base + 36].try_into().ok()?);
+            entries.push(RecipeEntry {
+                share_fingerprint: Fingerprint::from_bytes(fp),
+                secret_size,
+            });
+        }
+        Some(FileRecipe { file_size, entries })
+    }
+
+    /// Size of the serialised recipe in bytes — the metadata overhead the
+    /// cost analysis charges for (§5.6).
+    pub fn serialized_size(&self) -> usize {
+        16 + self.entries.len() * 36
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn fp(i: u32) -> Fingerprint {
+        Fingerprint::of(&i.to_be_bytes())
+    }
+
+    #[test]
+    fn recipe_round_trips() {
+        let recipe = FileRecipe {
+            file_size: 123_456_789,
+            entries: (0..100u32)
+                .map(|i| RecipeEntry {
+                    share_fingerprint: fp(i),
+                    secret_size: 8192 - i,
+                })
+                .collect(),
+        };
+        let bytes = recipe.to_bytes();
+        assert_eq!(bytes.len(), recipe.serialized_size());
+        assert_eq!(FileRecipe::from_bytes(&bytes), Some(recipe));
+    }
+
+    #[test]
+    fn malformed_recipes_are_rejected() {
+        assert_eq!(FileRecipe::from_bytes(&[]), None);
+        assert_eq!(FileRecipe::from_bytes(&[0u8; 15]), None);
+        let recipe = FileRecipe {
+            file_size: 1,
+            entries: vec![RecipeEntry {
+                share_fingerprint: fp(1),
+                secret_size: 2,
+            }],
+        };
+        let bytes = recipe.to_bytes();
+        assert_eq!(FileRecipe::from_bytes(&bytes[..bytes.len() - 1]), None);
+    }
+
+    #[test]
+    fn empty_recipe_is_valid() {
+        let recipe = FileRecipe {
+            file_size: 0,
+            entries: vec![],
+        };
+        assert_eq!(FileRecipe::from_bytes(&recipe.to_bytes()), Some(recipe));
+    }
+
+    proptest! {
+        #[test]
+        fn recipe_round_trips_for_arbitrary_entries(
+            file_size: u64,
+            sizes in proptest::collection::vec(any::<u32>(), 0..50)) {
+            let recipe = FileRecipe {
+                file_size,
+                entries: sizes.iter().enumerate().map(|(i, &s)| RecipeEntry {
+                    share_fingerprint: fp(i as u32),
+                    secret_size: s,
+                }).collect(),
+            };
+            prop_assert_eq!(FileRecipe::from_bytes(&recipe.to_bytes()), Some(recipe));
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Multi-threaded encode/decode of secrets (§4.6).
+//!
+//! The CDStore client parallelises the CPU-intensive CAONT-RS operations at
+//! the secret level: each secret produced by the chunking module is handed to
+//! one of a pool of coding threads. This module provides that parallel coder
+//! for any [`SecretSharing`] scheme; the encoding-speed experiments
+//! (Figure 5) sweep its thread count.
+
+use cdstore_secretsharing::{SecretSharing, SharingError};
+
+/// A parallel encoder/decoder over a secret sharing scheme.
+pub struct ParallelCoder<'a> {
+    scheme: &'a (dyn SecretSharing + Sync),
+    threads: usize,
+}
+
+impl<'a> ParallelCoder<'a> {
+    /// Creates a coder that uses `threads` worker threads (at least 1).
+    pub fn new(scheme: &'a (dyn SecretSharing + Sync), threads: usize) -> Self {
+        ParallelCoder {
+            scheme,
+            threads: threads.max(1),
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Encodes a batch of secrets into per-secret share vectors, preserving
+    /// input order.
+    pub fn encode_batch(&self, secrets: &[Vec<u8>]) -> Result<Vec<Vec<Vec<u8>>>, SharingError> {
+        self.run(secrets, |scheme, secret| scheme.split(secret))
+    }
+
+    /// Decodes a batch of `(share-slots, secret_len)` items, preserving order.
+    pub fn decode_batch(
+        &self,
+        items: &[(Vec<Option<Vec<u8>>>, usize)],
+    ) -> Result<Vec<Vec<u8>>, SharingError> {
+        self.run(items, |scheme, (shares, len)| scheme.reconstruct(shares, *len))
+    }
+
+    fn run<I, O, F>(&self, items: &[I], op: F) -> Result<Vec<O>, SharingError>
+    where
+        I: Sync,
+        O: Send,
+        F: Fn(&dyn SecretSharing, &I) -> Result<O, SharingError> + Sync,
+    {
+        if items.is_empty() {
+            return Ok(Vec::new());
+        }
+        if self.threads == 1 {
+            return items.iter().map(|item| op(self.scheme, item)).collect();
+        }
+        let threads = self.threads.min(items.len());
+        let chunk_size = items.len().div_ceil(threads);
+        let results: Vec<Result<Vec<O>, SharingError>> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for chunk in items.chunks(chunk_size) {
+                let op = &op;
+                let scheme = self.scheme;
+                handles.push(scope.spawn(move || {
+                    chunk.iter().map(|item| op(scheme, item)).collect::<Result<Vec<O>, _>>()
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("coding worker panicked"))
+                .collect()
+        });
+        let mut out = Vec::with_capacity(items.len());
+        for r in results {
+            out.extend(r?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdstore_secretsharing::CaontRs;
+
+    fn secrets(count: usize) -> Vec<Vec<u8>> {
+        (0..count)
+            .map(|i| (0..2048usize).map(|j| ((i * 31 + j) % 256) as u8).collect())
+            .collect()
+    }
+
+    #[test]
+    fn parallel_encoding_matches_sequential() {
+        let scheme = CaontRs::new(4, 3).unwrap();
+        let batch = secrets(37);
+        let sequential = ParallelCoder::new(&scheme, 1).encode_batch(&batch).unwrap();
+        for threads in [2, 3, 4, 8] {
+            let parallel = ParallelCoder::new(&scheme, threads).encode_batch(&batch).unwrap();
+            assert_eq!(parallel, sequential, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn decode_batch_round_trips() {
+        let scheme = CaontRs::new(4, 3).unwrap();
+        let batch = secrets(20);
+        let coder = ParallelCoder::new(&scheme, 4);
+        let encoded = coder.encode_batch(&batch).unwrap();
+        let items: Vec<(Vec<Option<Vec<u8>>>, usize)> = encoded
+            .into_iter()
+            .zip(&batch)
+            .map(|(shares, secret)| {
+                let mut slots: Vec<Option<Vec<u8>>> = shares.into_iter().map(Some).collect();
+                slots[1] = None; // one cloud missing
+                (slots, secret.len())
+            })
+            .collect();
+        let decoded = coder.decode_batch(&items).unwrap();
+        assert_eq!(decoded, batch);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let scheme = CaontRs::new(4, 3).unwrap();
+        let coder = ParallelCoder::new(&scheme, 4);
+        assert!(coder.encode_batch(&[]).unwrap().is_empty());
+        assert!(coder.decode_batch(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let scheme = CaontRs::new(4, 3).unwrap();
+        let batch = secrets(3);
+        let coder = ParallelCoder::new(&scheme, 16);
+        assert_eq!(coder.encode_batch(&batch).unwrap().len(), 3);
+        assert_eq!(coder.threads(), 16);
+    }
+
+    #[test]
+    fn zero_threads_is_clamped_to_one() {
+        let scheme = CaontRs::new(4, 3).unwrap();
+        let coder = ParallelCoder::new(&scheme, 0);
+        assert_eq!(coder.threads(), 1);
+        assert_eq!(coder.encode_batch(&secrets(2)).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn errors_propagate_from_workers() {
+        let scheme = CaontRs::new(4, 3).unwrap();
+        let coder = ParallelCoder::new(&scheme, 2);
+        // Reconstructing from too few shares must surface the error.
+        let items = vec![(vec![None, None, None, None], 10usize); 4];
+        assert!(coder.decode_batch(&items).is_err());
+    }
+}

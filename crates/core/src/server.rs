@@ -1,0 +1,393 @@
+//! The CDStore server (§4): one per cloud, co-located with the storage
+//! backend, performing inter-user deduplication and index/container
+//! management on behalf of all clients.
+
+use std::sync::Arc;
+
+use cdstore_crypto::Fingerprint;
+use cdstore_index::{FileEntry, FileIndex, FileKey, KvStore, ShareIndex};
+use cdstore_storage::{ContainerStore, MemoryBackend, StorageBackend};
+
+use crate::error::CdStoreError;
+use crate::metadata::{FileRecipe, ShareMetadata};
+
+/// Traffic and deduplication counters of one server.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Share bytes received from clients (after intra-user dedup).
+    pub received_share_bytes: u64,
+    /// Share bytes actually written as unique shares (after inter-user dedup).
+    pub physical_share_bytes: u64,
+    /// Number of shares received.
+    pub shares_received: u64,
+    /// Number of shares that were inter-user duplicates.
+    pub inter_user_duplicates: u64,
+    /// Recipe bytes stored.
+    pub recipe_bytes: u64,
+    /// Share bytes served to clients during restores.
+    pub served_share_bytes: u64,
+}
+
+/// One CDStore server.
+pub struct CdStoreServer {
+    cloud_index: usize,
+    /// Server-side fingerprint tag: inter-user deduplication never trusts the
+    /// client-computed fingerprint (it re-fingerprints the share content with
+    /// this tag), which defeats the ownership side-channel attack (§3.3).
+    tag: Vec<u8>,
+    share_index: ShareIndex,
+    file_index: FileIndex,
+    /// `(user || client fingerprint)` → server fingerprint. Answers intra-user
+    /// dedup queries and resolves recipe entries at restore time; because the
+    /// key embeds the user id, a user can only ever resolve shares they own.
+    user_shares: KvStore,
+    containers: ContainerStore,
+    stats: ServerStats,
+    next_version: u64,
+}
+
+impl CdStoreServer {
+    /// Creates a server for cloud `cloud_index` with an in-memory backend.
+    pub fn new(cloud_index: usize) -> Self {
+        Self::with_backend(cloud_index, Arc::new(MemoryBackend::new()))
+    }
+
+    /// Creates a server over an explicit storage backend (e.g. a directory,
+    /// or the backend of a simulated cloud).
+    pub fn with_backend(cloud_index: usize, backend: Arc<dyn StorageBackend>) -> Self {
+        CdStoreServer {
+            cloud_index,
+            tag: format!("cdstore-server-{cloud_index}").into_bytes(),
+            share_index: ShareIndex::new(),
+            file_index: FileIndex::new(),
+            user_shares: KvStore::new(),
+            containers: ContainerStore::new(backend),
+            stats: ServerStats::default(),
+            next_version: 1,
+        }
+    }
+
+    /// The index of the cloud this server runs in.
+    pub fn cloud_index(&self) -> usize {
+        self.cloud_index
+    }
+
+    /// Traffic and deduplication counters.
+    pub fn stats(&self) -> ServerStats {
+        self.stats
+    }
+
+    /// Approximate size of the server's indices in bytes (drives the EC2
+    /// instance choice in the cost model, §5.6).
+    pub fn index_bytes(&self) -> usize {
+        self.share_index.approximate_size()
+            + self.file_index.approximate_size()
+            + self.user_shares.approximate_size()
+    }
+
+    /// Number of globally unique shares stored.
+    pub fn unique_shares(&self) -> usize {
+        self.share_index.unique_shares()
+    }
+
+    /// Physical bytes stored for unique shares.
+    pub fn physical_share_bytes(&self) -> u64 {
+        self.stats.physical_share_bytes
+    }
+
+    fn user_share_key(user: u64, fp: &Fingerprint) -> Vec<u8> {
+        let mut key = Vec::with_capacity(40);
+        key.extend_from_slice(&user.to_be_bytes());
+        key.extend_from_slice(fp.as_bytes());
+        key
+    }
+
+    /// Answers an intra-user deduplication query: for each client-computed
+    /// share fingerprint, has this user already uploaded the share to this
+    /// server? (§3.3, intra-user deduplication.)
+    pub fn intra_user_query(&mut self, user: u64, fingerprints: &[Fingerprint]) -> Vec<bool> {
+        fingerprints
+            .iter()
+            .map(|fp| self.user_shares.contains(&Self::user_share_key(user, fp)))
+            .collect()
+    }
+
+    /// Receives a batch of shares from a client and performs inter-user
+    /// deduplication: the server recomputes its own fingerprint from the
+    /// share content, stores only globally unique shares into containers, and
+    /// records ownership (§3.3, inter-user deduplication).
+    ///
+    /// Returns the number of bytes that were new (physically stored).
+    pub fn store_shares(
+        &mut self,
+        user: u64,
+        shares: &[(ShareMetadata, Vec<u8>)],
+    ) -> Result<u64, CdStoreError> {
+        let mut new_bytes = 0u64;
+        for (meta, data) in shares {
+            self.stats.shares_received += 1;
+            self.stats.received_share_bytes += data.len() as u64;
+            // Server-side fingerprint: never reuse the client's.
+            let server_fp = Fingerprint::tagged(&self.tag, data);
+            let already = self.share_index.lookup(&server_fp);
+            let location = match already {
+                Some(entry) => {
+                    self.stats.inter_user_duplicates += 1;
+                    entry.location
+                }
+                None => {
+                    let location = self.containers.store_share(user, server_fp, data)?;
+                    self.stats.physical_share_bytes += data.len() as u64;
+                    new_bytes += data.len() as u64;
+                    location
+                }
+            };
+            self.share_index.add_reference(&server_fp, location, user);
+            // Record the user's client-fingerprint → server-fingerprint link.
+            self.user_shares.put(
+                Self::user_share_key(user, &meta.fingerprint),
+                server_fp.as_bytes().to_vec(),
+            );
+        }
+        Ok(new_bytes)
+    }
+
+    /// Stores the file recipe and registers the file in the file index.
+    pub fn put_file(
+        &mut self,
+        user: u64,
+        encoded_pathname: &[u8],
+        recipe: &FileRecipe,
+    ) -> Result<(), CdStoreError> {
+        let key = FileKey::new(user, encoded_pathname);
+        let recipe_bytes = recipe.to_bytes();
+        let recipe_fp = Fingerprint::tagged(b"recipe", key.as_bytes());
+        let location = self.containers.store_recipe(user, recipe_fp, &recipe_bytes)?;
+        self.stats.recipe_bytes += recipe_bytes.len() as u64;
+        // Store the location inside the file entry: the container id plus the
+        // offset/size packed into the remaining fields.
+        self.file_index.put(
+            key,
+            FileEntry {
+                recipe_container_id: location.container_id,
+                file_size: ((location.offset as u64) << 32) | location.size as u64,
+                num_secrets: recipe.num_secrets() as u64,
+                version: self.next_version,
+            },
+        );
+        self.next_version += 1;
+        Ok(())
+    }
+
+    /// Whether the server knows the given file of the given user.
+    pub fn has_file(&mut self, user: u64, encoded_pathname: &[u8]) -> bool {
+        let key = FileKey::new(user, encoded_pathname);
+        self.file_index.get(&key).is_some()
+    }
+
+    /// Fetches the file recipe for a user's file.
+    pub fn get_recipe(
+        &mut self,
+        user: u64,
+        encoded_pathname: &[u8],
+    ) -> Result<FileRecipe, CdStoreError> {
+        let key = FileKey::new(user, encoded_pathname);
+        let entry = self
+            .file_index
+            .get(&key)
+            .ok_or_else(|| CdStoreError::FileNotFound(format!("user {user} on cloud {}", self.cloud_index)))?;
+        let location = cdstore_index::ShareLocation {
+            container_id: entry.recipe_container_id,
+            offset: (entry.file_size >> 32) as u32,
+            size: (entry.file_size & 0xffff_ffff) as u32,
+        };
+        let bytes = self.containers.fetch(&location)?;
+        FileRecipe::from_bytes(&bytes)
+            .ok_or_else(|| CdStoreError::InconsistentMetadata("corrupt file recipe".into()))
+    }
+
+    /// Removes a file from the file index (garbage collection of the shares
+    /// themselves is future work, as in the paper §4.7).
+    pub fn delete_file(&mut self, user: u64, encoded_pathname: &[u8]) -> bool {
+        let key = FileKey::new(user, encoded_pathname);
+        self.file_index.remove(&key).is_some()
+    }
+
+    /// Fetches one share owned by `user`, identified by the *client*
+    /// fingerprint recorded in the file recipe. Ownership is enforced: a user
+    /// who never uploaded the share cannot retrieve it by fingerprint alone
+    /// (the proof-of-ownership side channel of §3.3).
+    pub fn fetch_share(&mut self, user: u64, client_fp: &Fingerprint) -> Result<Vec<u8>, CdStoreError> {
+        let server_fp_bytes = self
+            .user_shares
+            .get(&Self::user_share_key(user, client_fp))
+            .ok_or_else(|| CdStoreError::MissingShare(client_fp.to_hex()))?;
+        let server_fp = Fingerprint::from_bytes(
+            server_fp_bytes
+                .try_into()
+                .map_err(|_| CdStoreError::InconsistentMetadata("bad fingerprint mapping".into()))?,
+        );
+        let entry = self
+            .share_index
+            .lookup(&server_fp)
+            .ok_or_else(|| CdStoreError::MissingShare(client_fp.to_hex()))?;
+        let data = self.containers.fetch(&entry.location)?;
+        self.stats.served_share_bytes += data.len() as u64;
+        Ok(data)
+    }
+
+    /// Fetches a batch of shares owned by `user`.
+    pub fn fetch_shares(
+        &mut self,
+        user: u64,
+        client_fps: &[Fingerprint],
+    ) -> Result<Vec<Vec<u8>>, CdStoreError> {
+        client_fps
+            .iter()
+            .map(|fp| self.fetch_share(user, fp))
+            .collect()
+    }
+
+    /// Seals and persists all open containers (called at the end of a backup
+    /// job and before shutting down).
+    pub fn flush(&mut self) -> Result<(), CdStoreError> {
+        self.containers.flush()?;
+        Ok(())
+    }
+
+    /// Bytes currently stored at this server's cloud backend.
+    pub fn backend_bytes(&self) -> u64 {
+        self.containers.backend_bytes().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(fp: Fingerprint, size: u32, seq: u64) -> ShareMetadata {
+        ShareMetadata {
+            fingerprint: fp,
+            share_size: size,
+            secret_seq: seq,
+            secret_size: size * 3,
+        }
+    }
+
+    fn share(data: &[u8]) -> (ShareMetadata, Vec<u8>) {
+        (meta(Fingerprint::of(data), data.len() as u32, 0), data.to_vec())
+    }
+
+    #[test]
+    fn inter_user_dedup_stores_one_copy() {
+        let mut server = CdStoreServer::new(0);
+        let s = share(b"identical share content");
+        let new_a = server.store_shares(1, &[s.clone()]).unwrap();
+        let new_b = server.store_shares(2, &[s.clone()]).unwrap();
+        assert_eq!(new_a, s.1.len() as u64);
+        assert_eq!(new_b, 0, "second user's identical share is deduplicated");
+        assert_eq!(server.unique_shares(), 1);
+        assert_eq!(server.stats().inter_user_duplicates, 1);
+        assert_eq!(server.stats().received_share_bytes, 2 * s.1.len() as u64);
+        assert_eq!(server.physical_share_bytes(), s.1.len() as u64);
+    }
+
+    #[test]
+    fn intra_user_query_reports_only_own_uploads() {
+        let mut server = CdStoreServer::new(0);
+        let s1 = share(b"first");
+        let s2 = share(b"second");
+        server.store_shares(1, &[s1.clone()]).unwrap();
+        server.store_shares(2, &[s2.clone()]).unwrap();
+        // User 1 owns s1 but not s2 (even though s2 is stored): the reply must
+        // not leak other users' deduplication state.
+        let reply = server.intra_user_query(1, &[s1.0.fingerprint, s2.0.fingerprint]);
+        assert_eq!(reply, vec![true, false]);
+        let reply2 = server.intra_user_query(2, &[s1.0.fingerprint, s2.0.fingerprint]);
+        assert_eq!(reply2, vec![false, true]);
+    }
+
+    #[test]
+    fn fetch_share_enforces_ownership() {
+        let mut server = CdStoreServer::new(0);
+        let s = share(b"sensitive share of user 1");
+        server.store_shares(1, &[s.clone()]).unwrap();
+        server.flush().unwrap();
+        assert_eq!(server.fetch_share(1, &s.0.fingerprint).unwrap(), s.1);
+        // User 2 knows the fingerprint but never uploaded the share: denied.
+        assert!(matches!(
+            server.fetch_share(2, &s.0.fingerprint),
+            Err(CdStoreError::MissingShare(_))
+        ));
+    }
+
+    #[test]
+    fn recipes_round_trip_through_containers() {
+        let mut server = CdStoreServer::new(1);
+        let recipe = FileRecipe {
+            file_size: 999,
+            entries: (0..50u32)
+                .map(|i| crate::metadata::RecipeEntry {
+                    share_fingerprint: Fingerprint::of(&i.to_be_bytes()),
+                    secret_size: 8192,
+                })
+                .collect(),
+        };
+        server.put_file(7, b"/home/u/backup.tar", &recipe).unwrap();
+        assert!(server.has_file(7, b"/home/u/backup.tar"));
+        assert!(!server.has_file(8, b"/home/u/backup.tar"));
+        let fetched = server.get_recipe(7, b"/home/u/backup.tar").unwrap();
+        assert_eq!(fetched, recipe);
+        assert!(matches!(
+            server.get_recipe(7, b"/missing"),
+            Err(CdStoreError::FileNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn newer_recipe_versions_replace_older_ones() {
+        let mut server = CdStoreServer::new(0);
+        let old = FileRecipe { file_size: 1, entries: vec![] };
+        let new = FileRecipe {
+            file_size: 2,
+            entries: vec![crate::metadata::RecipeEntry {
+                share_fingerprint: Fingerprint::of(b"x"),
+                secret_size: 1,
+            }],
+        };
+        server.put_file(1, b"/f", &old).unwrap();
+        server.put_file(1, b"/f", &new).unwrap();
+        assert_eq!(server.get_recipe(1, b"/f").unwrap(), new);
+    }
+
+    #[test]
+    fn delete_file_removes_the_index_entry() {
+        let mut server = CdStoreServer::new(0);
+        let recipe = FileRecipe { file_size: 5, entries: vec![] };
+        server.put_file(1, b"/f", &recipe).unwrap();
+        assert!(server.delete_file(1, b"/f"));
+        assert!(!server.delete_file(1, b"/f"));
+        assert!(matches!(server.get_recipe(1, b"/f"), Err(CdStoreError::FileNotFound(_))));
+    }
+
+    #[test]
+    fn index_size_grows_with_stored_shares() {
+        let mut server = CdStoreServer::new(0);
+        let before = server.index_bytes();
+        for i in 0..500u32 {
+            let data = format!("share-{i}").into_bytes();
+            server.store_shares(1, &[share(&data)]).unwrap();
+        }
+        assert!(server.index_bytes() > before);
+        assert_eq!(server.unique_shares(), 500);
+    }
+
+    #[test]
+    fn backend_bytes_reflect_flushed_containers() {
+        let mut server = CdStoreServer::new(0);
+        server.store_shares(1, &[share(&vec![7u8; 100_000])]).unwrap();
+        assert_eq!(server.backend_bytes(), 0);
+        server.flush().unwrap();
+        assert!(server.backend_bytes() >= 100_000);
+    }
+}

@@ -1,0 +1,316 @@
+//! [`CdStore`]: the whole-system façade wiring one organisation's clients to
+//! `n` in-process CDStore servers.
+
+use std::collections::BTreeSet;
+
+use cdstore_chunking::ChunkerConfig;
+
+use crate::client::{CdStoreClient, UploadReport};
+use crate::dedup::DedupStats;
+use crate::error::CdStoreError;
+use crate::server::{CdStoreServer, ServerStats};
+
+/// System-wide configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CdStoreConfig {
+    /// Number of clouds (and servers).
+    pub n: usize,
+    /// Reconstruction threshold.
+    pub k: usize,
+    /// Chunking configuration used by clients.
+    pub chunker: ChunkerConfig,
+}
+
+impl CdStoreConfig {
+    /// Creates a configuration with the default 8 KB average chunk size.
+    pub fn new(n: usize, k: usize) -> Result<Self, CdStoreError> {
+        if k == 0 || n <= k || n > 255 {
+            return Err(CdStoreError::InvalidConfig(format!(
+                "require 0 < k < n <= 255, got n={n}, k={k}"
+            )));
+        }
+        Ok(CdStoreConfig {
+            n,
+            k,
+            chunker: ChunkerConfig::default(),
+        })
+    }
+
+    /// Sets a custom chunker configuration.
+    pub fn with_chunker(mut self, chunker: ChunkerConfig) -> Self {
+        self.chunker = chunker;
+        self
+    }
+}
+
+/// Aggregated system statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemStats {
+    /// Accumulated deduplication counters across all uploads.
+    pub dedup: DedupStats,
+    /// Per-server traffic and deduplication counters.
+    pub servers: Vec<ServerStats>,
+    /// Physical bytes stored per cloud backend (after container flush).
+    pub backend_bytes: Vec<u64>,
+    /// Index bytes per server (drives VM sizing in the cost model).
+    pub index_bytes: Vec<usize>,
+    /// Number of backed-up files (across users and versions).
+    pub files: usize,
+}
+
+/// The CDStore system: `n` servers plus per-user clients, with failure
+/// injection and repair.
+pub struct CdStore {
+    config: CdStoreConfig,
+    servers: Vec<CdStoreServer>,
+    available: Vec<bool>,
+    dedup: DedupStats,
+    /// Catalogue of `(user, pathname)` pairs ever backed up, used by repair
+    /// and statistics. (In a deployment this information lives in the file
+    /// indices; the façade keeps a copy for convenience.)
+    catalog: BTreeSet<(u64, String)>,
+}
+
+impl CdStore {
+    /// Creates a CDStore deployment with `n` in-memory servers.
+    pub fn new(config: CdStoreConfig) -> Self {
+        CdStore {
+            servers: (0..config.n).map(CdStoreServer::new).collect(),
+            available: vec![true; config.n],
+            dedup: DedupStats::new(),
+            catalog: BTreeSet::new(),
+            config,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> CdStoreConfig {
+        self.config
+    }
+
+    /// Builds a client handle for a user.
+    pub fn client(&self, user: u64) -> Result<CdStoreClient, CdStoreError> {
+        CdStoreClient::with_chunker(user, self.config.n, self.config.k, self.config.chunker)
+    }
+
+    /// Backs up a file for a user.
+    pub fn backup(
+        &mut self,
+        user: u64,
+        pathname: &str,
+        data: &[u8],
+    ) -> Result<UploadReport, CdStoreError> {
+        self.ensure_all_clouds_up()?;
+        let client = self.client(user)?;
+        let report = client.upload(&mut self.servers, pathname, data)?;
+        self.dedup.accumulate(&report.dedup);
+        self.catalog.insert((user, pathname.to_string()));
+        Ok(report)
+    }
+
+    /// Backs up a file already divided into chunks (trace-driven workloads).
+    pub fn backup_chunks(
+        &mut self,
+        user: u64,
+        pathname: &str,
+        chunks: &[Vec<u8>],
+    ) -> Result<UploadReport, CdStoreError> {
+        self.ensure_all_clouds_up()?;
+        let client = self.client(user)?;
+        let report = client.upload_chunks(&mut self.servers, pathname, chunks)?;
+        self.dedup.accumulate(&report.dedup);
+        self.catalog.insert((user, pathname.to_string()));
+        Ok(report)
+    }
+
+    /// Restores a file for a user from any `k` available clouds.
+    pub fn restore(&mut self, user: u64, pathname: &str) -> Result<Vec<u8>, CdStoreError> {
+        let client = self.client(user)?;
+        client.download(&mut self.servers, &self.available, pathname)
+    }
+
+    /// Deletes a file's index entries on all available servers (share
+    /// garbage collection is future work, §4.7).
+    pub fn delete(&mut self, user: u64, pathname: &str) -> Result<bool, CdStoreError> {
+        let client = self.client(user)?;
+        let encoded = client.encode_pathname(pathname)?;
+        let mut any = false;
+        for (i, server) in self.servers.iter_mut().enumerate() {
+            if self.available[i] {
+                any |= server.delete_file(user, &encoded[i]);
+            }
+        }
+        self.catalog.remove(&(user, pathname.to_string()));
+        Ok(any)
+    }
+
+    /// Injects a failure of cloud `i` (its server becomes unreachable).
+    pub fn fail_cloud(&mut self, i: usize) {
+        self.available[i] = false;
+    }
+
+    /// Marks cloud `i` reachable again.
+    pub fn recover_cloud(&mut self, i: usize) {
+        self.available[i] = true;
+    }
+
+    /// Whether cloud `i` is currently reachable.
+    pub fn is_cloud_available(&self, i: usize) -> bool {
+        self.available[i]
+    }
+
+    /// Replaces cloud `i` with a brand-new empty server (permanent loss) and
+    /// rebuilds every lost share on it from the surviving `k` clouds, as in
+    /// Reed-Solomon repair (§3.1). Returns the number of files repaired.
+    pub fn replace_and_repair_cloud(&mut self, i: usize) -> Result<usize, CdStoreError> {
+        self.servers[i] = CdStoreServer::new(i);
+        self.available[i] = true;
+        let catalog: Vec<(u64, String)> = self.catalog.iter().cloned().collect();
+        let mut repaired = 0usize;
+        for (user, pathname) in catalog {
+            // Restore from the surviving clouds...
+            let client = self.client(user)?;
+            let mut availability = self.available.clone();
+            availability[i] = false;
+            let data = client.download(&mut self.servers, &availability, &pathname)?;
+            // ...and re-upload, which regenerates the identical convergent
+            // shares and repopulates cloud i (the other clouds deduplicate the
+            // re-uploaded shares away).
+            client.upload(&mut self.servers, &pathname, &data)?;
+            repaired += 1;
+        }
+        Ok(repaired)
+    }
+
+    /// Seals open containers on every server.
+    pub fn flush(&mut self) -> Result<(), CdStoreError> {
+        for server in &mut self.servers {
+            server.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Aggregated system statistics.
+    pub fn stats(&self) -> SystemStats {
+        SystemStats {
+            dedup: self.dedup,
+            servers: self.servers.iter().map(|s| s.stats()).collect(),
+            backend_bytes: self.servers.iter().map(|s| s.backend_bytes()).collect(),
+            index_bytes: self.servers.iter().map(|s| s.index_bytes()).collect(),
+            files: self.catalog.len(),
+        }
+    }
+
+    /// Direct access to the servers (used by benchmarks that drive clients
+    /// explicitly).
+    pub fn servers_mut(&mut self) -> &mut [CdStoreServer] {
+        &mut self.servers
+    }
+
+    fn ensure_all_clouds_up(&self) -> Result<(), CdStoreError> {
+        let up = self.available.iter().filter(|&&a| a).count();
+        if up < self.config.n {
+            // Uploads write to all n clouds so redundancy is never silently
+            // degraded; the paper's prototype behaves the same way.
+            return Err(CdStoreError::NotEnoughClouds {
+                needed: self.config.n,
+                available: up,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(len: usize, seed: u8) -> Vec<u8> {
+        (0..len)
+            .map(|i| ((i / 700) as u8).wrapping_mul(17).wrapping_add(seed))
+            .collect()
+    }
+
+    #[test]
+    fn backup_restore_delete_lifecycle() {
+        let mut store = CdStore::new(CdStoreConfig::new(4, 3).unwrap());
+        let data = sample(250_000, 1);
+        let report = store.backup(7, "/docs.tar", &data).unwrap();
+        assert_eq!(report.dedup.logical_bytes, data.len() as u64);
+        assert_eq!(store.stats().files, 1);
+        assert_eq!(store.restore(7, "/docs.tar").unwrap(), data);
+        assert!(store.delete(7, "/docs.tar").unwrap());
+        assert!(store.restore(7, "/docs.tar").is_err());
+        assert_eq!(store.stats().files, 0);
+    }
+
+    #[test]
+    fn tolerates_cloud_failures_up_to_n_minus_k() {
+        let mut store = CdStore::new(CdStoreConfig::new(4, 3).unwrap());
+        let data = sample(100_000, 2);
+        store.backup(1, "/f", &data).unwrap();
+        store.fail_cloud(0);
+        assert!(!store.is_cloud_available(0));
+        assert_eq!(store.restore(1, "/f").unwrap(), data);
+        // Backups require all clouds.
+        assert!(matches!(
+            store.backup(1, "/g", &data),
+            Err(CdStoreError::NotEnoughClouds { .. })
+        ));
+        store.fail_cloud(1);
+        assert!(matches!(
+            store.restore(1, "/f"),
+            Err(CdStoreError::NotEnoughClouds { .. })
+        ));
+        store.recover_cloud(0);
+        store.recover_cloud(1);
+        assert_eq!(store.restore(1, "/f").unwrap(), data);
+    }
+
+    #[test]
+    fn repair_rebuilds_a_lost_cloud() {
+        let mut store = CdStore::new(CdStoreConfig::new(4, 3).unwrap());
+        let data_a = sample(180_000, 3);
+        let data_b = sample(90_000, 4);
+        store.backup(1, "/a", &data_a).unwrap();
+        store.backup(2, "/b", &data_b).unwrap();
+        let physical_before: u64 = store.stats().servers.iter().map(|s| s.physical_share_bytes).sum();
+
+        // Cloud 2 is lost permanently and replaced by an empty one.
+        let repaired = store.replace_and_repair_cloud(2).unwrap();
+        assert_eq!(repaired, 2);
+        // All data is still restorable even if another cloud now fails.
+        store.fail_cloud(0);
+        assert_eq!(store.restore(1, "/a").unwrap(), data_a);
+        assert_eq!(store.restore(2, "/b").unwrap(), data_b);
+        // Repair regenerated roughly the lost quarter of the physical data,
+        // not a full re-store (convergent shares deduplicate on survivors).
+        let physical_after: u64 = store.stats().servers.iter().map(|s| s.physical_share_bytes).sum();
+        assert!(physical_after >= physical_before);
+        assert!(physical_after < physical_before * 2);
+    }
+
+    #[test]
+    fn stats_aggregate_across_users_and_uploads() {
+        let mut store = CdStore::new(CdStoreConfig::new(4, 3).unwrap());
+        let data = sample(150_000, 5);
+        store.backup(1, "/u1", &data).unwrap();
+        store.backup(2, "/u2", &data).unwrap();
+        store.flush().unwrap();
+        let stats = store.stats();
+        assert_eq!(stats.files, 2);
+        assert_eq!(stats.dedup.logical_bytes, 2 * data.len() as u64);
+        // Inter-user dedup: physical is roughly half of transferred.
+        assert!(stats.dedup.inter_user_saving() > 0.45);
+        assert_eq!(stats.servers.len(), 4);
+        assert!(stats.backend_bytes.iter().all(|&b| b > 0));
+        assert!(stats.index_bytes.iter().all(|&b| b > 0));
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(CdStoreConfig::new(3, 3).is_err());
+        assert!(CdStoreConfig::new(0, 0).is_err());
+        assert!(CdStoreConfig::new(4, 3).is_ok());
+    }
+}

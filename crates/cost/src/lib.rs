@@ -1,0 +1,32 @@
+//! The monetary cost model of §5.6 (Figure 9).
+//!
+//! The paper compares the monthly cost of backing up an organisation's data
+//! with three systems, all priced with Amazon EC2/S3's September 2014 tiered
+//! price lists:
+//!
+//! * **CDStore** — `n` clouds, storage reduced by deduplication, plus one
+//!   reserved EC2 instance per cloud to host the CDStore server (sized by the
+//!   deduplication indices), plus file-recipe storage overhead;
+//! * **AONT-RS multi-cloud** — same reliability/security, no deduplication,
+//!   no server VMs;
+//! * **single cloud** — one cloud, key-based encryption, no redundancy, no
+//!   deduplication, no VMs.
+//!
+//! * [`pricing`] — the embedded S3 storage tiers and EC2 reserved-instance
+//!   catalogue (a static snapshot standing in for the 2014 price lists).
+//! * [`model`] — [`CostModel`], which evaluates a backup scenario and
+//!   produces the cost breakdowns and savings plotted in Figure 9.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod model;
+pub mod pricing;
+
+pub use model::{CostBreakdown, CostComparison, CostModel, Scenario};
+pub use pricing::{Ec2Instance, S3Pricing, EC2_CATALOG};
+
+/// Bytes per terabyte (binary).
+pub const TB: f64 = 1024.0 * 1024.0 * 1024.0 * 1024.0;
+/// Bytes per gigabyte (binary).
+pub const GB: f64 = 1024.0 * 1024.0 * 1024.0;

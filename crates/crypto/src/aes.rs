@@ -1,0 +1,338 @@
+//! AES-256 block cipher (FIPS 197), implemented from scratch.
+//!
+//! CAONT-RS uses AES-256 as the encryption function `E` inside the mask
+//! generator `G(h) = E(h, C)` (Equation (3) of the paper). Only the forward
+//! cipher is needed for CTR-mode mask generation, but the inverse cipher is
+//! also provided so the crate is a complete, independently testable AES-256
+//! implementation.
+
+/// AES block size in bytes.
+pub const BLOCK_SIZE: usize = 16;
+/// AES-256 key size in bytes.
+pub const KEY_SIZE: usize = 32;
+/// Number of rounds for AES-256.
+pub const ROUNDS: usize = 14;
+
+const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab,
+    0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4,
+    0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71,
+    0xd8, 0x31, 0x15, 0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6,
+    0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb,
+    0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf, 0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45,
+    0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44,
+    0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73, 0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a,
+    0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49,
+    0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08, 0xba, 0x78, 0x25,
+    0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e,
+    0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1,
+    0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb,
+    0x16,
+];
+
+const fn build_inv_sbox() -> [u8; 256] {
+    let mut inv = [0u8; 256];
+    let mut i = 0;
+    while i < 256 {
+        inv[SBOX[i] as usize] = i as u8;
+        i += 1;
+    }
+    inv
+}
+
+const INV_SBOX: [u8; 256] = build_inv_sbox();
+
+const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+
+/// Multiplies a byte by `x` in AES's GF(2^8) (polynomial 0x11b).
+#[inline]
+const fn xtime(b: u8) -> u8 {
+    let shifted = b << 1;
+    if b & 0x80 != 0 {
+        shifted ^ 0x1b
+    } else {
+        shifted
+    }
+}
+
+/// Multiplies two bytes in AES's GF(2^8).
+const fn gmul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    let mut i = 0;
+    while i < 8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        a = xtime(a);
+        b >>= 1;
+        i += 1;
+    }
+    p
+}
+
+/// An expanded AES-256 key schedule.
+#[derive(Clone)]
+pub struct Aes256 {
+    round_keys: [[u8; 16]; ROUNDS + 1],
+}
+
+impl Aes256 {
+    /// Expands a 32-byte key into the full key schedule.
+    pub fn new(key: &[u8; KEY_SIZE]) -> Self {
+        // 60 32-bit words for AES-256.
+        let nk = 8usize;
+        let total_words = 4 * (ROUNDS + 1);
+        let mut w = [[0u8; 4]; 4 * (ROUNDS + 1)];
+        for (i, word) in w.iter_mut().take(nk).enumerate() {
+            word.copy_from_slice(&key[i * 4..(i + 1) * 4]);
+        }
+        for i in nk..total_words {
+            let mut temp = w[i - 1];
+            if i % nk == 0 {
+                // RotWord + SubWord + Rcon.
+                temp.rotate_left(1);
+                for t in temp.iter_mut() {
+                    *t = SBOX[*t as usize];
+                }
+                temp[0] ^= RCON[i / nk - 1];
+            } else if i % nk == 4 {
+                for t in temp.iter_mut() {
+                    *t = SBOX[*t as usize];
+                }
+            }
+            for j in 0..4 {
+                w[i][j] = w[i - nk][j] ^ temp[j];
+            }
+        }
+        let mut round_keys = [[0u8; 16]; ROUNDS + 1];
+        for (r, rk) in round_keys.iter_mut().enumerate() {
+            for c in 0..4 {
+                rk[c * 4..(c + 1) * 4].copy_from_slice(&w[r * 4 + c]);
+            }
+        }
+        Aes256 { round_keys }
+    }
+
+    /// Encrypts a single 16-byte block in place.
+    pub fn encrypt_block(&self, block: &mut [u8; BLOCK_SIZE]) {
+        add_round_key(block, &self.round_keys[0]);
+        for round in 1..ROUNDS {
+            sub_bytes(block);
+            shift_rows(block);
+            mix_columns(block);
+            add_round_key(block, &self.round_keys[round]);
+        }
+        sub_bytes(block);
+        shift_rows(block);
+        add_round_key(block, &self.round_keys[ROUNDS]);
+    }
+
+    /// Decrypts a single 16-byte block in place.
+    pub fn decrypt_block(&self, block: &mut [u8; BLOCK_SIZE]) {
+        add_round_key(block, &self.round_keys[ROUNDS]);
+        inv_shift_rows(block);
+        inv_sub_bytes(block);
+        for round in (1..ROUNDS).rev() {
+            add_round_key(block, &self.round_keys[round]);
+            inv_mix_columns(block);
+            inv_shift_rows(block);
+            inv_sub_bytes(block);
+        }
+        add_round_key(block, &self.round_keys[0]);
+    }
+
+    /// Encrypts a block, returning the ciphertext instead of mutating.
+    pub fn encrypt(&self, block: &[u8; BLOCK_SIZE]) -> [u8; BLOCK_SIZE] {
+        let mut out = *block;
+        self.encrypt_block(&mut out);
+        out
+    }
+
+    /// Decrypts a block, returning the plaintext instead of mutating.
+    pub fn decrypt(&self, block: &[u8; BLOCK_SIZE]) -> [u8; BLOCK_SIZE] {
+        let mut out = *block;
+        self.decrypt_block(&mut out);
+        out
+    }
+}
+
+#[inline]
+fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+    for (s, k) in state.iter_mut().zip(rk) {
+        *s ^= k;
+    }
+}
+
+#[inline]
+fn sub_bytes(state: &mut [u8; 16]) {
+    for s in state.iter_mut() {
+        *s = SBOX[*s as usize];
+    }
+}
+
+#[inline]
+fn inv_sub_bytes(state: &mut [u8; 16]) {
+    for s in state.iter_mut() {
+        *s = INV_SBOX[*s as usize];
+    }
+}
+
+// The state is stored column-major as in FIPS 197: state[r + 4c] is row r,
+// column c, i.e. byte index `4c + r` of the flat block.
+#[inline]
+fn shift_rows(state: &mut [u8; 16]) {
+    // Row 1: shift left by 1.
+    let t = state[1];
+    state[1] = state[5];
+    state[5] = state[9];
+    state[9] = state[13];
+    state[13] = t;
+    // Row 2: shift left by 2.
+    state.swap(2, 10);
+    state.swap(6, 14);
+    // Row 3: shift left by 3 (== right by 1).
+    let t = state[15];
+    state[15] = state[11];
+    state[11] = state[7];
+    state[7] = state[3];
+    state[3] = t;
+}
+
+#[inline]
+fn inv_shift_rows(state: &mut [u8; 16]) {
+    // Row 1: shift right by 1.
+    let t = state[13];
+    state[13] = state[9];
+    state[9] = state[5];
+    state[5] = state[1];
+    state[1] = t;
+    // Row 2: shift right by 2.
+    state.swap(2, 10);
+    state.swap(6, 14);
+    // Row 3: shift right by 3 (== left by 1).
+    let t = state[3];
+    state[3] = state[7];
+    state[7] = state[11];
+    state[11] = state[15];
+    state[15] = t;
+}
+
+#[inline]
+fn mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+        state[4 * c] = xtime(col[0]) ^ (xtime(col[1]) ^ col[1]) ^ col[2] ^ col[3];
+        state[4 * c + 1] = col[0] ^ xtime(col[1]) ^ (xtime(col[2]) ^ col[2]) ^ col[3];
+        state[4 * c + 2] = col[0] ^ col[1] ^ xtime(col[2]) ^ (xtime(col[3]) ^ col[3]);
+        state[4 * c + 3] = (xtime(col[0]) ^ col[0]) ^ col[1] ^ col[2] ^ xtime(col[3]);
+    }
+}
+
+#[inline]
+fn inv_mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+        state[4 * c] = gmul(col[0], 0x0e) ^ gmul(col[1], 0x0b) ^ gmul(col[2], 0x0d) ^ gmul(col[3], 0x09);
+        state[4 * c + 1] = gmul(col[0], 0x09) ^ gmul(col[1], 0x0e) ^ gmul(col[2], 0x0b) ^ gmul(col[3], 0x0d);
+        state[4 * c + 2] = gmul(col[0], 0x0d) ^ gmul(col[1], 0x09) ^ gmul(col[2], 0x0e) ^ gmul(col[3], 0x0b);
+        state[4 * c + 3] = gmul(col[0], 0x0b) ^ gmul(col[1], 0x0d) ^ gmul(col[2], 0x09) ^ gmul(col[3], 0x0e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn parse_hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    /// FIPS 197 Appendix C.3 AES-256 example vector.
+    #[test]
+    fn fips197_appendix_c3() {
+        let key_bytes = parse_hex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+        let key: [u8; 32] = key_bytes.try_into().unwrap();
+        let aes = Aes256::new(&key);
+        let pt: [u8; 16] = parse_hex("00112233445566778899aabbccddeeff").try_into().unwrap();
+        let ct = aes.encrypt(&pt);
+        assert_eq!(ct.to_vec(), parse_hex("8ea2b7ca516745bfeafc49904b496089"));
+        assert_eq!(aes.decrypt(&ct), pt);
+    }
+
+    /// NIST SP 800-38A F.1.5 (ECB-AES256.Encrypt) vectors.
+    #[test]
+    fn sp800_38a_ecb_vectors() {
+        let key: [u8; 32] =
+            parse_hex("603deb1015ca71be2b73aef0857d77811f352c073b6108d72d9810a30914dff4")
+                .try_into()
+                .unwrap();
+        let aes = Aes256::new(&key);
+        let cases = [
+            ("6bc1bee22e409f96e93d7e117393172a", "f3eed1bdb5d2a03c064b5a7e3db181f8"),
+            ("ae2d8a571e03ac9c9eb76fac45af8e51", "591ccb10d410ed26dc5ba74a31362870"),
+            ("30c81c46a35ce411e5fbc1191a0a52ef", "b6ed21b99ca6f4f9f153e7b1beafed1d"),
+            ("f69f2445df4f9b17ad2b417be66c3710", "23304b7a39f9f3ff067d8d8f9e24ecc7"),
+        ];
+        for (pt_hex, ct_hex) in cases {
+            let pt: [u8; 16] = parse_hex(pt_hex).try_into().unwrap();
+            let ct = aes.encrypt(&pt);
+            assert_eq!(ct.to_vec(), parse_hex(ct_hex));
+            assert_eq!(aes.decrypt(&ct), pt);
+        }
+    }
+
+    #[test]
+    fn inv_sbox_inverts_sbox() {
+        for b in 0..=255u8 {
+            assert_eq!(INV_SBOX[SBOX[b as usize] as usize], b);
+        }
+    }
+
+    #[test]
+    fn mix_columns_round_trips() {
+        let mut state: [u8; 16] = (0..16u8).collect::<Vec<u8>>().try_into().unwrap();
+        let original = state;
+        mix_columns(&mut state);
+        assert_ne!(state, original);
+        inv_mix_columns(&mut state);
+        assert_eq!(state, original);
+    }
+
+    #[test]
+    fn shift_rows_round_trips() {
+        let mut state: [u8; 16] = (0..16u8).collect::<Vec<u8>>().try_into().unwrap();
+        let original = state;
+        shift_rows(&mut state);
+        inv_shift_rows(&mut state);
+        assert_eq!(state, original);
+    }
+
+    #[test]
+    fn different_keys_produce_different_ciphertexts() {
+        let pt = [0u8; 16];
+        let k1 = [0u8; 32];
+        let mut k2 = [0u8; 32];
+        k2[31] = 1;
+        assert_ne!(Aes256::new(&k1).encrypt(&pt), Aes256::new(&k2).encrypt(&pt));
+    }
+
+    proptest! {
+        #[test]
+        fn encrypt_decrypt_round_trips(key in proptest::array::uniform32(any::<u8>()),
+                                       block in proptest::collection::vec(any::<u8>(), 16)) {
+            let aes = Aes256::new(&key);
+            let pt: [u8; 16] = block.try_into().unwrap();
+            let ct = aes.encrypt(&pt);
+            prop_assert_eq!(aes.decrypt(&ct), pt);
+            prop_assert_ne!(ct, pt); // overwhelmingly likely
+        }
+    }
+}

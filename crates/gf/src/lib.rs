@@ -1,0 +1,39 @@
+//! Galois field arithmetic over GF(2^8) for erasure coding and secret sharing.
+//!
+//! This crate is the reproduction of the GF-Complete substrate used by the
+//! CDStore paper (Plank et al., FAST '13). It provides:
+//!
+//! * [`Gf256`] — single-element arithmetic (add, sub, mul, div, inverse,
+//!   exponentiation) over GF(2^8) with the primitive polynomial
+//!   `x^8 + x^4 + x^3 + x^2 + 1` (0x11d).
+//! * [`region`] — bulk "region" operations over byte slices (XOR, multiply by
+//!   a constant, multiply-accumulate), the building blocks of Reed-Solomon
+//!   encoding and of the IDA/RSSS dispersal matrices.
+//! * [`poly`] — polynomial evaluation and Lagrange interpolation over
+//!   GF(2^8), the building blocks of Shamir's secret sharing.
+//! * [`matrix`] — dense matrices over GF(2^8) with Gaussian-elimination
+//!   inversion, used to build and invert dispersal/decoding matrices.
+//!
+//! # Examples
+//!
+//! ```
+//! use cdstore_gf::Gf256;
+//!
+//! let a = Gf256::new(0x53);
+//! let b = Gf256::new(0xca);
+//! let p = a * b;
+//! assert_eq!(p / b, a);
+//! assert_eq!(a * a.inverse().unwrap(), Gf256::ONE);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod field;
+pub mod matrix;
+pub mod poly;
+pub mod region;
+pub mod tables;
+
+pub use field::Gf256;
+pub use matrix::Matrix;

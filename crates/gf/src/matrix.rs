@@ -1,0 +1,381 @@
+//! Dense matrices over GF(2^8) with Gaussian-elimination inversion.
+//!
+//! Reed-Solomon coding and IDA both build an `n x k` dispersal matrix whose
+//! every `k x k` submatrix is invertible; decoding inverts the submatrix
+//! formed by the surviving rows. This module provides the small dense-matrix
+//! toolkit those operations need.
+
+use core::fmt;
+
+use crate::field::Gf256;
+
+/// Errors returned by matrix operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatrixError {
+    /// The matrix is not square where a square matrix is required.
+    NotSquare,
+    /// The matrix (or the selected submatrix) is singular.
+    Singular,
+    /// Operand dimensions are incompatible.
+    DimensionMismatch,
+}
+
+impl fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatrixError::NotSquare => write!(f, "matrix is not square"),
+            MatrixError::Singular => write!(f, "matrix is singular"),
+            MatrixError::DimensionMismatch => write!(f, "matrix dimension mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for MatrixError {}
+
+/// A dense row-major matrix over GF(2^8).
+#[derive(Clone, PartialEq, Eq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<u8>,
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows {
+            write!(f, "  ")?;
+            for c in 0..self.cols {
+                write!(f, "{:02x} ", self.get(r, c))?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Matrix {
+    /// Creates a zero matrix of the given shape.
+    pub fn zero(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0u8; rows * cols],
+        }
+    }
+
+    /// Creates the identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zero(n, n);
+        for i in 0..n {
+            m.set(i, i, 1);
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major byte vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<u8>) -> Self {
+        assert_eq!(data.len(), rows * cols, "matrix data length mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Creates a Vandermonde matrix where entry `(i, j) = (i+1)^j` over
+    /// GF(2^8). Every square submatrix formed from distinct rows of a
+    /// Vandermonde matrix with distinct evaluation points is invertible.
+    pub fn vandermonde(rows: usize, cols: usize) -> Self {
+        let mut m = Matrix::zero(rows, cols);
+        for i in 0..rows {
+            let x = Gf256::new((i + 1) as u8);
+            for j in 0..cols {
+                m.set(i, j, x.pow(j as u32).value());
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns the entry at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> u8 {
+        assert!(row < self.rows && col < self.cols, "matrix index out of bounds");
+        self.data[row * self.cols + col]
+    }
+
+    /// Sets the entry at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: u8) {
+        assert!(row < self.rows && col < self.cols, "matrix index out of bounds");
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// Returns a view of one row.
+    pub fn row(&self, row: usize) -> &[u8] {
+        assert!(row < self.rows, "matrix row out of bounds");
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Returns the underlying row-major data.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Builds a new matrix from the selected rows of this matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row index is out of bounds.
+    pub fn select_rows(&self, rows: &[usize]) -> Matrix {
+        let mut m = Matrix::zero(rows.len(), self.cols);
+        for (i, &r) in rows.iter().enumerate() {
+            assert!(r < self.rows, "matrix row out of bounds");
+            m.data[i * self.cols..(i + 1) * self.cols]
+                .copy_from_slice(&self.data[r * self.cols..(r + 1) * self.cols]);
+        }
+        m
+    }
+
+    /// Matrix multiplication over GF(2^8).
+    pub fn multiply(&self, other: &Matrix) -> Result<Matrix, MatrixError> {
+        if self.cols != other.rows {
+            return Err(MatrixError::DimensionMismatch);
+        }
+        let mut out = Matrix::zero(self.rows, other.cols);
+        for i in 0..self.rows {
+            for l in 0..self.cols {
+                let a = Gf256::new(self.get(i, l));
+                if a.is_zero() {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    let cur = Gf256::new(out.get(i, j));
+                    let add = a * Gf256::new(other.get(l, j));
+                    out.set(i, j, (cur + add).value());
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Inverts a square matrix by Gauss-Jordan elimination.
+    pub fn invert(&self) -> Result<Matrix, MatrixError> {
+        if self.rows != self.cols {
+            return Err(MatrixError::NotSquare);
+        }
+        let n = self.rows;
+        let mut work = self.clone();
+        let mut inv = Matrix::identity(n);
+        for col in 0..n {
+            // Find a pivot row.
+            let pivot = (col..n)
+                .find(|&r| work.get(r, col) != 0)
+                .ok_or(MatrixError::Singular)?;
+            if pivot != col {
+                work.swap_rows(pivot, col);
+                inv.swap_rows(pivot, col);
+            }
+            // Normalise the pivot row.
+            let p = Gf256::new(work.get(col, col));
+            let p_inv = p.inverse().ok_or(MatrixError::Singular)?;
+            work.scale_row(col, p_inv);
+            inv.scale_row(col, p_inv);
+            // Eliminate the column from all other rows.
+            for r in 0..n {
+                if r == col {
+                    continue;
+                }
+                let factor = Gf256::new(work.get(r, col));
+                if factor.is_zero() {
+                    continue;
+                }
+                work.add_scaled_row(r, col, factor);
+                inv.add_scaled_row(r, col, factor);
+            }
+        }
+        Ok(inv)
+    }
+
+    /// Converts the first `k x k` block into the identity by elementary row
+    /// operations applied to the whole matrix, producing a *systematic*
+    /// dispersal matrix (the first `k` rows pass data through unchanged).
+    ///
+    /// Returns an error if the leading `k x k` block is singular.
+    pub fn systematize(&self, k: usize) -> Result<Matrix, MatrixError> {
+        if k > self.rows || k != self.cols {
+            return Err(MatrixError::DimensionMismatch);
+        }
+        let top = self.select_rows(&(0..k).collect::<Vec<_>>());
+        let top_inv = top.invert()?;
+        // Right-multiplying by the inverse of the top block makes the top
+        // block the identity while preserving the MDS property.
+        self.multiply(&top_inv)
+    }
+
+    fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for c in 0..self.cols {
+            self.data.swap(a * self.cols + c, b * self.cols + c);
+        }
+    }
+
+    fn scale_row(&mut self, row: usize, factor: Gf256) {
+        for c in 0..self.cols {
+            let v = Gf256::new(self.get(row, c)) * factor;
+            self.set(row, c, v.value());
+        }
+    }
+
+    /// `row_dst ^= factor * row_src`.
+    fn add_scaled_row(&mut self, dst: usize, src: usize, factor: Gf256) {
+        for c in 0..self.cols {
+            let add = Gf256::new(self.get(src, c)) * factor;
+            let cur = Gf256::new(self.get(dst, c));
+            self.set(dst, c, (cur + add).value());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn identity_is_multiplicative_identity() {
+        let m = Matrix::vandermonde(3, 3);
+        let id = Matrix::identity(3);
+        assert_eq!(m.multiply(&id).unwrap(), m);
+        assert_eq!(id.multiply(&m).unwrap(), m);
+    }
+
+    #[test]
+    fn vandermonde_square_is_invertible() {
+        for n in 1..=8 {
+            let m = Matrix::vandermonde(n, n);
+            let inv = m.invert().expect("vandermonde must be invertible");
+            assert_eq!(m.multiply(&inv).unwrap(), Matrix::identity(n));
+            assert_eq!(inv.multiply(&m).unwrap(), Matrix::identity(n));
+        }
+    }
+
+    #[test]
+    fn singular_matrix_is_rejected() {
+        // Two identical rows.
+        let m = Matrix::from_vec(2, 2, vec![1, 2, 1, 2]);
+        assert_eq!(m.invert().unwrap_err(), MatrixError::Singular);
+    }
+
+    #[test]
+    fn non_square_inversion_is_rejected() {
+        let m = Matrix::zero(2, 3);
+        assert_eq!(m.invert().unwrap_err(), MatrixError::NotSquare);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_rejected() {
+        let a = Matrix::zero(2, 3);
+        let b = Matrix::zero(2, 3);
+        assert_eq!(a.multiply(&b).unwrap_err(), MatrixError::DimensionMismatch);
+    }
+
+    #[test]
+    fn systematized_vandermonde_has_identity_prefix() {
+        let (n, k) = (6usize, 4usize);
+        let m = Matrix::vandermonde(n, k).systematize(k).unwrap();
+        for i in 0..k {
+            for j in 0..k {
+                let expected = if i == j { 1 } else { 0 };
+                assert_eq!(m.get(i, j), expected, "({i},{j})");
+            }
+        }
+        // Every k x k submatrix must remain invertible (MDS property) —
+        // exhaustively check all row subsets for this small case.
+        let rows: Vec<usize> = (0..n).collect();
+        fn subsets(rows: &[usize], k: usize) -> Vec<Vec<usize>> {
+            if k == 0 {
+                return vec![vec![]];
+            }
+            if rows.len() < k {
+                return vec![];
+            }
+            let mut out = Vec::new();
+            for (i, &r) in rows.iter().enumerate() {
+                for mut rest in subsets(&rows[i + 1..], k - 1) {
+                    let mut s = vec![r];
+                    s.append(&mut rest);
+                    out.push(s);
+                }
+            }
+            out
+        }
+        for subset in subsets(&rows, k) {
+            let sub = m.select_rows(&subset);
+            assert!(sub.invert().is_ok(), "subset {subset:?} must be invertible");
+        }
+    }
+
+    #[test]
+    fn select_rows_picks_expected_rows() {
+        let m = Matrix::vandermonde(5, 3);
+        let sel = m.select_rows(&[4, 0]);
+        assert_eq!(sel.row(0), m.row(4));
+        assert_eq!(sel.row(1), m.row(0));
+    }
+
+    proptest! {
+        #[test]
+        fn random_invertible_matrices_round_trip(seed: u64, n in 1usize..7) {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            // Rejection-sample an invertible matrix.
+            let mut found = None;
+            for _ in 0..32 {
+                let data: Vec<u8> = (0..n * n).map(|_| rng.gen()).collect();
+                let m = Matrix::from_vec(n, n, data);
+                if let Ok(inv) = m.invert() {
+                    found = Some((m, inv));
+                    break;
+                }
+            }
+            prop_assume!(found.is_some());
+            let (m, inv) = found.unwrap();
+            prop_assert_eq!(m.multiply(&inv).unwrap(), Matrix::identity(n));
+        }
+
+        #[test]
+        fn matrix_multiplication_is_associative(seed: u64, n in 1usize..5) {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let rand_m = |rng: &mut rand::rngs::StdRng| {
+                Matrix::from_vec(n, n, (0..n * n).map(|_| rng.gen()).collect())
+            };
+            let a = rand_m(&mut rng);
+            let b = rand_m(&mut rng);
+            let c = rand_m(&mut rng);
+            let left = a.multiply(&b).unwrap().multiply(&c).unwrap();
+            let right = a.multiply(&b.multiply(&c).unwrap()).unwrap();
+            prop_assert_eq!(left, right);
+        }
+    }
+}

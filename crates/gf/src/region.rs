@@ -1,0 +1,236 @@
+//! Bulk ("region") operations over byte slices interpreted as GF(2^8) vectors.
+//!
+//! Reed-Solomon encoding, IDA dispersal, and the XOR steps of the AONT
+//! package construction all reduce to three primitives over large buffers:
+//! `dst ^= src`, `dst = c * src`, and `dst ^= c * src`. These are the Rust
+//! equivalents of GF-Complete's region operations; the constant-multiplier
+//! variants use one row of the precomputed 64 KiB multiplication table so the
+//! inner loop is a single table lookup per byte.
+
+use crate::tables::MUL;
+
+/// XORs `src` into `dst` element-wise: `dst[i] ^= src[i]`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn xor_into(dst: &mut [u8], src: &[u8]) {
+    assert_eq!(dst.len(), src.len(), "region length mismatch");
+    // Process 8 bytes at a time through u64 words for throughput; the
+    // remainder falls back to the byte loop.
+    let chunks = dst.len() / 8;
+    let (dst_words, dst_tail) = dst.split_at_mut(chunks * 8);
+    let (src_words, src_tail) = src.split_at(chunks * 8);
+    for (d, s) in dst_words.chunks_exact_mut(8).zip(src_words.chunks_exact(8)) {
+        let dv = u64::from_ne_bytes(d.try_into().expect("chunk of 8"));
+        let sv = u64::from_ne_bytes(s.try_into().expect("chunk of 8"));
+        d.copy_from_slice(&(dv ^ sv).to_ne_bytes());
+    }
+    for (d, s) in dst_tail.iter_mut().zip(src_tail) {
+        *d ^= *s;
+    }
+}
+
+/// Returns the element-wise XOR of two equally sized slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn xor(a: &[u8], b: &[u8]) -> Vec<u8> {
+    assert_eq!(a.len(), b.len(), "region length mismatch");
+    let mut out = a.to_vec();
+    xor_into(&mut out, b);
+    out
+}
+
+/// Multiplies every byte of `src` by the constant `c`, writing into `dst`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn mul_into(dst: &mut [u8], src: &[u8], c: u8) {
+    assert_eq!(dst.len(), src.len(), "region length mismatch");
+    match c {
+        0 => dst.fill(0),
+        1 => dst.copy_from_slice(src),
+        _ => {
+            let row = &MUL[c as usize];
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d = row[s as usize];
+            }
+        }
+    }
+}
+
+/// Returns `c * src` as a new vector.
+pub fn mul(src: &[u8], c: u8) -> Vec<u8> {
+    let mut out = vec![0u8; src.len()];
+    mul_into(&mut out, src, c);
+    out
+}
+
+/// Multiplies every byte of `src` by `c` and XORs the product into `dst`:
+/// `dst[i] ^= c * src[i]`. This is the multiply-accumulate kernel of
+/// matrix-vector products over GF(2^8).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn mul_acc(dst: &mut [u8], src: &[u8], c: u8) {
+    assert_eq!(dst.len(), src.len(), "region length mismatch");
+    match c {
+        0 => {}
+        1 => xor_into(dst, src),
+        _ => {
+            let row = &MUL[c as usize];
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d ^= row[s as usize];
+            }
+        }
+    }
+}
+
+/// Multiplies a dense `rows x cols` GF(2^8) matrix (row-major in `matrix`) by
+/// `cols` equally sized data fragments, producing `rows` output fragments.
+///
+/// This is the common kernel behind Reed-Solomon encoding and IDA dispersal:
+/// each output fragment `i` is `sum_j matrix[i][j] * inputs[j]`.
+///
+/// # Panics
+///
+/// Panics if `matrix.len() != rows * cols`, if `inputs.len() != cols`, or if
+/// the input fragments are not all the same length.
+pub fn matrix_apply(matrix: &[u8], rows: usize, cols: usize, inputs: &[&[u8]]) -> Vec<Vec<u8>> {
+    assert_eq!(matrix.len(), rows * cols, "matrix shape mismatch");
+    assert_eq!(inputs.len(), cols, "input fragment count mismatch");
+    let frag_len = inputs.first().map_or(0, |f| f.len());
+    assert!(
+        inputs.iter().all(|f| f.len() == frag_len),
+        "input fragments must have equal length"
+    );
+    let mut outputs = vec![vec![0u8; frag_len]; rows];
+    for (i, out) in outputs.iter_mut().enumerate() {
+        for (j, input) in inputs.iter().enumerate() {
+            mul_acc(out, input, matrix[i * cols + j]);
+        }
+    }
+    outputs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tables;
+    use proptest::prelude::*;
+
+    #[test]
+    fn xor_into_handles_unaligned_lengths() {
+        for len in [0usize, 1, 3, 7, 8, 9, 15, 16, 17, 63, 64, 65, 1000] {
+            let a: Vec<u8> = (0..len).map(|i| (i * 7 + 13) as u8).collect();
+            let b: Vec<u8> = (0..len).map(|i| (i * 31 + 5) as u8).collect();
+            let mut d = a.clone();
+            xor_into(&mut d, &b);
+            for i in 0..len {
+                assert_eq!(d[i], a[i] ^ b[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn xor_is_involutive() {
+        let a: Vec<u8> = (0..257).map(|i| (i % 251) as u8).collect();
+        let b: Vec<u8> = (0..257).map(|i| (i % 241) as u8).collect();
+        let once = xor(&a, &b);
+        let twice = xor(&once, &b);
+        assert_eq!(twice, a);
+    }
+
+    #[test]
+    fn mul_by_zero_and_one() {
+        let src: Vec<u8> = (0..=255).collect();
+        assert!(mul(&src, 0).iter().all(|&x| x == 0));
+        assert_eq!(mul(&src, 1), src);
+    }
+
+    #[test]
+    fn mul_into_matches_scalar_mul() {
+        let src: Vec<u8> = (0..=255).collect();
+        for c in [2u8, 3, 0x1d, 0xff] {
+            let out = mul(&src, c);
+            for (i, &o) in out.iter().enumerate() {
+                assert_eq!(o, tables::mul(src[i], c));
+            }
+        }
+    }
+
+    #[test]
+    fn mul_acc_accumulates() {
+        let src: Vec<u8> = (0..64).map(|i| i as u8).collect();
+        let mut dst = vec![0xaau8; 64];
+        let before = dst.clone();
+        mul_acc(&mut dst, &src, 5);
+        for i in 0..64 {
+            assert_eq!(dst[i], before[i] ^ tables::mul(src[i], 5));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "region length mismatch")]
+    fn length_mismatch_panics() {
+        let mut dst = vec![0u8; 4];
+        xor_into(&mut dst, &[0u8; 5]);
+    }
+
+    #[test]
+    fn matrix_apply_identity() {
+        // 2x2 identity matrix maps inputs to themselves.
+        let m = [1u8, 0, 0, 1];
+        let a = vec![1u8, 2, 3, 4];
+        let b = vec![5u8, 6, 7, 8];
+        let out = matrix_apply(&m, 2, 2, &[&a, &b]);
+        assert_eq!(out[0], a);
+        assert_eq!(out[1], b);
+    }
+
+    #[test]
+    fn matrix_apply_small_known_case() {
+        // [[1,1],[1,2]] * [a, b] = [a^b, a ^ 2*b]
+        let m = [1u8, 1, 1, 2];
+        let a = vec![0x10u8, 0x20];
+        let b = vec![0x01u8, 0x80];
+        let out = matrix_apply(&m, 2, 2, &[&a, &b]);
+        assert_eq!(out[0], vec![0x11, 0xa0]);
+        assert_eq!(
+            out[1],
+            vec![0x10 ^ tables::mul(0x01, 2), 0x20 ^ tables::mul(0x80, 2)]
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn mul_acc_is_mul_then_xor(src in proptest::collection::vec(any::<u8>(), 0..256),
+                                   dst in proptest::collection::vec(any::<u8>(), 0..256),
+                                   c: u8) {
+            let len = src.len().min(dst.len());
+            let src = &src[..len];
+            let mut d1 = dst[..len].to_vec();
+            mul_acc(&mut d1, src, c);
+            let mut d2 = dst[..len].to_vec();
+            let prod = mul(src, c);
+            xor_into(&mut d2, &prod);
+            prop_assert_eq!(d1, d2);
+        }
+
+        #[test]
+        fn mul_by_constant_is_invertible(src in proptest::collection::vec(any::<u8>(), 0..256),
+                                         c in 1u8..=255) {
+            let forward = mul(&src, c);
+            let inv = tables::inverse(c).unwrap();
+            let back = mul(&forward, inv);
+            prop_assert_eq!(back, src);
+        }
+    }
+}

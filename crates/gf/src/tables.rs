@@ -1,0 +1,241 @@
+//! Precomputed logarithm / exponential tables for GF(2^8).
+//!
+//! The field is defined by the primitive polynomial
+//! `x^8 + x^4 + x^3 + x^2 + 1` (0x11d) with generator `α = 2` — the same
+//! construction used by GF-Complete and most Reed-Solomon implementations.
+//! All tables are computed at compile time by `const fn`s, so there is no
+//! runtime initialisation cost and no global mutable state.
+
+/// The primitive (irreducible) polynomial defining GF(2^8), without the
+/// leading `x^8` term folded in: `0x11d = x^8 + x^4 + x^3 + x^2 + 1`.
+pub const PRIMITIVE_POLY: u16 = 0x11d;
+
+/// The multiplicative generator used to build the log/exp tables.
+pub const GENERATOR: u8 = 2;
+
+/// Order of the multiplicative group of GF(2^8).
+pub const GROUP_ORDER: usize = 255;
+
+const fn build_exp_log() -> ([u8; 512], [u8; 256]) {
+    let mut exp = [0u8; 512];
+    let mut log = [0u8; 256];
+    let mut x: u16 = 1;
+    let mut i = 0;
+    while i < GROUP_ORDER {
+        exp[i] = x as u8;
+        log[x as usize] = i as u8;
+        x <<= 1;
+        if x & 0x100 != 0 {
+            x ^= PRIMITIVE_POLY;
+        }
+        i += 1;
+    }
+    // Duplicate the exponent table so `exp[log_a + log_b]` never needs a
+    // modular reduction for sums below 2 * 255.
+    let mut j = GROUP_ORDER;
+    while j < 512 {
+        exp[j] = exp[j - GROUP_ORDER];
+        j += 1;
+    }
+    (exp, log)
+}
+
+const TABLES: ([u8; 512], [u8; 256]) = build_exp_log();
+
+/// Exponential table: `EXP[i] = α^i` for `i < 255`, duplicated to length 512.
+pub static EXP: [u8; 512] = TABLES.0;
+
+/// Logarithm table: `LOG[x] = log_α(x)` for `x != 0`; `LOG[0]` is unused (0).
+pub static LOG: [u8; 256] = TABLES.1;
+
+const fn build_mul_table() -> [[u8; 256]; 256] {
+    let mut table = [[0u8; 256]; 256];
+    let mut a = 1usize;
+    while a < 256 {
+        let la = TABLES.1[a] as usize;
+        let mut b = 1usize;
+        while b < 256 {
+            let lb = TABLES.1[b] as usize;
+            table[a][b] = TABLES.0[la + lb];
+            b += 1;
+        }
+        a += 1;
+    }
+    table
+}
+
+/// Full 256x256 multiplication table: `MUL[a][b] = a * b` in GF(2^8).
+///
+/// Region operations index one row of this table per multiplication constant,
+/// giving a single lookup per processed byte (the "table" method of
+/// GF-Complete).
+pub static MUL: [[u8; 256]; 256] = build_mul_table();
+
+const fn build_inv_table() -> [u8; 256] {
+    let mut inv = [0u8; 256];
+    let mut a = 1usize;
+    while a < 256 {
+        let la = TABLES.1[a] as usize;
+        inv[a] = TABLES.0[GROUP_ORDER - la];
+        a += 1;
+    }
+    // inverse of 1 is 1 (GROUP_ORDER - 0 == 255, EXP[255] == EXP[0] == 1).
+    inv[1] = 1;
+    inv
+}
+
+/// Multiplicative-inverse table: `INV[a] = a^-1` for `a != 0`; `INV[0] = 0`.
+pub static INV: [u8; 256] = build_inv_table();
+
+/// Multiplies two field elements using the log/exp tables.
+#[inline]
+pub fn mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        0
+    } else {
+        EXP[LOG[a as usize] as usize + LOG[b as usize] as usize]
+    }
+}
+
+/// Divides `a` by `b` in GF(2^8).
+///
+/// # Panics
+///
+/// Panics if `b == 0`.
+#[inline]
+pub fn div(a: u8, b: u8) -> u8 {
+    assert!(b != 0, "division by zero in GF(2^8)");
+    if a == 0 {
+        0
+    } else {
+        EXP[GROUP_ORDER + LOG[a as usize] as usize - LOG[b as usize] as usize]
+    }
+}
+
+/// Returns the multiplicative inverse of `a`, or `None` for `a == 0`.
+#[inline]
+pub fn inverse(a: u8) -> Option<u8> {
+    if a == 0 {
+        None
+    } else {
+        Some(INV[a as usize])
+    }
+}
+
+/// Raises `a` to the power `e` in GF(2^8).
+#[inline]
+pub fn pow(a: u8, e: u32) -> u8 {
+    if e == 0 {
+        return 1;
+    }
+    if a == 0 {
+        return 0;
+    }
+    let la = LOG[a as usize] as u64;
+    let idx = (la * e as u64) % GROUP_ORDER as u64;
+    EXP[idx as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exp_log_are_inverse_maps() {
+        for i in 0..GROUP_ORDER {
+            let x = EXP[i];
+            assert_ne!(x, 0, "generator power must be non-zero");
+            assert_eq!(LOG[x as usize] as usize, i);
+        }
+    }
+
+    #[test]
+    fn exp_table_is_periodic() {
+        for i in 0..GROUP_ORDER {
+            assert_eq!(EXP[i], EXP[i + GROUP_ORDER]);
+        }
+    }
+
+    #[test]
+    fn all_nonzero_elements_appear_in_exp() {
+        let mut seen = [false; 256];
+        for i in 0..GROUP_ORDER {
+            seen[EXP[i] as usize] = true;
+        }
+        assert!(!seen[0]);
+        assert!(seen[1..].iter().all(|&s| s), "α must generate the whole group");
+    }
+
+    #[test]
+    fn mul_matches_carryless_reference() {
+        // Reference: schoolbook carry-less multiply followed by reduction.
+        fn slow_mul(a: u8, b: u8) -> u8 {
+            let mut result: u16 = 0;
+            let mut a = a as u16;
+            let mut b = b;
+            while b != 0 {
+                if b & 1 != 0 {
+                    result ^= a;
+                }
+                a <<= 1;
+                if a & 0x100 != 0 {
+                    a ^= PRIMITIVE_POLY;
+                }
+                b >>= 1;
+            }
+            result as u8
+        }
+        for a in 0..=255u8 {
+            for b in 0..=255u8 {
+                assert_eq!(mul(a, b), slow_mul(a, b), "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn mul_table_matches_mul() {
+        for a in 0..=255u8 {
+            for b in 0..=255u8 {
+                assert_eq!(MUL[a as usize][b as usize], mul(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_table_is_correct() {
+        assert_eq!(inverse(0), None);
+        for a in 1..=255u8 {
+            let inv = inverse(a).unwrap();
+            assert_eq!(mul(a, inv), 1, "a={a}");
+        }
+    }
+
+    #[test]
+    fn division_round_trips() {
+        for a in 0..=255u8 {
+            for b in 1..=255u8 {
+                let q = div(a, b);
+                assert_eq!(mul(q, b), a);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn division_by_zero_panics() {
+        let _ = div(7, 0);
+    }
+
+    #[test]
+    fn pow_small_cases() {
+        assert_eq!(pow(0, 0), 1);
+        assert_eq!(pow(0, 5), 0);
+        assert_eq!(pow(7, 0), 1);
+        assert_eq!(pow(7, 1), 7);
+        assert_eq!(pow(2, 8), mul(pow(2, 4), pow(2, 4)));
+        // Fermat: a^255 == 1 for a != 0.
+        for a in 1..=255u8 {
+            assert_eq!(pow(a, 255), 1);
+        }
+    }
+}

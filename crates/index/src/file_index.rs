@@ -1,0 +1,217 @@
+//! The file index: `(user, pathname)` → file-recipe reference.
+//!
+//! "The file index holds the entries for all files uploaded by different
+//! users. Each entry describes a file, identified by the full pathname
+//! (which has been encoded ...) and the user identifier provided by a
+//! CDStore client. We hash the full pathname and the user identifier to
+//! obtain a unique key for the entry. The entry stores a reference to the
+//! file recipe ..." (§4.4)
+
+use cdstore_crypto::{sha256, Fingerprint};
+
+use crate::kvstore::{KvStore, KvStoreConfig};
+
+/// The hashed lookup key of a file-index entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FileKey(Fingerprint);
+
+impl FileKey {
+    /// Derives the key from a user identifier and the file's full pathname.
+    ///
+    /// The pathname passed here may already be an *encoded* pathname (the
+    /// client disperses sensitive pathnames via secret sharing, §4.3); the
+    /// key derivation is agnostic to that.
+    pub fn new(user: u64, pathname: &[u8]) -> Self {
+        let mut hasher = sha256::Sha256::new();
+        hasher.update(&user.to_be_bytes());
+        hasher.update(&(pathname.len() as u64).to_be_bytes());
+        hasher.update(pathname);
+        FileKey(Fingerprint::from_bytes(hasher.finalize()))
+    }
+
+    /// Raw key bytes.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        self.0.as_bytes()
+    }
+}
+
+/// One file-index entry: where to find the file recipe and summary metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileEntry {
+    /// Identifier of the recipe container holding the file recipe.
+    pub recipe_container_id: u64,
+    /// Logical size of the file in bytes.
+    pub file_size: u64,
+    /// Number of secrets (chunks) the file was divided into.
+    pub num_secrets: u64,
+    /// Upload sequence number (monotonic per server; identifies backup versions).
+    pub version: u64,
+}
+
+impl FileEntry {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        out.extend_from_slice(&self.recipe_container_id.to_be_bytes());
+        out.extend_from_slice(&self.file_size.to_be_bytes());
+        out.extend_from_slice(&self.num_secrets.to_be_bytes());
+        out.extend_from_slice(&self.version.to_be_bytes());
+        out
+    }
+
+    fn decode(bytes: &[u8]) -> Option<FileEntry> {
+        if bytes.len() != 32 {
+            return None;
+        }
+        Some(FileEntry {
+            recipe_container_id: u64::from_be_bytes(bytes[0..8].try_into().ok()?),
+            file_size: u64::from_be_bytes(bytes[8..16].try_into().ok()?),
+            num_secrets: u64::from_be_bytes(bytes[16..24].try_into().ok()?),
+            version: u64::from_be_bytes(bytes[24..32].try_into().ok()?),
+        })
+    }
+}
+
+/// The per-server file index backed by the LSM store.
+pub struct FileIndex {
+    store: KvStore,
+}
+
+impl Default for FileIndex {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FileIndex {
+    /// Creates an empty file index.
+    pub fn new() -> Self {
+        FileIndex {
+            store: KvStore::new(),
+        }
+    }
+
+    /// Creates a file index with an explicit store configuration.
+    pub fn with_config(config: KvStoreConfig) -> Self {
+        FileIndex {
+            store: KvStore::with_config(config),
+        }
+    }
+
+    /// Inserts or replaces the entry for a file.
+    pub fn put(&mut self, key: FileKey, entry: FileEntry) {
+        self.store.put(key.as_bytes().to_vec(), entry.encode());
+    }
+
+    /// Looks up the entry for a file.
+    pub fn get(&mut self, key: &FileKey) -> Option<FileEntry> {
+        self.store
+            .get(key.as_bytes())
+            .and_then(|bytes| FileEntry::decode(&bytes))
+    }
+
+    /// Removes the entry for a file, returning it if present.
+    pub fn remove(&mut self, key: &FileKey) -> Option<FileEntry> {
+        let entry = self.get(key);
+        if entry.is_some() {
+            self.store.delete(key.as_bytes());
+        }
+        entry
+    }
+
+    /// Number of files indexed.
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Whether no files are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// Approximate index memory footprint in bytes.
+    pub fn approximate_size(&self) -> usize {
+        self.store.approximate_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(version: u64) -> FileEntry {
+        FileEntry {
+            recipe_container_id: 77,
+            file_size: 1 << 30,
+            num_secrets: 131072,
+            version,
+        }
+    }
+
+    #[test]
+    fn put_get_remove_round_trip() {
+        let mut index = FileIndex::new();
+        let key = FileKey::new(1, b"/home/alice/backup.tar");
+        assert!(index.get(&key).is_none());
+        index.put(key, entry(1));
+        assert_eq!(index.get(&key), Some(entry(1)));
+        assert_eq!(index.remove(&key), Some(entry(1)));
+        assert!(index.get(&key).is_none());
+        assert!(index.is_empty());
+    }
+
+    #[test]
+    fn keys_separate_users_and_paths() {
+        let a = FileKey::new(1, b"/home/alice/backup.tar");
+        let b = FileKey::new(2, b"/home/alice/backup.tar");
+        let c = FileKey::new(1, b"/home/alice/backup2.tar");
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+        assert_eq!(a, FileKey::new(1, b"/home/alice/backup.tar"));
+    }
+
+    #[test]
+    fn key_derivation_is_length_prefixed() {
+        // (user=1, "ab") must not collide with (user=1, "a" + trailing garbage
+        // arranged differently).
+        let a = FileKey::new(0x0000_0001_6162_0000, b"");
+        let b = FileKey::new(0x0000_0001_0000_0000, b"ab\0\0");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn new_version_overwrites_old() {
+        let mut index = FileIndex::new();
+        let key = FileKey::new(9, b"/weekly/backup.tar");
+        index.put(key, entry(1));
+        index.put(key, entry(2));
+        assert_eq!(index.get(&key).unwrap().version, 2);
+        assert_eq!(index.len(), 1);
+    }
+
+    #[test]
+    fn entry_encoding_round_trips() {
+        let e = FileEntry {
+            recipe_container_id: u64::MAX,
+            file_size: 123,
+            num_secrets: 456,
+            version: 789,
+        };
+        assert_eq!(FileEntry::decode(&e.encode()), Some(e));
+        assert_eq!(FileEntry::decode(&[0u8; 31]), None);
+    }
+
+    #[test]
+    fn many_files_from_many_users() {
+        let mut index = FileIndex::new();
+        for user in 0..20u64 {
+            for file in 0..100u32 {
+                let key = FileKey::new(user, format!("/home/u{user}/f{file}").as_bytes());
+                index.put(key, entry(file as u64));
+            }
+        }
+        assert_eq!(index.len(), 2000);
+        let probe = FileKey::new(7, b"/home/u7/f42");
+        assert_eq!(index.get(&probe).unwrap().version, 42);
+    }
+}

@@ -1,0 +1,434 @@
+//! A log-structured merge (LSM) key-value store, the LevelDB substitute.
+//!
+//! Writes land in an in-memory write buffer (the *memtable*); when the
+//! buffer exceeds its budget it is frozen into an immutable sorted *run*
+//! fronted by a Bloom filter. Reads consult the memtable first and then the
+//! runs from newest to oldest, skipping runs whose Bloom filter rules the key
+//! out. When the number of runs grows past a threshold they are merge-
+//! compacted into one. Deletions are tombstones until compaction drops them.
+//!
+//! This mirrors the structure CDStore relies on from LevelDB [26, 44]: fast
+//! random inserts/updates/deletes and Bloom-filtered lookups.
+
+use std::collections::BTreeMap;
+
+use crate::bloom::BloomFilter;
+
+/// Configuration knobs of the store.
+#[derive(Debug, Clone, Copy)]
+pub struct KvStoreConfig {
+    /// Number of entries the memtable may hold before being frozen.
+    pub memtable_capacity: usize,
+    /// Number of frozen runs that triggers a merge compaction.
+    pub max_runs: usize,
+    /// Bloom-filter bits per key for frozen runs.
+    pub bloom_bits_per_key: usize,
+}
+
+impl Default for KvStoreConfig {
+    fn default() -> Self {
+        KvStoreConfig {
+            memtable_capacity: 64 * 1024,
+            max_runs: 8,
+            bloom_bits_per_key: 10,
+        }
+    }
+}
+
+/// Operation counters, used to reason about index overhead in experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KvStoreStats {
+    /// Number of `put` operations.
+    pub puts: u64,
+    /// Number of `get` operations.
+    pub gets: u64,
+    /// Number of `delete` operations.
+    pub deletes: u64,
+    /// Number of memtable flushes into runs.
+    pub flushes: u64,
+    /// Number of merge compactions.
+    pub compactions: u64,
+    /// Number of run probes skipped thanks to Bloom filters.
+    pub bloom_skips: u64,
+}
+
+/// One immutable sorted run.
+struct Run {
+    /// Sorted key → value-or-tombstone entries.
+    entries: Vec<(Vec<u8>, Option<Vec<u8>>)>,
+    bloom: BloomFilter,
+}
+
+impl Run {
+    fn from_sorted(entries: Vec<(Vec<u8>, Option<Vec<u8>>)>, bits_per_key: usize) -> Self {
+        let mut bloom = BloomFilter::new(entries.len(), bits_per_key);
+        for (k, _) in &entries {
+            bloom.insert(k);
+        }
+        Run { entries, bloom }
+    }
+
+    fn get(&self, key: &[u8]) -> Option<&Option<Vec<u8>>> {
+        self.entries
+            .binary_search_by(|(k, _)| k.as_slice().cmp(key))
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+}
+
+/// The LSM key-value store.
+pub struct KvStore {
+    config: KvStoreConfig,
+    /// Active write buffer: key → value-or-tombstone.
+    memtable: BTreeMap<Vec<u8>, Option<Vec<u8>>>,
+    /// Frozen runs, newest last.
+    runs: Vec<Run>,
+    stats: KvStoreStats,
+}
+
+impl Default for KvStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl KvStore {
+    /// Creates a store with default configuration.
+    pub fn new() -> Self {
+        Self::with_config(KvStoreConfig::default())
+    }
+
+    /// Creates a store with an explicit configuration.
+    pub fn with_config(config: KvStoreConfig) -> Self {
+        KvStore {
+            config,
+            memtable: BTreeMap::new(),
+            runs: Vec::new(),
+            stats: KvStoreStats::default(),
+        }
+    }
+
+    /// Returns the operation counters.
+    pub fn stats(&self) -> KvStoreStats {
+        self.stats
+    }
+
+    /// Inserts or overwrites a key.
+    pub fn put(&mut self, key: Vec<u8>, value: Vec<u8>) {
+        self.stats.puts += 1;
+        self.memtable.insert(key, Some(value));
+        self.maybe_flush();
+    }
+
+    /// Deletes a key (no-op if absent).
+    pub fn delete(&mut self, key: &[u8]) {
+        self.stats.deletes += 1;
+        self.memtable.insert(key.to_vec(), None);
+        self.maybe_flush();
+    }
+
+    /// Looks up a key.
+    pub fn get(&mut self, key: &[u8]) -> Option<Vec<u8>> {
+        self.stats.gets += 1;
+        if let Some(value) = self.memtable.get(key) {
+            return value.clone();
+        }
+        for run in self.runs.iter().rev() {
+            if !run.bloom.may_contain(key) {
+                self.stats.bloom_skips += 1;
+                continue;
+            }
+            if let Some(value) = run.get(key) {
+                return value.clone();
+            }
+        }
+        None
+    }
+
+    /// Returns whether the key is present (not deleted).
+    pub fn contains(&mut self, key: &[u8]) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Number of live keys (scans all structures; intended for tests and
+    /// statistics, not the hot path).
+    pub fn len(&self) -> usize {
+        self.snapshot().len()
+    }
+
+    /// Whether the store holds no live keys.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates over all live key/value pairs in key order.
+    pub fn snapshot(&self) -> BTreeMap<Vec<u8>, Vec<u8>> {
+        let mut merged: BTreeMap<Vec<u8>, Option<Vec<u8>>> = BTreeMap::new();
+        // Oldest runs first so newer entries overwrite them.
+        for run in &self.runs {
+            for (k, v) in &run.entries {
+                merged.insert(k.clone(), v.clone());
+            }
+        }
+        for (k, v) in &self.memtable {
+            merged.insert(k.clone(), v.clone());
+        }
+        merged
+            .into_iter()
+            .filter_map(|(k, v)| v.map(|value| (k, value)))
+            .collect()
+    }
+
+    /// Iterates over live keys with a given prefix.
+    pub fn scan_prefix(&self, prefix: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
+        self.snapshot()
+            .into_iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .collect()
+    }
+
+    /// Forces the memtable to be frozen into a run.
+    pub fn flush(&mut self) {
+        if self.memtable.is_empty() {
+            return;
+        }
+        let entries: Vec<(Vec<u8>, Option<Vec<u8>>)> =
+            std::mem::take(&mut self.memtable).into_iter().collect();
+        self.runs
+            .push(Run::from_sorted(entries, self.config.bloom_bits_per_key));
+        self.stats.flushes += 1;
+        if self.runs.len() > self.config.max_runs {
+            self.compact();
+        }
+    }
+
+    /// Merge-compacts all runs into one, dropping tombstones.
+    pub fn compact(&mut self) {
+        if self.runs.len() <= 1 {
+            return;
+        }
+        let mut merged: BTreeMap<Vec<u8>, Option<Vec<u8>>> = BTreeMap::new();
+        for run in self.runs.drain(..) {
+            for (k, v) in run.entries {
+                merged.insert(k, v);
+            }
+        }
+        // Tombstones can be dropped once all older runs are merged away.
+        let entries: Vec<(Vec<u8>, Option<Vec<u8>>)> = merged
+            .into_iter()
+            .filter(|(_, v)| v.is_some())
+            .collect();
+        if !entries.is_empty() {
+            self.runs
+                .push(Run::from_sorted(entries, self.config.bloom_bits_per_key));
+        }
+        self.stats.compactions += 1;
+    }
+
+    /// Number of frozen runs currently held (for tests and diagnostics).
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Approximate memory footprint in bytes (keys + values + Bloom bits).
+    pub fn approximate_size(&self) -> usize {
+        let memtable: usize = self
+            .memtable
+            .iter()
+            .map(|(k, v)| k.len() + v.as_ref().map_or(0, |v| v.len()))
+            .sum();
+        let runs: usize = self
+            .runs
+            .iter()
+            .map(|r| {
+                r.entries
+                    .iter()
+                    .map(|(k, v)| k.len() + v.as_ref().map_or(0, |v| v.len()))
+                    .sum::<usize>()
+                    + r.bloom.num_bits() / 8
+            })
+            .sum();
+        memtable + runs
+    }
+
+    fn maybe_flush(&mut self) {
+        if self.memtable.len() >= self.config.memtable_capacity {
+            self.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+
+    fn small_config() -> KvStoreConfig {
+        KvStoreConfig {
+            memtable_capacity: 16,
+            max_runs: 3,
+            bloom_bits_per_key: 10,
+        }
+    }
+
+    #[test]
+    fn put_get_delete_round_trip() {
+        let mut store = KvStore::new();
+        store.put(b"k1".to_vec(), b"v1".to_vec());
+        store.put(b"k2".to_vec(), b"v2".to_vec());
+        assert_eq!(store.get(b"k1"), Some(b"v1".to_vec()));
+        assert_eq!(store.get(b"k2"), Some(b"v2".to_vec()));
+        assert_eq!(store.get(b"k3"), None);
+        store.delete(b"k1");
+        assert_eq!(store.get(b"k1"), None);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn overwrites_return_latest_value() {
+        let mut store = KvStore::with_config(small_config());
+        for round in 0..5u8 {
+            for i in 0..50u8 {
+                store.put(vec![i], vec![round, i]);
+            }
+        }
+        for i in 0..50u8 {
+            assert_eq!(store.get(&[i]), Some(vec![4, i]));
+        }
+    }
+
+    #[test]
+    fn values_survive_flush_and_compaction() {
+        let mut store = KvStore::with_config(small_config());
+        for i in 0..200u32 {
+            store.put(i.to_be_bytes().to_vec(), (i * 3).to_be_bytes().to_vec());
+        }
+        assert!(store.stats().flushes > 0);
+        assert!(store.stats().compactions > 0);
+        for i in 0..200u32 {
+            assert_eq!(store.get(&i.to_be_bytes()), Some((i * 3).to_be_bytes().to_vec()));
+        }
+        assert_eq!(store.len(), 200);
+    }
+
+    #[test]
+    fn deletes_survive_flush_and_compaction() {
+        let mut store = KvStore::with_config(small_config());
+        for i in 0..100u32 {
+            store.put(i.to_be_bytes().to_vec(), b"x".to_vec());
+        }
+        for i in (0..100u32).step_by(2) {
+            store.delete(&i.to_be_bytes());
+        }
+        store.flush();
+        store.compact();
+        for i in 0..100u32 {
+            let expected = i % 2 == 1;
+            assert_eq!(store.contains(&i.to_be_bytes()), expected, "key {i}");
+        }
+        assert_eq!(store.len(), 50);
+    }
+
+    #[test]
+    fn compaction_reclaims_tombstones_and_merges_runs() {
+        let mut store = KvStore::with_config(small_config());
+        for i in 0..64u32 {
+            store.put(i.to_be_bytes().to_vec(), b"payload".to_vec());
+        }
+        store.flush();
+        let runs_before = store.run_count();
+        store.compact();
+        assert!(store.run_count() <= runs_before);
+        assert!(store.run_count() <= 1);
+    }
+
+    #[test]
+    fn snapshot_and_prefix_scan() {
+        let mut store = KvStore::with_config(small_config());
+        store.put(b"user1/file-a".to_vec(), b"1".to_vec());
+        store.put(b"user1/file-b".to_vec(), b"2".to_vec());
+        store.put(b"user2/file-a".to_vec(), b"3".to_vec());
+        store.flush();
+        store.put(b"user1/file-c".to_vec(), b"4".to_vec());
+        let user1 = store.scan_prefix(b"user1/");
+        assert_eq!(user1.len(), 3);
+        assert_eq!(store.snapshot().len(), 4);
+    }
+
+    #[test]
+    fn bloom_filters_skip_runs_for_absent_keys() {
+        let mut store = KvStore::with_config(small_config());
+        for i in 0..64u32 {
+            store.put(i.to_be_bytes().to_vec(), b"v".to_vec());
+        }
+        store.flush();
+        for i in 1000..1200u32 {
+            let _ = store.get(&i.to_be_bytes());
+        }
+        assert!(store.stats().bloom_skips > 100, "bloom skips: {}", store.stats().bloom_skips);
+    }
+
+    #[test]
+    fn approximate_size_grows_with_data() {
+        let mut store = KvStore::new();
+        let empty = store.approximate_size();
+        for i in 0..100u32 {
+            store.put(i.to_be_bytes().to_vec(), vec![0u8; 100]);
+        }
+        assert!(store.approximate_size() > empty + 100 * 100);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn behaves_like_a_btreemap(ops in proptest::collection::vec(
+            (any::<u8>(), proptest::option::of(any::<u8>())), 0..400)) {
+            // Model-based test: the store must agree with a reference map
+            // under an arbitrary interleaving of puts and deletes.
+            let mut store = KvStore::with_config(KvStoreConfig {
+                memtable_capacity: 7,
+                max_runs: 2,
+                bloom_bits_per_key: 8,
+            });
+            let mut model: std::collections::BTreeMap<Vec<u8>, Vec<u8>> = Default::default();
+            for (key_byte, maybe_value) in ops {
+                let key = vec![key_byte % 32];
+                match maybe_value {
+                    Some(v) => {
+                        store.put(key.clone(), vec![v]);
+                        model.insert(key, vec![v]);
+                    }
+                    None => {
+                        store.delete(&key);
+                        model.remove(&key);
+                    }
+                }
+            }
+            for k in 0..32u8 {
+                prop_assert_eq!(store.get(&[k]), model.get(&vec![k]).cloned());
+            }
+            let snapshot = store.snapshot();
+            prop_assert_eq!(snapshot, model);
+        }
+
+        #[test]
+        fn random_workload_preserves_all_live_keys(seed: u64) {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut store = KvStore::with_config(small_config());
+            let mut model = std::collections::BTreeMap::new();
+            for _ in 0..500 {
+                let key: Vec<u8> = (0..rng.gen_range(1..8)).map(|_| rng.gen_range(b'a'..=b'f')).collect();
+                if rng.gen_bool(0.8) {
+                    let value = vec![rng.gen::<u8>(); rng.gen_range(1..16)];
+                    store.put(key.clone(), value.clone());
+                    model.insert(key, value);
+                } else {
+                    store.delete(&key);
+                    model.remove(&key);
+                }
+            }
+            prop_assert_eq!(store.snapshot(), model);
+        }
+    }
+}

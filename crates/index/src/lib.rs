@@ -1,0 +1,39 @@
+//! Index management for CDStore servers (§4.4).
+//!
+//! Each CDStore server keeps two index structures — the *file index* and the
+//! *share index* — in a local key-value store. The paper uses LevelDB; this
+//! crate provides a self-contained substitute with the same structural
+//! ingredients (an LSM-style store with a write-buffer, sorted runs, Bloom
+//! filters, and background compaction) plus the two CDStore-specific index
+//! layers on top:
+//!
+//! * [`KvStore`] — the log-structured merge key-value store.
+//! * [`FileIndex`] — maps `(user, pathname)` keys to file-recipe references.
+//! * [`ShareIndex`] — maps share fingerprints to container references, owner
+//!   lists, and per-user reference counts (the structure both deduplication
+//!   stages query).
+//!
+//! # Examples
+//!
+//! ```
+//! use cdstore_index::KvStore;
+//!
+//! let mut store = KvStore::new();
+//! store.put(b"alpha".to_vec(), b"1".to_vec());
+//! assert_eq!(store.get(b"alpha"), Some(b"1".to_vec()));
+//! store.delete(b"alpha");
+//! assert_eq!(store.get(b"alpha"), None);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bloom;
+pub mod file_index;
+pub mod kvstore;
+pub mod share_index;
+
+pub use bloom::BloomFilter;
+pub use file_index::{FileEntry, FileIndex, FileKey};
+pub use kvstore::{KvStore, KvStoreConfig, KvStoreStats};
+pub use share_index::{ShareEntry, ShareIndex, ShareLocation};

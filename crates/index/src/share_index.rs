@@ -1,0 +1,312 @@
+//! The share index: fingerprint → container location, owners, and refcounts.
+//!
+//! The share index "holds the entries for all unique shares of different
+//! files. Each entry describes a share, and is keyed by the share
+//! fingerprint. It stores the reference to the container that holds the
+//! share. To support intra-user deduplication, each entry also holds a list
+//! of user identifiers to distinguish who owns the share, as well as a
+//! reference count for each user to support deletion." (§4.4)
+
+use cdstore_crypto::Fingerprint;
+
+use crate::kvstore::{KvStore, KvStoreConfig};
+
+/// Where a share is physically stored at the cloud backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShareLocation {
+    /// Identifier of the container holding the share.
+    pub container_id: u64,
+    /// Byte offset of the share inside the container.
+    pub offset: u32,
+    /// Size of the share in bytes.
+    pub size: u32,
+}
+
+/// One share-index entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShareEntry {
+    /// Physical location of the unique copy of the share.
+    pub location: ShareLocation,
+    /// Owning users and their per-user reference counts.
+    pub owners: Vec<(u64, u32)>,
+}
+
+impl ShareEntry {
+    /// Total references across all users.
+    pub fn total_refs(&self) -> u64 {
+        self.owners.iter().map(|(_, c)| *c as u64).sum()
+    }
+
+    /// Whether the given user owns at least one reference.
+    pub fn owned_by(&self, user: u64) -> bool {
+        self.owners.iter().any(|(u, c)| *u == user && *c > 0)
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + 12 * self.owners.len());
+        out.extend_from_slice(&self.location.container_id.to_be_bytes());
+        out.extend_from_slice(&self.location.offset.to_be_bytes());
+        out.extend_from_slice(&self.location.size.to_be_bytes());
+        out.extend_from_slice(&(self.owners.len() as u32).to_be_bytes());
+        for (user, count) in &self.owners {
+            out.extend_from_slice(&user.to_be_bytes());
+            out.extend_from_slice(&count.to_be_bytes());
+        }
+        out
+    }
+
+    fn decode(bytes: &[u8]) -> Option<ShareEntry> {
+        if bytes.len() < 20 {
+            return None;
+        }
+        let container_id = u64::from_be_bytes(bytes[0..8].try_into().ok()?);
+        let offset = u32::from_be_bytes(bytes[8..12].try_into().ok()?);
+        let size = u32::from_be_bytes(bytes[12..16].try_into().ok()?);
+        let count = u32::from_be_bytes(bytes[16..20].try_into().ok()?) as usize;
+        if bytes.len() != 20 + count * 12 {
+            return None;
+        }
+        let mut owners = Vec::with_capacity(count);
+        for i in 0..count {
+            let base = 20 + i * 12;
+            let user = u64::from_be_bytes(bytes[base..base + 8].try_into().ok()?);
+            let refs = u32::from_be_bytes(bytes[base + 8..base + 12].try_into().ok()?);
+            owners.push((user, refs));
+        }
+        Some(ShareEntry {
+            location: ShareLocation {
+                container_id,
+                offset,
+                size,
+            },
+            owners,
+        })
+    }
+}
+
+/// Outcome of recording a share upload in the index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShareAddOutcome {
+    /// The share was not yet stored: the caller must write it to a container.
+    NewShare,
+    /// The share already exists; only the reference bookkeeping changed
+    /// (inter-user deduplication hit).
+    Duplicate,
+}
+
+/// The per-server share index backed by the LSM store.
+pub struct ShareIndex {
+    store: KvStore,
+}
+
+impl Default for ShareIndex {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ShareIndex {
+    /// Creates an empty share index.
+    pub fn new() -> Self {
+        ShareIndex {
+            store: KvStore::new(),
+        }
+    }
+
+    /// Creates a share index with an explicit store configuration.
+    pub fn with_config(config: KvStoreConfig) -> Self {
+        ShareIndex {
+            store: KvStore::with_config(config),
+        }
+    }
+
+    /// Looks up the entry for a share fingerprint.
+    pub fn lookup(&mut self, fp: &Fingerprint) -> Option<ShareEntry> {
+        self.store
+            .get(fp.as_bytes())
+            .and_then(|bytes| ShareEntry::decode(&bytes))
+    }
+
+    /// Whether a share with this fingerprint is already stored (the
+    /// inter-user deduplication test).
+    pub fn is_stored(&mut self, fp: &Fingerprint) -> bool {
+        self.lookup(fp).is_some()
+    }
+
+    /// Whether the given user already owns the share (the intra-user
+    /// deduplication test answered on behalf of a client).
+    pub fn user_owns(&mut self, fp: &Fingerprint, user: u64) -> bool {
+        self.lookup(fp).map(|e| e.owned_by(user)).unwrap_or(false)
+    }
+
+    /// For a batch of fingerprints, returns which ones the user has already
+    /// uploaded (the reply to a client's intra-user dedup query, §3.3).
+    pub fn filter_user_duplicates(&mut self, user: u64, fps: &[Fingerprint]) -> Vec<bool> {
+        fps.iter().map(|fp| self.user_owns(fp, user)).collect()
+    }
+
+    /// Records that `user` references the share. If the share is new, the
+    /// provided `location` is stored and [`ShareAddOutcome::NewShare`] is
+    /// returned; otherwise the existing location is kept and the user's
+    /// reference count is incremented.
+    pub fn add_reference(
+        &mut self,
+        fp: &Fingerprint,
+        location: ShareLocation,
+        user: u64,
+    ) -> ShareAddOutcome {
+        match self.lookup(fp) {
+            Some(mut entry) => {
+                match entry.owners.iter_mut().find(|(u, _)| *u == user) {
+                    Some((_, count)) => *count += 1,
+                    None => entry.owners.push((user, 1)),
+                }
+                self.store.put(fp.as_bytes().to_vec(), entry.encode());
+                ShareAddOutcome::Duplicate
+            }
+            None => {
+                let entry = ShareEntry {
+                    location,
+                    owners: vec![(user, 1)],
+                };
+                self.store.put(fp.as_bytes().to_vec(), entry.encode());
+                ShareAddOutcome::NewShare
+            }
+        }
+    }
+
+    /// Drops one reference held by `user`. Returns the location if the share
+    /// no longer has any references (it can then be garbage-collected).
+    pub fn remove_reference(&mut self, fp: &Fingerprint, user: u64) -> Option<ShareLocation> {
+        let mut entry = self.lookup(fp)?;
+        if let Some(pos) = entry.owners.iter().position(|(u, c)| *u == user && *c > 0) {
+            entry.owners[pos].1 -= 1;
+            if entry.owners[pos].1 == 0 {
+                entry.owners.remove(pos);
+            }
+        }
+        if entry.owners.is_empty() {
+            self.store.delete(fp.as_bytes());
+            Some(entry.location)
+        } else {
+            self.store.put(fp.as_bytes().to_vec(), entry.encode());
+            None
+        }
+    }
+
+    /// Number of unique shares tracked.
+    pub fn unique_shares(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Total physical bytes referenced by the index (sum of unique share sizes).
+    pub fn physical_bytes(&self) -> u64 {
+        self.store
+            .snapshot()
+            .values()
+            .filter_map(|v| ShareEntry::decode(v))
+            .map(|e| e.location.size as u64)
+            .sum()
+    }
+
+    /// Approximate index memory footprint in bytes (relevant to the cost
+    /// model's EC2 instance sizing, §5.6).
+    pub fn approximate_size(&self) -> usize {
+        self.store.approximate_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(i: u32) -> Fingerprint {
+        Fingerprint::of(&i.to_be_bytes())
+    }
+
+    fn loc(id: u64, size: u32) -> ShareLocation {
+        ShareLocation {
+            container_id: id,
+            offset: 0,
+            size,
+        }
+    }
+
+    #[test]
+    fn new_share_then_duplicates() {
+        let mut index = ShareIndex::new();
+        assert!(!index.is_stored(&fp(1)));
+        assert_eq!(index.add_reference(&fp(1), loc(10, 100), 1), ShareAddOutcome::NewShare);
+        assert_eq!(index.add_reference(&fp(1), loc(99, 100), 2), ShareAddOutcome::Duplicate);
+        assert_eq!(index.add_reference(&fp(1), loc(99, 100), 1), ShareAddOutcome::Duplicate);
+        let entry = index.lookup(&fp(1)).unwrap();
+        // The original location wins; the duplicate's location is ignored.
+        assert_eq!(entry.location, loc(10, 100));
+        assert_eq!(entry.total_refs(), 3);
+        assert!(entry.owned_by(1));
+        assert!(entry.owned_by(2));
+        assert!(!entry.owned_by(3));
+        assert_eq!(index.unique_shares(), 1);
+    }
+
+    #[test]
+    fn intra_user_dedup_query() {
+        let mut index = ShareIndex::new();
+        index.add_reference(&fp(1), loc(1, 10), 7);
+        index.add_reference(&fp(2), loc(1, 10), 8);
+        let result = index.filter_user_duplicates(7, &[fp(1), fp(2), fp(3)]);
+        assert_eq!(result, vec![true, false, false]);
+        assert!(index.user_owns(&fp(1), 7));
+        assert!(!index.user_owns(&fp(2), 7));
+    }
+
+    #[test]
+    fn reference_counting_supports_deletion() {
+        let mut index = ShareIndex::new();
+        index.add_reference(&fp(5), loc(3, 42), 1);
+        index.add_reference(&fp(5), loc(3, 42), 1);
+        index.add_reference(&fp(5), loc(3, 42), 2);
+        // Two references from user 1, one from user 2.
+        assert_eq!(index.remove_reference(&fp(5), 1), None);
+        assert_eq!(index.remove_reference(&fp(5), 1), None);
+        assert!(index.is_stored(&fp(5)));
+        // Last reference gone: the location is returned for GC.
+        assert_eq!(index.remove_reference(&fp(5), 2), Some(loc(3, 42)));
+        assert!(!index.is_stored(&fp(5)));
+        assert_eq!(index.remove_reference(&fp(5), 2), None);
+    }
+
+    #[test]
+    fn physical_bytes_counts_unique_shares_once() {
+        let mut index = ShareIndex::new();
+        index.add_reference(&fp(1), loc(1, 1000), 1);
+        index.add_reference(&fp(1), loc(1, 1000), 2);
+        index.add_reference(&fp(2), loc(1, 500), 1);
+        assert_eq!(index.physical_bytes(), 1500);
+        assert_eq!(index.unique_shares(), 2);
+    }
+
+    #[test]
+    fn entry_encoding_round_trips() {
+        let entry = ShareEntry {
+            location: loc(0xdeadbeef, 12345),
+            owners: vec![(1, 3), (42, 1), (u64::MAX, 7)],
+        };
+        assert_eq!(ShareEntry::decode(&entry.encode()), Some(entry));
+        assert_eq!(ShareEntry::decode(&[1, 2, 3]), None);
+        assert_eq!(ShareEntry::decode(&[0u8; 21]), None);
+    }
+
+    #[test]
+    fn many_shares_scale() {
+        let mut index = ShareIndex::new();
+        for i in 0..5000u32 {
+            index.add_reference(&fp(i), loc(i as u64 / 100, 8192), (i % 9) as u64);
+        }
+        assert_eq!(index.unique_shares(), 5000);
+        for i in (0..5000u32).step_by(97) {
+            assert!(index.is_stored(&fp(i)));
+        }
+        assert!(index.approximate_size() > 5000 * 32);
+    }
+}

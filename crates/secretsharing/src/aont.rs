@@ -1,0 +1,258 @@
+//! Rivest's all-or-nothing transform (AONT) [53] package construction.
+//!
+//! The transform turns a secret into a *package* such that nothing about the
+//! secret can be inferred unless the whole package is available. AONT-RS and
+//! the authors' prior CAONT-RS-Rivest instantiation both build on this
+//! word-oriented construction (§2 of the paper):
+//!
+//! 1. the secret is split into 16-byte words and an extra *canary* word is
+//!    appended for integrity checking;
+//! 2. each word `i` is masked by XOR'ing it with `E(K, i)`, an encryption of
+//!    its index under the package key `K`;
+//! 3. a final tail word `t = K ⊕ H(masked words)` is appended.
+//!
+//! Decoding recomputes `H(masked words)` to recover `K`, unmasks every word,
+//! and verifies the canary.
+
+use cdstore_crypto::{aes::Aes256, constant_time_eq, sha256};
+
+use crate::SharingError;
+
+/// Size of an AONT word in bytes (one AES block).
+pub const WORD_SIZE: usize = 16;
+/// Size of the package key in bytes (AES-256).
+pub const KEY_SIZE: usize = 32;
+/// Size of the package tail (`K ⊕ H(...)`, a SHA-256 digest width).
+pub const TAIL_SIZE: usize = 32;
+/// The canary word appended before masking; checked on decode.
+pub const CANARY: [u8; WORD_SIZE] = [0xc5; WORD_SIZE];
+
+/// Overhead added by the transform beyond the padded secret: one canary word
+/// plus the tail.
+pub const PACKAGE_OVERHEAD: usize = WORD_SIZE + TAIL_SIZE;
+
+/// Returns the padded secret length used for a secret of `secret_len` bytes
+/// so that the resulting package divides evenly into `k` shares.
+///
+/// The padded length is the smallest multiple of [`WORD_SIZE`] that is at
+/// least `secret_len` and makes `padded + PACKAGE_OVERHEAD` divisible by `k`.
+pub fn padded_secret_len(secret_len: usize, k: usize) -> usize {
+    assert!(k > 0, "k must be positive");
+    let mut padded = secret_len.div_ceil(WORD_SIZE) * WORD_SIZE;
+    // gcd(WORD_SIZE, k) always divides PACKAGE_OVERHEAD (48), so the loop
+    // terminates within k iterations.
+    while (padded + PACKAGE_OVERHEAD) % k != 0 {
+        padded += WORD_SIZE;
+    }
+    padded
+}
+
+/// Returns the total package size for a secret of `secret_len` bytes.
+pub fn package_len(secret_len: usize, k: usize) -> usize {
+    padded_secret_len(secret_len, k) + PACKAGE_OVERHEAD
+}
+
+/// Builds the masked word stream `E(K, 1), E(K, 2), ...` lazily.
+struct IndexCipher {
+    aes: Aes256,
+}
+
+impl IndexCipher {
+    fn new(key: &[u8; KEY_SIZE]) -> Self {
+        IndexCipher {
+            aes: Aes256::new(key),
+        }
+    }
+
+    /// Returns `E(K, index)` where the index is encoded big-endian in the
+    /// low 8 bytes of the block.
+    fn mask(&self, index: u64) -> [u8; WORD_SIZE] {
+        let mut block = [0u8; WORD_SIZE];
+        block[8..].copy_from_slice(&index.to_be_bytes());
+        self.aes.encrypt_block(&mut block);
+        block
+    }
+}
+
+/// Applies Rivest's AONT to `secret` under `key`, producing a package whose
+/// length is `package_len(secret.len(), k)`.
+pub fn package(secret: &[u8], key: &[u8; KEY_SIZE], k: usize) -> Vec<u8> {
+    let padded_len = padded_secret_len(secret.len(), k);
+    let mut words = vec![0u8; padded_len + WORD_SIZE];
+    words[..secret.len()].copy_from_slice(secret);
+    words[padded_len..].copy_from_slice(&CANARY);
+    // Mask each word with the encryption of its index.
+    let cipher = IndexCipher::new(key);
+    for (i, word) in words.chunks_mut(WORD_SIZE).enumerate() {
+        let mask = cipher.mask(i as u64 + 1);
+        for (b, m) in word.iter_mut().zip(mask.iter()) {
+            *b ^= m;
+        }
+    }
+    // Tail: K XOR H(masked words).
+    let digest = sha256::hash(&words);
+    let mut tail = [0u8; TAIL_SIZE];
+    for i in 0..TAIL_SIZE {
+        tail[i] = key[i] ^ digest[i];
+    }
+    words.extend_from_slice(&tail);
+    words
+}
+
+/// Inverts [`package`], returning the first `secret_len` bytes of the secret.
+///
+/// Fails with [`SharingError::IntegrityCheckFailed`] if the canary word does
+/// not match (the package was corrupted or assembled from wrong shares).
+pub fn unpackage(package: &[u8], secret_len: usize) -> Result<Vec<u8>, SharingError> {
+    if package.len() < PACKAGE_OVERHEAD || (package.len() - TAIL_SIZE) % WORD_SIZE != 0 {
+        return Err(SharingError::MalformedShare(format!(
+            "AONT package of {} bytes has an invalid size",
+            package.len()
+        )));
+    }
+    let (masked, tail) = package.split_at(package.len() - TAIL_SIZE);
+    if masked.len() < WORD_SIZE + secret_len {
+        return Err(SharingError::MalformedShare(format!(
+            "AONT package holds {} masked bytes, too short for a {secret_len}-byte secret",
+            masked.len()
+        )));
+    }
+    // Recover the key: K = tail XOR H(masked words).
+    let digest = sha256::hash(masked);
+    let mut key = [0u8; KEY_SIZE];
+    for i in 0..KEY_SIZE {
+        key[i] = tail[i] ^ digest[i];
+    }
+    // Unmask.
+    let cipher = IndexCipher::new(&key);
+    let mut words = masked.to_vec();
+    for (i, word) in words.chunks_mut(WORD_SIZE).enumerate() {
+        let mask = cipher.mask(i as u64 + 1);
+        for (b, m) in word.iter_mut().zip(mask.iter()) {
+            *b ^= m;
+        }
+    }
+    // Verify the canary.
+    let canary = &words[words.len() - WORD_SIZE..];
+    if !constant_time_eq(canary, &CANARY) {
+        return Err(SharingError::IntegrityCheckFailed);
+    }
+    words.truncate(secret_len);
+    Ok(words)
+}
+
+/// Recovers the package key from a package (used by the convergent variant to
+/// cross-check the key against the secret hash).
+pub fn recover_key(package: &[u8]) -> Result<[u8; KEY_SIZE], SharingError> {
+    if package.len() < PACKAGE_OVERHEAD {
+        return Err(SharingError::MalformedShare(
+            "AONT package too short to contain a tail".into(),
+        ));
+    }
+    let (masked, tail) = package.split_at(package.len() - TAIL_SIZE);
+    let digest = sha256::hash(masked);
+    let mut key = [0u8; KEY_SIZE];
+    for i in 0..KEY_SIZE {
+        key[i] = tail[i] ^ digest[i];
+    }
+    Ok(key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn padded_length_divides_package_evenly() {
+        for k in 1..=12usize {
+            for len in [0usize, 1, 15, 16, 17, 100, 4096, 8191] {
+                let padded = padded_secret_len(len, k);
+                assert!(padded >= len);
+                assert_eq!(padded % WORD_SIZE, 0);
+                assert_eq!((padded + PACKAGE_OVERHEAD) % k, 0, "len={len}, k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn package_round_trips() {
+        let key = [0x42u8; KEY_SIZE];
+        for len in [0usize, 1, 16, 17, 100, 1000] {
+            let secret: Vec<u8> = (0..len).map(|i| (i * 7 % 256) as u8).collect();
+            let pkg = package(&secret, &key, 3);
+            assert_eq!(pkg.len(), package_len(len, 3));
+            assert_eq!(unpackage(&pkg, len).unwrap(), secret);
+        }
+    }
+
+    #[test]
+    fn key_is_recoverable_from_full_package() {
+        let key = [0x99u8; KEY_SIZE];
+        let pkg = package(b"recover me", &key, 4);
+        assert_eq!(recover_key(&pkg).unwrap(), key);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let key = [7u8; KEY_SIZE];
+        let secret = b"integrity protected secret".to_vec();
+        let mut pkg = package(&secret, &key, 3);
+        // Flip one bit anywhere in the masked words.
+        pkg[5] ^= 0x01;
+        assert_eq!(unpackage(&pkg, secret.len()), Err(SharingError::IntegrityCheckFailed));
+    }
+
+    #[test]
+    fn tail_corruption_is_detected() {
+        let key = [7u8; KEY_SIZE];
+        let secret = b"integrity protected secret".to_vec();
+        let mut pkg = package(&secret, &key, 3);
+        let last = pkg.len() - 1;
+        pkg[last] ^= 0x80;
+        assert_eq!(unpackage(&pkg, secret.len()), Err(SharingError::IntegrityCheckFailed));
+    }
+
+    #[test]
+    fn invalid_package_sizes_are_rejected() {
+        assert!(matches!(unpackage(&[0u8; 10], 1), Err(SharingError::MalformedShare(_))));
+        assert!(matches!(unpackage(&[0u8; 49], 1), Err(SharingError::MalformedShare(_))));
+        assert!(matches!(recover_key(&[0u8; 10]), Err(SharingError::MalformedShare(_))));
+    }
+
+    #[test]
+    fn package_is_deterministic_for_fixed_key() {
+        let key = [1u8; KEY_SIZE];
+        let secret = b"determinism".to_vec();
+        assert_eq!(package(&secret, &key, 4), package(&secret, &key, 4));
+    }
+
+    #[test]
+    fn different_keys_give_different_packages() {
+        let secret = b"same secret".to_vec();
+        let a = package(&secret, &[1u8; KEY_SIZE], 4);
+        let b = package(&secret, &[2u8; KEY_SIZE], 4);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn masked_words_hide_a_zero_secret() {
+        let key = [0xaau8; KEY_SIZE];
+        let secret = vec![0u8; 256];
+        let pkg = package(&secret, &key, 4);
+        // The masked region must not be all zeroes.
+        assert!(pkg[..256].iter().any(|&b| b != 0));
+    }
+
+    proptest! {
+        #[test]
+        fn round_trips_for_arbitrary_secrets(secret in proptest::collection::vec(any::<u8>(), 0..512),
+                                             key in proptest::array::uniform32(any::<u8>()),
+                                             k in 1usize..10) {
+            let pkg = package(&secret, &key, k);
+            prop_assert_eq!(pkg.len() % k, 0);
+            prop_assert_eq!(unpackage(&pkg, secret.len()).unwrap(), secret);
+            prop_assert_eq!(recover_key(&pkg).unwrap(), key);
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Rabin's information dispersal algorithm (IDA) [50].
+//!
+//! The secret is split into `k` pieces and transformed into `n` shares by an
+//! `n x k` dispersal matrix whose every `k x k` submatrix is invertible.
+//! Storage blowup is the optimal `n/k`, but the confidentiality degree is
+//! `r = 0`: a single share can reveal information about the secret (with the
+//! systematic code used here, the first `k` shares literally contain it).
+
+use cdstore_erasure::ReedSolomon;
+
+use crate::{SecretSharing, SharingError};
+
+/// Rabin's `(n, k)` information dispersal.
+#[derive(Debug, Clone)]
+pub struct Ida {
+    rs: ReedSolomon,
+}
+
+impl Ida {
+    /// Creates an IDA instance with `0 < k < n <= 255`.
+    pub fn new(n: usize, k: usize) -> Result<Self, SharingError> {
+        crate::validate_n_k(n, k)?;
+        let rs = ReedSolomon::new(n, k)?;
+        Ok(Ida { rs })
+    }
+
+    /// Size of each share for a secret of `secret_len` bytes.
+    pub fn share_size(&self, secret_len: usize) -> usize {
+        cdstore_erasure::shard_size(secret_len, self.rs.data_shards())
+    }
+}
+
+impl SecretSharing for Ida {
+    fn name(&self) -> &'static str {
+        "IDA"
+    }
+
+    fn n(&self) -> usize {
+        self.rs.total_shards()
+    }
+
+    fn k(&self) -> usize {
+        self.rs.data_shards()
+    }
+
+    fn confidentiality_degree(&self) -> usize {
+        0
+    }
+
+    fn total_share_size(&self, secret_len: usize) -> usize {
+        self.n() * self.share_size(secret_len)
+    }
+
+    fn split(&self, secret: &[u8]) -> Result<Vec<Vec<u8>>, SharingError> {
+        Ok(self.rs.encode_data(secret)?)
+    }
+
+    fn reconstruct(
+        &self,
+        shares: &[Option<Vec<u8>>],
+        secret_len: usize,
+    ) -> Result<Vec<u8>, SharingError> {
+        Ok(self.rs.reconstruct_data(shares, secret_len)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn round_trip_and_blowup() {
+        let ida = Ida::new(4, 3).unwrap();
+        let secret: Vec<u8> = (0..300u32).map(|i| (i % 256) as u8).collect();
+        let shares = ida.split(&secret).unwrap();
+        assert_eq!(shares.len(), 4);
+        assert_eq!(shares[0].len(), 100);
+        assert!((ida.storage_blowup(300) - 4.0 / 3.0).abs() < 1e-9);
+        let received: Vec<Option<Vec<u8>>> = shares.into_iter().map(Some).collect();
+        assert_eq!(ida.reconstruct(&received, 300).unwrap(), secret);
+    }
+
+    #[test]
+    fn ida_is_deterministic_but_not_flagged_convergent() {
+        // IDA has no randomness, so identical secrets produce identical
+        // shares; it is still not a *secure* convergent scheme because r = 0.
+        let ida = Ida::new(4, 2).unwrap();
+        let secret = b"plain dispersal".to_vec();
+        assert_eq!(ida.split(&secret).unwrap(), ida.split(&secret).unwrap());
+        assert!(!ida.is_convergent());
+        assert_eq!(ida.confidentiality_degree(), 0);
+    }
+
+    #[test]
+    fn loses_up_to_n_minus_k_shares() {
+        let ida = Ida::new(6, 4).unwrap();
+        let secret: Vec<u8> = (0..997u32).map(|i| (i * 13 % 256) as u8).collect();
+        let shares = ida.split(&secret).unwrap();
+        let mut received: Vec<Option<Vec<u8>>> = shares.into_iter().map(Some).collect();
+        received[0] = None;
+        received[5] = None;
+        assert_eq!(ida.reconstruct(&received, secret.len()).unwrap(), secret);
+        received[1] = None;
+        assert!(matches!(
+            ida.reconstruct(&received, secret.len()),
+            Err(SharingError::NotEnoughShares { .. })
+        ));
+    }
+
+    proptest! {
+        #[test]
+        fn round_trips_for_arbitrary_secrets(secret in proptest::collection::vec(any::<u8>(), 0..600),
+                                             n in 3usize..10) {
+            let k = n - 1;
+            let ida = Ida::new(n, k).unwrap();
+            let shares = ida.split(&secret).unwrap();
+            let received: Vec<Option<Vec<u8>>> = shares.into_iter().enumerate()
+                .map(|(i, s)| (i != 0).then_some(s))
+                .collect();
+            prop_assert_eq!(ida.reconstruct(&received, secret.len()).unwrap(), secret);
+        }
+    }
+}

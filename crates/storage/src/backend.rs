@@ -1,0 +1,271 @@
+//! Storage backend abstraction: where sealed containers are persisted.
+//!
+//! In a real deployment each CDStore server writes containers to its cloud's
+//! object store (S3, Azure Blob, ...) through the internal network. The
+//! simulation uses [`MemoryBackend`] (fast, for tests and benchmarks) or
+//! [`DirBackend`] (a directory on local disk, mirroring the LAN testbed's
+//! SATA-disk backend in §5.1).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::io::{Read, Write};
+use std::path::PathBuf;
+
+use parking_lot::RwLock;
+
+/// Errors returned by storage backends.
+#[derive(Debug)]
+pub enum StorageError {
+    /// The requested object does not exist.
+    NotFound(String),
+    /// An underlying I/O error.
+    Io(std::io::Error),
+    /// The object exists but its content is not a valid container.
+    Corrupt(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::NotFound(key) => write!(f, "object not found: {key}"),
+            StorageError::Io(e) => write!(f, "storage I/O error: {e}"),
+            StorageError::Corrupt(key) => write!(f, "corrupt object: {key}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+/// A flat object store keyed by string names.
+pub trait StorageBackend: Send + Sync {
+    /// Writes (or overwrites) an object.
+    fn put(&self, key: &str, data: &[u8]) -> Result<(), StorageError>;
+
+    /// Reads an object.
+    fn get(&self, key: &str) -> Result<Vec<u8>, StorageError>;
+
+    /// Deletes an object (no error if absent).
+    fn delete(&self, key: &str) -> Result<(), StorageError>;
+
+    /// Whether an object exists.
+    fn exists(&self, key: &str) -> Result<bool, StorageError>;
+
+    /// Lists all object keys (sorted).
+    fn list(&self) -> Result<Vec<String>, StorageError>;
+
+    /// Total bytes stored across all objects.
+    fn total_bytes(&self) -> Result<u64, StorageError> {
+        let mut total = 0u64;
+        for key in self.list()? {
+            total += self.get(&key)?.len() as u64;
+        }
+        Ok(total)
+    }
+}
+
+/// An in-memory backend for tests, benchmarks, and the cloud simulator.
+#[derive(Default)]
+pub struct MemoryBackend {
+    objects: RwLock<BTreeMap<String, Vec<u8>>>,
+}
+
+impl MemoryBackend {
+    /// Creates an empty in-memory backend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of stored objects.
+    pub fn object_count(&self) -> usize {
+        self.objects.read().len()
+    }
+
+    /// Corrupts an object by flipping a byte (failure-injection helper for
+    /// integrity tests).
+    pub fn corrupt(&self, key: &str, byte_index: usize) -> Result<(), StorageError> {
+        let mut objects = self.objects.write();
+        let data = objects
+            .get_mut(key)
+            .ok_or_else(|| StorageError::NotFound(key.to_string()))?;
+        if let Some(b) = data.get_mut(byte_index) {
+            *b ^= 0xff;
+        }
+        Ok(())
+    }
+}
+
+impl StorageBackend for MemoryBackend {
+    fn put(&self, key: &str, data: &[u8]) -> Result<(), StorageError> {
+        self.objects.write().insert(key.to_string(), data.to_vec());
+        Ok(())
+    }
+
+    fn get(&self, key: &str) -> Result<Vec<u8>, StorageError> {
+        self.objects
+            .read()
+            .get(key)
+            .cloned()
+            .ok_or_else(|| StorageError::NotFound(key.to_string()))
+    }
+
+    fn delete(&self, key: &str) -> Result<(), StorageError> {
+        self.objects.write().remove(key);
+        Ok(())
+    }
+
+    fn exists(&self, key: &str) -> Result<bool, StorageError> {
+        Ok(self.objects.read().contains_key(key))
+    }
+
+    fn list(&self) -> Result<Vec<String>, StorageError> {
+        Ok(self.objects.read().keys().cloned().collect())
+    }
+
+    fn total_bytes(&self) -> Result<u64, StorageError> {
+        Ok(self.objects.read().values().map(|v| v.len() as u64).sum())
+    }
+}
+
+/// A backend storing each object as a file in a directory.
+pub struct DirBackend {
+    root: PathBuf,
+}
+
+impl DirBackend {
+    /// Creates (if needed) and opens a directory-backed store.
+    pub fn new(root: impl Into<PathBuf>) -> Result<Self, StorageError> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(DirBackend { root })
+    }
+
+    fn path_for(&self, key: &str) -> PathBuf {
+        // Keys are sanitised to a flat, filesystem-safe name.
+        let safe: String = key
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.' {
+                c
+            } else {
+                '_'
+            })
+            .collect();
+        self.root.join(safe)
+    }
+}
+
+impl StorageBackend for DirBackend {
+    fn put(&self, key: &str, data: &[u8]) -> Result<(), StorageError> {
+        let path = self.path_for(key);
+        let tmp = path.with_extension("tmp");
+        {
+            let mut file = fs::File::create(&tmp)?;
+            file.write_all(data)?;
+            file.sync_all()?;
+        }
+        fs::rename(&tmp, &path)?;
+        Ok(())
+    }
+
+    fn get(&self, key: &str) -> Result<Vec<u8>, StorageError> {
+        let path = self.path_for(key);
+        let mut file = fs::File::open(&path)
+            .map_err(|_| StorageError::NotFound(key.to_string()))?;
+        let mut data = Vec::new();
+        file.read_to_end(&mut data)?;
+        Ok(data)
+    }
+
+    fn delete(&self, key: &str) -> Result<(), StorageError> {
+        let path = self.path_for(key);
+        match fs::remove_file(path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn exists(&self, key: &str) -> Result<bool, StorageError> {
+        Ok(self.path_for(key).exists())
+    }
+
+    fn list(&self) -> Result<Vec<String>, StorageError> {
+        let mut keys = Vec::new();
+        for entry in fs::read_dir(&self.root)? {
+            let entry = entry?;
+            if entry.path().extension().map(|e| e == "tmp").unwrap_or(false) {
+                continue;
+            }
+            if let Some(name) = entry.file_name().to_str() {
+                keys.push(name.to_string());
+            }
+        }
+        keys.sort();
+        Ok(keys)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise_backend(backend: &dyn StorageBackend) {
+        assert!(!backend.exists("a").unwrap());
+        backend.put("a", b"alpha").unwrap();
+        backend.put("b", b"beta").unwrap();
+        assert!(backend.exists("a").unwrap());
+        assert_eq!(backend.get("a").unwrap(), b"alpha");
+        assert_eq!(backend.list().unwrap(), vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(backend.total_bytes().unwrap(), 9);
+        backend.put("a", b"alpha2").unwrap();
+        assert_eq!(backend.get("a").unwrap(), b"alpha2");
+        backend.delete("a").unwrap();
+        assert!(!backend.exists("a").unwrap());
+        assert!(matches!(backend.get("a"), Err(StorageError::NotFound(_))));
+        backend.delete("never-existed").unwrap();
+    }
+
+    #[test]
+    fn memory_backend_semantics() {
+        let backend = MemoryBackend::new();
+        exercise_backend(&backend);
+        assert_eq!(backend.object_count(), 1);
+    }
+
+    #[test]
+    fn dir_backend_semantics() {
+        let dir = std::env::temp_dir().join(format!("cdstore-backend-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let backend = DirBackend::new(&dir).unwrap();
+        exercise_backend(&backend);
+        // Data survives re-opening the directory.
+        let reopened = DirBackend::new(&dir).unwrap();
+        assert_eq!(reopened.get("b").unwrap(), b"beta");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dir_backend_sanitises_keys() {
+        let dir = std::env::temp_dir().join(format!("cdstore-backend-sanitise-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let backend = DirBackend::new(&dir).unwrap();
+        backend.put("shares/container:1", b"x").unwrap();
+        assert_eq!(backend.get("shares/container:1").unwrap(), b"x");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn memory_backend_corruption_helper() {
+        let backend = MemoryBackend::new();
+        backend.put("c", &[1, 2, 3]).unwrap();
+        backend.corrupt("c", 1).unwrap();
+        assert_eq!(backend.get("c").unwrap(), vec![1, 2 ^ 0xff, 3]);
+        assert!(matches!(backend.corrupt("missing", 0), Err(StorageError::NotFound(_))));
+    }
+}

@@ -1,0 +1,212 @@
+//! A byte-bounded least-recently-used (LRU) cache.
+//!
+//! CDStore servers "maintain a least-recently-used (LRU) disk cache to hold
+//! the most recently accessed containers to reduce I/Os to the storage
+//! backend" (§4.5). The same structure is reused for the block cache of the
+//! index store.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// An LRU cache bounded by the total byte size of its values.
+pub struct LruCache<K, V> {
+    capacity_bytes: usize,
+    current_bytes: usize,
+    /// key → (value, size, last-use tick)
+    entries: HashMap<K, (V, usize, u64)>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// Creates a cache holding at most `capacity_bytes` of values.
+    pub fn new(capacity_bytes: usize) -> Self {
+        LruCache {
+            capacity_bytes,
+            current_bytes: 0,
+            entries: HashMap::new(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total bytes currently cached.
+    pub fn current_bytes(&self) -> usize {
+        self.current_bytes
+    }
+
+    /// Cache hits observed so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses observed so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Evictions performed so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Hit ratio in `[0, 1]` (zero when no lookups happened).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Looks up a key, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.entries.get_mut(key) {
+            Some((value, _, last_use)) => {
+                *last_use = tick;
+                self.hits += 1;
+                Some(&*value)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Whether a key is cached (does not count as a hit or refresh recency).
+    pub fn contains(&self, key: &K) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// Inserts a value of the given byte size, evicting least-recently-used
+    /// entries as needed. Values larger than the whole capacity are not
+    /// cached at all.
+    pub fn put(&mut self, key: K, value: V, size: usize) {
+        if size > self.capacity_bytes {
+            return;
+        }
+        self.tick += 1;
+        if let Some((_, old_size, _)) = self.entries.remove(&key) {
+            self.current_bytes -= old_size;
+        }
+        while self.current_bytes + size > self.capacity_bytes {
+            let Some(victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, _, last_use))| *last_use)
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            if let Some((_, victim_size, _)) = self.entries.remove(&victim) {
+                self.current_bytes -= victim_size;
+                self.evictions += 1;
+            }
+        }
+        self.current_bytes += size;
+        self.entries.insert(key, (value, size, self.tick));
+    }
+
+    /// Removes a key from the cache.
+    pub fn remove(&mut self, key: &K) {
+        if let Some((_, size, _)) = self.entries.remove(key) {
+            self.current_bytes -= size;
+        }
+    }
+
+    /// Clears the cache (statistics are preserved).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.current_bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_get_put() {
+        let mut cache: LruCache<u32, Vec<u8>> = LruCache::new(100);
+        assert!(cache.get(&1).is_none());
+        cache.put(1, vec![1; 10], 10);
+        assert_eq!(cache.get(&1).map(|v| v.len()), Some(10));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert!((cache.hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evicts_least_recently_used_first() {
+        let mut cache: LruCache<&str, u8> = LruCache::new(30);
+        cache.put("a", 1, 10);
+        cache.put("b", 2, 10);
+        cache.put("c", 3, 10);
+        // Touch "a" so "b" becomes the LRU entry.
+        assert!(cache.get(&"a").is_some());
+        cache.put("d", 4, 10);
+        assert!(cache.contains(&"a"));
+        assert!(!cache.contains(&"b"));
+        assert!(cache.contains(&"c"));
+        assert!(cache.contains(&"d"));
+        assert_eq!(cache.evictions(), 1);
+    }
+
+    #[test]
+    fn respects_byte_budget_not_entry_count() {
+        let mut cache: LruCache<u32, ()> = LruCache::new(100);
+        cache.put(1, (), 60);
+        cache.put(2, (), 60);
+        // Entry 1 must have been evicted to fit entry 2.
+        assert!(!cache.contains(&1));
+        assert!(cache.contains(&2));
+        assert_eq!(cache.current_bytes(), 60);
+    }
+
+    #[test]
+    fn oversized_values_are_not_cached() {
+        let mut cache: LruCache<u32, ()> = LruCache::new(100);
+        cache.put(1, (), 1000);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn overwriting_updates_size_accounting() {
+        let mut cache: LruCache<u32, ()> = LruCache::new(100);
+        cache.put(1, (), 80);
+        cache.put(1, (), 10);
+        assert_eq!(cache.current_bytes(), 10);
+        cache.put(2, (), 90);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn remove_and_clear() {
+        let mut cache: LruCache<u32, ()> = LruCache::new(100);
+        cache.put(1, (), 10);
+        cache.put(2, (), 10);
+        cache.remove(&1);
+        assert_eq!(cache.current_bytes(), 10);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.current_bytes(), 0);
+    }
+}

@@ -1,0 +1,382 @@
+//! [`ContainerStore`]: the server-side component that buffers shares and
+//! recipes into containers, writes sealed containers to the backend, and
+//! serves reads through an LRU container cache.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use cdstore_crypto::Fingerprint;
+use cdstore_index::ShareLocation;
+use parking_lot::Mutex;
+
+use crate::backend::{StorageBackend, StorageError};
+use crate::cache::LruCache;
+use crate::container::{Container, ContainerBuilder, ContainerKind};
+
+/// Default size of the container read cache (64 MB, i.e. sixteen 4 MB
+/// containers).
+pub const DEFAULT_CACHE_BYTES: usize = 64 * 1024 * 1024;
+
+/// Counters describing the I/O behaviour of a container store.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Sealed containers written to the backend.
+    pub containers_written: u64,
+    /// Total payload bytes written to the backend.
+    pub bytes_written: u64,
+    /// Container reads served from the open (unsealed) buffers.
+    pub open_buffer_reads: u64,
+    /// Container reads served from the LRU cache.
+    pub cache_reads: u64,
+    /// Container reads that had to touch the backend.
+    pub backend_reads: u64,
+}
+
+struct Inner {
+    backend: Arc<dyn StorageBackend>,
+    next_container_id: u64,
+    /// Open share containers, one per user (§4.5: containers are single-user).
+    open_shares: HashMap<u64, ContainerBuilder>,
+    /// Open recipe containers, one per user.
+    open_recipes: HashMap<u64, ContainerBuilder>,
+    cache: LruCache<u64, Container>,
+    stats: StoreStats,
+}
+
+/// Manages share and recipe containers on top of a storage backend.
+pub struct ContainerStore {
+    inner: Mutex<Inner>,
+}
+
+impl ContainerStore {
+    /// Creates a container store over the given backend with the default
+    /// cache size.
+    pub fn new(backend: Arc<dyn StorageBackend>) -> Self {
+        Self::with_cache_bytes(backend, DEFAULT_CACHE_BYTES)
+    }
+
+    /// Creates a container store with an explicit cache budget.
+    pub fn with_cache_bytes(backend: Arc<dyn StorageBackend>, cache_bytes: usize) -> Self {
+        ContainerStore {
+            inner: Mutex::new(Inner {
+                backend,
+                next_container_id: 1,
+                open_shares: HashMap::new(),
+                open_recipes: HashMap::new(),
+                cache: LruCache::new(cache_bytes),
+                stats: StoreStats::default(),
+            }),
+        }
+    }
+
+    fn object_key(container_id: u64) -> String {
+        format!("container-{container_id:016x}")
+    }
+
+    /// Appends a share to the user's open share container, returning where it
+    /// will live. The open container is sealed and written out when it
+    /// reaches the 4 MB cap.
+    pub fn store_share(
+        &self,
+        user: u64,
+        fingerprint: Fingerprint,
+        data: &[u8],
+    ) -> Result<ShareLocation, StorageError> {
+        let mut inner = self.inner.lock();
+        self.store_blob(&mut inner, user, fingerprint, data, ContainerKind::Share)
+    }
+
+    /// Appends a file recipe to the user's open recipe container, returning
+    /// its location.
+    pub fn store_recipe(
+        &self,
+        user: u64,
+        fingerprint: Fingerprint,
+        data: &[u8],
+    ) -> Result<ShareLocation, StorageError> {
+        let mut inner = self.inner.lock();
+        self.store_blob(&mut inner, user, fingerprint, data, ContainerKind::Recipe)
+    }
+
+    fn store_blob(
+        &self,
+        inner: &mut Inner,
+        user: u64,
+        fingerprint: Fingerprint,
+        data: &[u8],
+        kind: ContainerKind,
+    ) -> Result<ShareLocation, StorageError> {
+        // Seal the open container first if this blob would overflow it.
+        let needs_seal = {
+            let open = Self::open_map(inner, kind).get(&user);
+            open.map(|b| b.would_overflow(data.len())).unwrap_or(false)
+        };
+        if needs_seal {
+            self.seal_user(inner, user, kind)?;
+        }
+        let next_id = &mut inner.next_container_id;
+        let builder = match kind {
+            ContainerKind::Share => &mut inner.open_shares,
+            ContainerKind::Recipe => &mut inner.open_recipes,
+        }
+        .entry(user)
+        .or_insert_with(|| {
+            let id = *next_id;
+            *next_id += 1;
+            ContainerBuilder::new(id, user, kind)
+        });
+        let offset = builder.append(fingerprint, data);
+        Ok(ShareLocation {
+            container_id: builder.id(),
+            offset,
+            size: data.len() as u32,
+        })
+    }
+
+    fn open_map(inner: &mut Inner, kind: ContainerKind) -> &mut HashMap<u64, ContainerBuilder> {
+        match kind {
+            ContainerKind::Share => &mut inner.open_shares,
+            ContainerKind::Recipe => &mut inner.open_recipes,
+        }
+    }
+
+    fn seal_user(&self, inner: &mut Inner, user: u64, kind: ContainerKind) -> Result<(), StorageError> {
+        let Some(builder) = Self::open_map(inner, kind).remove(&user) else {
+            return Ok(());
+        };
+        if builder.is_empty() {
+            return Ok(());
+        }
+        let container = builder.seal();
+        let bytes = container.to_bytes();
+        inner
+            .backend
+            .put(&Self::object_key(container.id), &bytes)?;
+        inner.stats.containers_written += 1;
+        inner.stats.bytes_written += bytes.len() as u64;
+        let size = container.payload_size();
+        inner.cache.put(container.id, container, size);
+        Ok(())
+    }
+
+    /// Seals and writes every open container (share and recipe) of every user.
+    pub fn flush(&self) -> Result<(), StorageError> {
+        let mut inner = self.inner.lock();
+        let users: Vec<u64> = inner
+            .open_shares
+            .keys()
+            .chain(inner.open_recipes.keys())
+            .copied()
+            .collect();
+        for user in users {
+            self.seal_user(&mut inner, user, ContainerKind::Share)?;
+            self.seal_user(&mut inner, user, ContainerKind::Recipe)?;
+        }
+        Ok(())
+    }
+
+    /// Reads the blob at a share location (from the open buffers, the cache,
+    /// or the backend — in that order).
+    pub fn fetch(&self, location: &ShareLocation) -> Result<Vec<u8>, StorageError> {
+        let mut inner = self.inner.lock();
+        // 1. Open (unsealed) containers.
+        let open_hit = inner
+            .open_shares
+            .values()
+            .chain(inner.open_recipes.values())
+            .find(|b| b.id() == location.container_id)
+            .map(|b| b.clone().seal());
+        if let Some(container) = open_hit {
+            inner.stats.open_buffer_reads += 1;
+            return container
+                .get_at(location.offset, location.size)
+                .map(|s| s.to_vec())
+                .ok_or_else(|| {
+                    StorageError::Corrupt(format!("container {} misses offset", location.container_id))
+                });
+        }
+        // 2. The LRU cache.
+        if let Some(container) = inner.cache.get(&location.container_id) {
+            let blob = container.get_at(location.offset, location.size).map(|s| s.to_vec());
+            inner.stats.cache_reads += 1;
+            return blob.ok_or_else(|| {
+                StorageError::Corrupt(format!("container {} misses offset", location.container_id))
+            });
+        }
+        // 3. The backend.
+        let key = Self::object_key(location.container_id);
+        let bytes = inner.backend.get(&key)?;
+        inner.stats.backend_reads += 1;
+        let container = Container::from_bytes(&bytes)
+            .ok_or_else(|| StorageError::Corrupt(key.clone()))?;
+        let blob = container
+            .get_at(location.offset, location.size)
+            .map(|s| s.to_vec());
+        let size = container.payload_size();
+        inner.cache.put(location.container_id, container, size);
+        blob.ok_or(StorageError::Corrupt(key))
+    }
+
+    /// Reads a whole container by id (used by repair and garbage collection).
+    pub fn fetch_container(&self, container_id: u64) -> Result<Container, StorageError> {
+        let mut inner = self.inner.lock();
+        let open_hit = inner
+            .open_shares
+            .values()
+            .chain(inner.open_recipes.values())
+            .find(|b| b.id() == container_id)
+            .cloned();
+        if let Some(container) = open_hit {
+            inner.stats.open_buffer_reads += 1;
+            return Ok(container.seal());
+        }
+        if let Some(container) = inner.cache.get(&container_id) {
+            let c = container.clone();
+            inner.stats.cache_reads += 1;
+            return Ok(c);
+        }
+        let key = Self::object_key(container_id);
+        let bytes = inner.backend.get(&key)?;
+        inner.stats.backend_reads += 1;
+        Container::from_bytes(&bytes).ok_or(StorageError::Corrupt(key))
+    }
+
+    /// Deletes a sealed container from the backend (garbage collection).
+    pub fn delete_container(&self, container_id: u64) -> Result<(), StorageError> {
+        let mut inner = self.inner.lock();
+        inner.cache.remove(&container_id);
+        inner.backend.delete(&Self::object_key(container_id))
+    }
+
+    /// Returns the I/O counters.
+    pub fn stats(&self) -> StoreStats {
+        self.inner.lock().stats
+    }
+
+    /// Total bytes currently stored at the backend.
+    pub fn backend_bytes(&self) -> Result<u64, StorageError> {
+        self.inner.lock().backend.total_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemoryBackend;
+    use crate::container::CONTAINER_CAPACITY;
+
+    fn fp(i: u32) -> Fingerprint {
+        Fingerprint::of(&i.to_be_bytes())
+    }
+
+    fn new_store() -> (ContainerStore, Arc<MemoryBackend>) {
+        let backend = Arc::new(MemoryBackend::new());
+        (ContainerStore::new(backend.clone()), backend)
+    }
+
+    #[test]
+    fn store_and_fetch_from_open_buffer() {
+        let (store, backend) = new_store();
+        let loc = store.store_share(1, fp(1), b"buffered share").unwrap();
+        // Not yet written to the backend.
+        assert_eq!(backend.object_count(), 0);
+        assert_eq!(store.fetch(&loc).unwrap(), b"buffered share");
+        assert_eq!(store.stats().open_buffer_reads, 1);
+    }
+
+    #[test]
+    fn flush_writes_containers_and_fetch_uses_cache_then_backend() {
+        let (store, backend) = new_store();
+        let loc = store.store_share(1, fp(1), b"first").unwrap();
+        let loc2 = store.store_share(1, fp(2), b"second").unwrap();
+        assert_eq!(loc.container_id, loc2.container_id);
+        store.flush().unwrap();
+        assert_eq!(backend.object_count(), 1);
+        // First fetch after flush hits the cache (the seal populated it).
+        assert_eq!(store.fetch(&loc).unwrap(), b"first");
+        assert_eq!(store.stats().cache_reads, 1);
+        // A store with an empty cache goes to the backend.
+        let cold = ContainerStore::with_cache_bytes(backend.clone(), 1024 * 1024);
+        assert_eq!(cold.fetch(&loc2).unwrap(), b"second");
+        assert_eq!(cold.stats().backend_reads, 1);
+        // And the second read of the same container is a cache hit.
+        assert_eq!(cold.fetch(&loc).unwrap(), b"first");
+        assert_eq!(cold.stats().cache_reads, 1);
+    }
+
+    #[test]
+    fn containers_seal_automatically_at_capacity() {
+        let (store, backend) = new_store();
+        let blob = vec![0xaau8; 1024 * 1024]; // 1 MB
+        let mut container_ids = std::collections::HashSet::new();
+        for i in 0..9u32 {
+            let loc = store.store_share(1, fp(i), &blob).unwrap();
+            container_ids.insert(loc.container_id);
+        }
+        // 9 MB of shares at a 4 MB cap: at least three containers, at least
+        // two of which were sealed and written out automatically.
+        assert!(container_ids.len() >= 3);
+        assert!(backend.object_count() >= 2);
+        assert!(store.stats().bytes_written >= 2 * CONTAINER_CAPACITY as u64);
+    }
+
+    #[test]
+    fn containers_are_per_user() {
+        let (store, _) = new_store();
+        let loc_a = store.store_share(1, fp(1), b"user1 data").unwrap();
+        let loc_b = store.store_share(2, fp(2), b"user2 data").unwrap();
+        assert_ne!(loc_a.container_id, loc_b.container_id);
+    }
+
+    #[test]
+    fn recipes_and_shares_use_separate_containers() {
+        let (store, _) = new_store();
+        let share_loc = store.store_share(1, fp(1), b"share").unwrap();
+        let recipe_loc = store.store_recipe(1, fp(2), b"recipe").unwrap();
+        assert_ne!(share_loc.container_id, recipe_loc.container_id);
+        assert_eq!(store.fetch(&recipe_loc).unwrap(), b"recipe");
+    }
+
+    #[test]
+    fn fetch_missing_container_fails() {
+        let (store, _) = new_store();
+        let bogus = ShareLocation {
+            container_id: 999,
+            offset: 0,
+            size: 4,
+        };
+        assert!(matches!(store.fetch(&bogus), Err(StorageError::NotFound(_))));
+    }
+
+    #[test]
+    fn delete_container_removes_backend_object() {
+        let (store, backend) = new_store();
+        let loc = store.store_share(1, fp(1), b"to be deleted").unwrap();
+        store.flush().unwrap();
+        assert_eq!(backend.object_count(), 1);
+        store.delete_container(loc.container_id).unwrap();
+        assert_eq!(backend.object_count(), 0);
+        assert!(store.fetch(&loc).is_err());
+    }
+
+    #[test]
+    fn fetch_container_returns_all_entries() {
+        let (store, _) = new_store();
+        let loc = store.store_share(3, fp(1), b"a").unwrap();
+        store.store_share(3, fp(2), b"bb").unwrap();
+        store.flush().unwrap();
+        let container = store.fetch_container(loc.container_id).unwrap();
+        assert_eq!(container.entry_count(), 2);
+        assert_eq!(container.get(&fp(2)).unwrap(), b"bb");
+    }
+
+    #[test]
+    fn corrupt_backend_object_is_reported() {
+        let (store, backend) = new_store();
+        let loc = store.store_share(1, fp(1), b"soon corrupt").unwrap();
+        store.flush().unwrap();
+        backend.corrupt(&ContainerStore::object_key(loc.container_id), 0).unwrap();
+        let cold = ContainerStore::new(backend);
+        assert!(matches!(cold.fetch(&loc), Err(StorageError::Corrupt(_))));
+    }
+}

@@ -1,0 +1,52 @@
+//! Cost planning: estimate the monthly bill of a CDStore deployment for your
+//! organisation's backup volume and compare it with an AONT-RS multi-cloud
+//! system and a single encrypted cloud (the §5.6 analysis).
+//!
+//! Run with
+//! `cargo run --release -p cdstore-core --example cost_planning [weekly_tb] [dedup_ratio]`.
+
+use cdstore_cost::{CostModel, Scenario, TB};
+
+fn main() {
+    let weekly_tb: f64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(16.0);
+    let dedup_ratio: f64 = std::env::args()
+        .nth(2)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(10.0);
+
+    let model = CostModel::new();
+    let scenario = Scenario::case_study(weekly_tb * TB, dedup_ratio);
+    let comparison = model.evaluate(&scenario);
+
+    println!("Scenario: {weekly_tb} TB weekly backups, {dedup_ratio}x dedup ratio, 26-week retention, (n, k) = (4, 3)");
+    println!();
+    println!("{:<16} {:>14} {:>12} {:>14}", "System", "Storage $/mo", "VM $/mo", "Total $/mo");
+    for breakdown in [
+        &comparison.single_cloud,
+        &comparison.aont_rs,
+        &comparison.cdstore,
+    ] {
+        println!(
+            "{:<16} {:>14.0} {:>12.0} {:>14.0}",
+            breakdown.system,
+            breakdown.storage_usd,
+            breakdown.vm_usd,
+            breakdown.total_usd()
+        );
+    }
+    println!();
+    if let Some(instance) = &comparison.cdstore.instance {
+        println!(
+            "CDStore runs {} x {instance} instance(s) per cloud to hold the dedup indices.",
+            comparison.cdstore.instances_per_cloud
+        );
+    }
+    println!(
+        "CDStore saves {:.1}% vs the AONT-RS multi-cloud baseline and {:.1}% vs a single cloud.",
+        comparison.saving_vs_aont_rs() * 100.0,
+        comparison.saving_vs_single_cloud() * 100.0
+    );
+}

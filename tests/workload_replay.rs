@@ -1,0 +1,80 @@
+//! Cross-crate consistency: replaying a synthetic workload through the real
+//! CDStore system must produce the same deduplication accounting as the fast
+//! analytical bookkeeping used by the Figure 6 harness, and all replayed
+//! backups must remain restorable.
+
+use cdstore_core::{CdStore, CdStoreConfig};
+use cdstore_workloads::{weekly_dedup, FslConfig, FslWorkload, VmConfig, VmWorkload, Workload};
+
+fn replay_and_compare(name: &str, snapshots: &[Vec<cdstore_workloads::Snapshot>], n: usize, k: usize) {
+    let mut store = CdStore::new(CdStoreConfig::new(n, k).unwrap());
+    for week in snapshots {
+        for snapshot in week {
+            store
+                .backup_chunks(snapshot.user, &snapshot.pathname(), &snapshot.materialize())
+                .unwrap_or_else(|e| panic!("{name}: backup failed: {e}"));
+        }
+    }
+    let system = store.stats().dedup;
+    let analysed = weekly_dedup(snapshots, n, k)
+        .last()
+        .expect("non-empty workload")
+        .cumulative;
+
+    assert_eq!(system.logical_bytes, analysed.logical_bytes, "{name}: logical bytes");
+    assert_eq!(
+        system.logical_share_bytes, analysed.logical_share_bytes,
+        "{name}: logical share bytes"
+    );
+    assert_eq!(
+        system.transferred_share_bytes, analysed.transferred_share_bytes,
+        "{name}: transferred share bytes"
+    );
+    assert_eq!(
+        system.physical_share_bytes, analysed.physical_share_bytes,
+        "{name}: physical share bytes"
+    );
+
+    // Every user's latest backup restores to exactly the materialised chunks.
+    let last_week = snapshots.last().expect("non-empty workload");
+    for snapshot in last_week.iter().take(3) {
+        let expected: Vec<u8> = snapshot.materialize().concat();
+        let restored = store
+            .restore(snapshot.user, &snapshot.pathname())
+            .unwrap_or_else(|e| panic!("{name}: restore failed: {e}"));
+        assert_eq!(restored, expected, "{name}: restored content mismatch");
+    }
+}
+
+#[test]
+fn fsl_like_replay_matches_the_analytical_model() {
+    let workload = FslWorkload::new(FslConfig {
+        users: 3,
+        weeks: 3,
+        initial_chunks_per_user: 60,
+        ..Default::default()
+    });
+    replay_and_compare("FSL", &workload.snapshots(), 4, 3);
+}
+
+#[test]
+fn vm_like_replay_matches_the_analytical_model() {
+    let workload = VmWorkload::new(VmConfig {
+        users: 5,
+        weeks: 3,
+        chunks_per_image: 50,
+        ..Default::default()
+    });
+    replay_and_compare("VM", &workload.snapshots(), 4, 3);
+}
+
+#[test]
+fn replay_works_for_other_n_k_configurations() {
+    let workload = VmWorkload::new(VmConfig {
+        users: 3,
+        weeks: 2,
+        chunks_per_image: 40,
+        ..Default::default()
+    });
+    replay_and_compare("VM (6,4)", &workload.snapshots(), 6, 4);
+}
