@@ -60,7 +60,11 @@ fn bench_share_index(c: &mut Criterion) {
             let fp = Fingerprint::of(&i.to_be_bytes());
             index.add_reference(
                 &fp,
-                ShareLocation { container_id: i, offset: 0, size: 2752 },
+                ShareLocation {
+                    container_id: i,
+                    offset: 0,
+                    size: 2752,
+                },
                 i % 9,
             );
             i += 1;
@@ -72,7 +76,11 @@ fn bench_share_index(c: &mut Criterion) {
             let fp = Fingerprint::of(&i.to_be_bytes());
             index.add_reference(
                 &fp,
-                ShareLocation { container_id: i, offset: 0, size: 2752 },
+                ShareLocation {
+                    container_id: i,
+                    offset: 0,
+                    size: 2752,
+                },
                 1,
             );
         }

@@ -21,9 +21,11 @@ fn bench_split_all_schemes(c: &mut Criterion) {
         // SSSS is orders of magnitude slower (byte-wise polynomial sharing);
         // keep it but with fewer samples via the global config.
         let scheme = build_scheme(kind, 4, 3, None).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(kind.to_string()), &scheme, |b, s| {
-            b.iter(|| s.split(&data).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.to_string()),
+            &scheme,
+            |b, s| b.iter(|| s.split(&data).unwrap()),
+        );
     }
     group.finish();
 }
@@ -54,7 +56,9 @@ fn bench_caont_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("caont_ablation");
     group.throughput(Throughput::Bytes(SECRET_SIZE as u64));
     group.bench_function("package_only", |b| b.iter(|| caont.build_package(&data)));
-    group.bench_function("package_plus_rs", |b| b.iter(|| caont.split(&data).unwrap()));
+    group.bench_function("package_plus_rs", |b| {
+        b.iter(|| caont.split(&data).unwrap())
+    });
     let rs = cdstore_erasure::ReedSolomon::new(4, 3).unwrap();
     let package = caont.build_package(&data);
     group.bench_function("rs_only", |b| b.iter(|| rs.encode_data(&package).unwrap()));

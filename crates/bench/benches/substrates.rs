@@ -28,9 +28,11 @@ fn bench_reed_solomon(c: &mut Criterion) {
     group.throughput(Throughput::Bytes(BUF_SIZE as u64));
     for &(n, k) in &[(4usize, 3usize), (8, 6), (16, 12)] {
         let rs = cdstore_erasure::ReedSolomon::new(n, k).unwrap();
-        group.bench_with_input(BenchmarkId::new("encode", format!("n{n}_k{k}")), &rs, |b, rs| {
-            b.iter(|| rs.encode_data(&data).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("encode", format!("n{n}_k{k}")),
+            &rs,
+            |b, rs| b.iter(|| rs.encode_data(&data).unwrap()),
+        );
     }
     let rs = cdstore_erasure::ReedSolomon::new(4, 3).unwrap();
     let shards = rs.encode_data(&data).unwrap();

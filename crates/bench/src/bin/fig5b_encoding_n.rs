@@ -49,6 +49,8 @@ fn main() {
     );
     println!();
     println!("Paper: speeds decrease only slightly with n (about 8% from n = 4 to 20 for CAONT-RS on Local-i5),");
-    println!("because Reed-Solomon coding is a small cost next to the AONT's cryptographic operations;");
+    println!(
+        "because Reed-Solomon coding is a small cost next to the AONT's cryptographic operations;"
+    );
     println!("combined chunking + encoding is about 16% below encoding-only.");
 }

@@ -77,6 +77,8 @@ fn main() {
     report("VM", &vm.snapshots(), n, k);
 
     println!("Paper: FSL intra-user savings >= 94.2% after week 1, inter-user <= 12.9%;");
-    println!("VM intra-user savings >= 98.0% after week 1, inter-user 93.4% in week 1 then 11.8-47.0%;");
+    println!(
+        "VM intra-user savings >= 98.0% after week 1, inter-user 93.4% in week 1 then 11.8-47.0%;"
+    );
     println!("after 16 weeks physical shares are ~6.3% (FSL) and ~0.8% (VM) of logical data.");
 }

@@ -23,7 +23,10 @@ fn main() {
     // Measure the client's computation stages on this machine. The CDStore
     // client parallelises coding across cores (§4.6); use the available
     // parallelism so the computation stage reflects a fully driven client.
-    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(8);
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(8);
     let flat: Vec<u8> = random_secrets(data_mb * 1024 * 1024, 8 * 1024, 3).concat();
     let secrets = random_secrets(data_mb * 1024 * 1024, 8 * 1024, 4);
     let compute_mbps = chunk_and_encode_speed(&scheme, &flat, threads);
@@ -50,6 +53,8 @@ fn main() {
     }
     println!();
     println!("Paper: LAN 77.5 / 149.9 / 99.2 MB/s; Cloud 6.2 / 57.1 / 12.3 MB/s.");
-    println!("Shape to verify: LAN upload(uniq) ~ k/n of the effective network speed; upload(dup) is");
+    println!(
+        "Shape to verify: LAN upload(uniq) ~ k/n of the effective network speed; upload(dup) is"
+    );
     println!("compute-bound; download ~10% below the network; the cloud dup/uniq gap is much larger (>5x).");
 }

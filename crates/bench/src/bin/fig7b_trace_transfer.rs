@@ -24,7 +24,10 @@ fn main() {
 
     // Measured computation speeds on this machine, using all available cores
     // as the multi-threaded client would (§4.6).
-    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(8);
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(8);
     let flat: Vec<u8> = random_secrets(data_mb * 1024 * 1024, 8 * 1024, 5).concat();
     let secrets = random_secrets(data_mb * 1024 * 1024, 8 * 1024, 6);
     let compute_mbps = chunk_and_encode_speed(&scheme, &flat, threads);
@@ -55,8 +58,7 @@ fn main() {
     ] {
         // First backup: some intra-user duplicates exist even in week 1.
         let logical_first = mb(first.stats.logical_bytes);
-        let per_cloud_first =
-            vec![mb(first.stats.transferred_share_bytes) / n as f64; n];
+        let per_cloud_first = vec![mb(first.stats.transferred_share_bytes) / n as f64; n];
         let up_first = model.upload_speed(logical_first, &per_cloud_first);
 
         // Subsequent backups: average over the remaining weeks.
@@ -78,7 +80,11 @@ fn main() {
     }
     println!();
     println!("Paper: LAN 92.3 / 145.1 / 89.6 MB/s; Cloud 6.9 / 56.2 / 9.5 MB/s.");
-    println!("Shape to verify: the first backup uploads faster than unique data (it already contains");
-    println!("intra-user duplicates); subsequent backups approach the duplicate-data speed; the trace");
+    println!(
+        "Shape to verify: the first backup uploads faster than unique data (it already contains"
+    );
+    println!(
+        "intra-user duplicates); subsequent backups approach the duplicate-data speed; the trace"
+    );
     println!("download is ~10% below the baseline download because of chunk fragmentation.");
 }

@@ -15,14 +15,19 @@ fn main() {
         .unwrap_or(64);
     let (n, k) = (4usize, 3usize);
     let scheme = CaontRs::new(n, k).unwrap();
-    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(8);
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(8);
     let flat: Vec<u8> = random_secrets(data_mb * 1024 * 1024, 8 * 1024, 8).concat();
     let compute_mbps = chunk_and_encode_speed(&scheme, &flat, threads);
 
     let model = MultiClientModel::lan(n, k, compute_mbps);
     let per_client_mb = 2048.0;
 
-    println!("Figure 8: aggregate upload speeds (MB/s) vs number of clients, LAN, (n, k) = ({n}, {k})");
+    println!(
+        "Figure 8: aggregate upload speeds (MB/s) vs number of clients, LAN, (n, k) = ({n}, {k})"
+    );
     println!("(measured per-client chunk+encode speed: {compute_mbps:.1} MB/s)");
     println!(
         "{:<10} {:>16} {:>16}",
@@ -34,7 +39,9 @@ fn main() {
         println!("{clients:<10} {uniq:>16.1} {dup:>16.1}");
     }
     println!();
-    println!("Paper: unique-data aggregate reaches 282 MB/s at 8 clients (310 MB/s without disk I/O,");
+    println!(
+        "Paper: unique-data aggregate reaches 282 MB/s at 8 clients (310 MB/s without disk I/O,"
+    );
     println!("i.e. about the aggregate Ethernet speed of k = 3 servers); duplicate-data aggregate reaches");
     println!("572 MB/s with a knee at 4 clients where server CPU saturates.");
 }

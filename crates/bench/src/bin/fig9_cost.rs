@@ -16,7 +16,13 @@ fn main() {
     println!("Figure 9(a): cost savings vs weekly backup size (dedup ratio 10x, 26-week retention, (4, 3))");
     println!(
         "{:<14} {:>14} {:>16} {:>16} {:>14} {:>16} {:>18}",
-        "Weekly (TB)", "CDStore $/mo", "AONT-RS $/mo", "1-cloud $/mo", "Instance", "vs AONT-RS", "vs single-cloud"
+        "Weekly (TB)",
+        "CDStore $/mo",
+        "AONT-RS $/mo",
+        "1-cloud $/mo",
+        "Instance",
+        "vs AONT-RS",
+        "vs single-cloud"
     );
     let mut weekly_tb = 0.25;
     while weekly_tb <= 256.0 {
@@ -51,8 +57,14 @@ fn main() {
         );
     }
     println!();
-    println!("Paper: at 16 TB weekly and 10x dedup, the single-cloud and AONT-RS systems cost about");
+    println!(
+        "Paper: at 16 TB weekly and 10x dedup, the single-cloud and AONT-RS systems cost about"
+    );
     println!("US$12,250 and US$16,400 per month; CDStore costs about US$3,540 including VM costs,");
-    println!("a saving of at least 70%; savings grow with the weekly size and the dedup ratio, and sit");
-    println!("around 70-80% for ratios of 10-50x; the jagged steps come from EC2 instance switching.");
+    println!(
+        "a saving of at least 70%; savings grow with the weekly size and the dedup ratio, and sit"
+    );
+    println!(
+        "around 70-80% for ratios of 10-50x; the jagged steps come from EC2 instance switching."
+    );
 }

@@ -33,7 +33,9 @@ fn main() {
     for profile in &CloudProfile::COMMERCIAL_CLOUDS {
         let mut stats = Vec::new();
         for direction in [Direction::Upload, Direction::Download] {
-            let samples: Vec<f64> = (0..RUNS).map(|_| measure(profile, direction, &mut rng)).collect();
+            let samples: Vec<f64> = (0..RUNS)
+                .map(|_| measure(profile, direction, &mut rng))
+                .collect();
             let mean = samples.iter().sum::<f64>() / RUNS as f64;
             let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / RUNS as f64;
             stats.push((mean, var.sqrt()));

@@ -120,7 +120,11 @@ mod tests {
         let secrets = random_secrets(100_000, 8192, 1);
         let total: usize = secrets.iter().map(|s| s.len()).sum();
         assert_eq!(total, 100_000);
-        assert!(secrets.len() >= 9 && secrets.len() <= 25, "{} chunks", secrets.len());
+        assert!(
+            secrets.len() >= 9 && secrets.len() <= 25,
+            "{} chunks",
+            secrets.len()
+        );
     }
 
     #[test]

@@ -119,8 +119,8 @@ impl SingleClientModel {
         for &i in chosen {
             per_cloud[i] = share_mb;
         }
-        let network_seconds =
-            self.network_seconds(&per_cloud, Direction::Download) * (1.0 + DOWNLOAD_BACKEND_PENALTY);
+        let network_seconds = self.network_seconds(&per_cloud, Direction::Download)
+            * (1.0 + DOWNLOAD_BACKEND_PENALTY);
         let compute_seconds = logical_mb / decode_mbps;
         logical_mb / compute_seconds.max(network_seconds)
     }
@@ -164,7 +164,10 @@ impl MultiClientModel {
             sim.add_resource(Resource::new(format!("client-{c}"), self.client_nic_mbps));
         }
         for s in 0..self.n {
-            sim.add_resource(Resource::new(format!("server-nic-{s}"), self.server_nic_mbps));
+            sim.add_resource(Resource::new(
+                format!("server-nic-{s}"),
+                self.server_nic_mbps,
+            ));
             sim.add_resource(Resource::new(format!("server-disk-{s}"), SERVER_DISK_MBPS));
         }
         // Each client sends one share stream (logical/k MB) to every server.
@@ -269,7 +272,11 @@ mod tests {
         // One client is bounded by its own NIC / compute; eight clients are
         // bounded by the servers (disk + NIC), around 280-330 MB/s.
         assert!(speeds[0] <= 110.0 + 1.0);
-        assert!(speeds[7] > 250.0 && speeds[7] < 340.0, "8 clients: {}", speeds[7]);
+        assert!(
+            speeds[7] > 250.0 && speeds[7] < 340.0,
+            "8 clients: {}",
+            speeds[7]
+        );
     }
 
     #[test]

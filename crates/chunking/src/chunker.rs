@@ -65,7 +65,10 @@ impl ChunkerConfig {
         assert!(min_size >= 1, "min_size must be at least 1");
         assert!(min_size <= avg_size, "min_size must not exceed avg_size");
         assert!(avg_size <= max_size, "avg_size must not exceed max_size");
-        assert!(avg_size.is_power_of_two(), "avg_size must be a power of two");
+        assert!(
+            avg_size.is_power_of_two(),
+            "avg_size must be a power of two"
+        );
         ChunkerConfig {
             min_size,
             avg_size,
@@ -295,8 +298,11 @@ mod tests {
         shifted.insert(0, 0x42);
 
         let fixed = FixedChunker::new(4096);
-        let fps_a: std::collections::HashSet<Fingerprint> =
-            fixed.chunk(&original).iter().map(|c| c.fingerprint()).collect();
+        let fps_a: std::collections::HashSet<Fingerprint> = fixed
+            .chunk(&original)
+            .iter()
+            .map(|c| c.fingerprint())
+            .collect();
         let chunks_b = fixed.chunk(&shifted);
         let shared = chunks_b
             .iter()
@@ -327,10 +333,16 @@ mod tests {
         file_b.extend_from_slice(&shared_region);
 
         let chunker = RabinChunker::default();
-        let fps_a: std::collections::HashSet<Fingerprint> =
-            chunker.chunk(&file_a).iter().map(|c| c.fingerprint()).collect();
+        let fps_a: std::collections::HashSet<Fingerprint> = chunker
+            .chunk(&file_a)
+            .iter()
+            .map(|c| c.fingerprint())
+            .collect();
         let chunks_b = chunker.chunk(&file_b);
-        let shared = chunks_b.iter().filter(|c| fps_a.contains(&c.fingerprint())).count();
+        let shared = chunks_b
+            .iter()
+            .filter(|c| fps_a.contains(&c.fingerprint()))
+            .count();
         assert!(shared as f64 > 0.7 * chunks_b.len() as f64);
     }
 

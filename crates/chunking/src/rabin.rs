@@ -46,15 +46,17 @@ fn build_tables() -> Tables {
     // out_table[b] = (b * x^(8*(WINDOW_SIZE-1))) mod P: the contribution of
     // the byte about to leave the window, removed just before the next shift.
     let mut out_table = [0u64; 256];
-    for b in 0..256usize {
-        let mut fp = 0u64;
-        fp = poly_mod_step(fp, b as u8, &mod_table);
+    for (b, slot) in out_table.iter_mut().enumerate() {
+        let mut fp = poly_mod_step(0, b as u8, &mod_table);
         for _ in 0..WINDOW_SIZE - 1 {
             fp = poly_mod_step(fp, 0, &mod_table);
         }
-        out_table[b] = fp;
+        *slot = fp;
     }
-    Tables { mod_table, out_table }
+    Tables {
+        mod_table,
+        out_table,
+    }
 }
 
 /// A rolling Rabin fingerprint over a fixed-size window.
@@ -148,7 +150,9 @@ mod tests {
     fn fingerprint_depends_only_on_window_content() {
         // Two streams that end with the same WINDOW_SIZE bytes give the same
         // fingerprint — the property that makes chunking content-defined.
-        let tail: Vec<u8> = (0..WINDOW_SIZE as u32).map(|i| (i * 7 % 256) as u8).collect();
+        let tail: Vec<u8> = (0..WINDOW_SIZE as u32)
+            .map(|i| (i * 7 % 256) as u8)
+            .collect();
         let mut stream_a = vec![1u8; 200];
         stream_a.extend_from_slice(&tail);
         let mut stream_b = vec![9u8; 500];
@@ -185,13 +189,19 @@ mod tests {
         // Boundary selection uses the low bits; check they are not constant.
         let mut h = RabinHasher::new();
         let mut low_bits = std::collections::HashSet::new();
-        let data: Vec<u8> = (0..100_000u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
+        let data: Vec<u8> = (0..100_000u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
+            .collect();
         for &b in &data {
             let fp = h.roll(b);
             low_bits.insert(fp & 0x1fff);
         }
         // With 100k samples over a 13-bit space nearly every value appears.
-        assert!(low_bits.len() > 4000, "only {} distinct low-bit patterns", low_bits.len());
+        assert!(
+            low_bits.len() > 4000,
+            "only {} distinct low-bit patterns",
+            low_bits.len()
+        );
     }
 
     proptest! {

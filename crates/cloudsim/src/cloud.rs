@@ -250,8 +250,14 @@ mod tests {
         let cloud = SimCloud::new(2, CloudProfile::GOOGLE);
         cloud.upload("x", b"data").unwrap();
         cloud.set_available(false);
-        assert!(matches!(cloud.upload("y", b"data"), Err(CloudError::Unavailable(_))));
-        assert!(matches!(cloud.download("x"), Err(CloudError::Unavailable(_))));
+        assert!(matches!(
+            cloud.upload("y", b"data"),
+            Err(CloudError::Unavailable(_))
+        ));
+        assert!(matches!(
+            cloud.download("x"),
+            Err(CloudError::Unavailable(_))
+        ));
         cloud.set_available(true);
         assert!(cloud.download("x").is_ok());
     }

@@ -133,7 +133,11 @@ impl FlowSimulator {
                 if frozen[slot] {
                     continue;
                 }
-                if self.flows[flow_idx].resources.iter().any(|r| r == bottleneck) {
+                if self.flows[flow_idx]
+                    .resources
+                    .iter()
+                    .any(|r| r == bottleneck)
+                {
                     rates[slot] = share;
                     frozen[slot] = true;
                     for r in &self.flows[flow_idx].resources {
@@ -251,7 +255,11 @@ mod tests {
         let mut sim = FlowSimulator::new();
         sim.add_resource(Resource::new("client-nic", 110.0));
         sim.add_resource(Resource::new("server-disk", 40.0));
-        sim.add_flow(Flow::new("upload", 400.0, vec!["client-nic".into(), "server-disk".into()]));
+        sim.add_flow(Flow::new(
+            "upload",
+            400.0,
+            vec!["client-nic".into(), "server-disk".into()],
+        ));
         assert!((sim.makespan() - 10.0).abs() < 1e-9);
     }
 

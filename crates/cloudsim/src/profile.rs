@@ -158,7 +158,10 @@ mod tests {
         assert!(t_large > 9.0 * t_small && t_large < 11.0 * t_small);
         let t_slow = CloudProfile::GOOGLE.transfer_seconds(four_mb, Direction::Upload, four_mb);
         assert!(t_slow > 10.0 * t_small);
-        assert_eq!(CloudProfile::LAN.transfer_seconds(0, Direction::Upload, four_mb), 0.0);
+        assert_eq!(
+            CloudProfile::LAN.transfer_seconds(0, Direction::Upload, four_mb),
+            0.0
+        );
     }
 
     #[test]
@@ -173,6 +176,9 @@ mod tests {
         let bytes = 2u64 * 1024 * 1024 * 1024;
         let secs = CloudProfile::AZURE.transfer_seconds(bytes, Direction::Upload, 4 * 1024 * 1024);
         let effective = (bytes as f64 / (1024.0 * 1024.0)) / secs;
-        assert!((effective - CloudProfile::AZURE.upload_mbps).abs() / CloudProfile::AZURE.upload_mbps < 0.05);
+        assert!(
+            (effective - CloudProfile::AZURE.upload_mbps).abs() / CloudProfile::AZURE.upload_mbps
+                < 0.05
+        );
     }
 }

@@ -240,7 +240,8 @@ impl CdStoreClient {
         // Fetch all shares from each chosen cloud in one batch.
         let mut shares_by_cloud: Vec<(usize, Vec<Vec<u8>>)> = Vec::with_capacity(self.k);
         for (cloud, recipe) in &recipes {
-            let fps: Vec<Fingerprint> = recipe.entries.iter().map(|e| e.share_fingerprint).collect();
+            let fps: Vec<Fingerprint> =
+                recipe.entries.iter().map(|e| e.share_fingerprint).collect();
             let shares = servers[*cloud].fetch_shares(self.user, &fps)?;
             shares_by_cloud.push((*cloud, shares));
         }
@@ -253,15 +254,17 @@ impl CdStoreClient {
                 share_slots[*cloud] = Some(shares[seq].clone());
             }
             let secret_size = recipes[0].1.entries[seq].secret_size as usize;
-            let secret = self
-                .scheme
-                .reconstruct(&share_slots, secret_size)
-                .map_err(|e| match e {
-                    cdstore_secretsharing::SharingError::IntegrityCheckFailed => {
-                        CdStoreError::IntegrityFailure(format!("secret {seq} failed its hash check"))
-                    }
-                    other => CdStoreError::Sharing(other),
-                })?;
+            let secret =
+                self.scheme
+                    .reconstruct(&share_slots, secret_size)
+                    .map_err(|e| match e {
+                        cdstore_secretsharing::SharingError::IntegrityCheckFailed => {
+                            CdStoreError::IntegrityFailure(format!(
+                                "secret {seq} failed its hash check"
+                            ))
+                        }
+                        other => CdStoreError::Sharing(other),
+                    })?;
             out.extend_from_slice(&secret);
         }
         Ok(out)
@@ -330,8 +333,18 @@ mod tests {
         assert_eq!(second.dedup.transferred_share_bytes, 0);
         assert!((second.dedup.intra_user_saving() - 1.0).abs() < 1e-9);
         // Both versions remain restorable.
-        assert_eq!(client.download(&mut servers, &[true; 4], "/weekly/v1").unwrap(), data);
-        assert_eq!(client.download(&mut servers, &[true; 4], "/weekly/v2").unwrap(), data);
+        assert_eq!(
+            client
+                .download(&mut servers, &[true; 4], "/weekly/v1")
+                .unwrap(),
+            data
+        );
+        assert_eq!(
+            client
+                .download(&mut servers, &[true; 4], "/weekly/v2")
+                .unwrap(),
+            data
+        );
     }
 
     #[test]
@@ -345,12 +358,18 @@ mod tests {
         // Bob still transfers his shares (no client-side global dedup — that
         // would open the side channel)...
         assert!(b.dedup.transferred_share_bytes > 0);
-        assert_eq!(b.dedup.transferred_share_bytes, a.dedup.transferred_share_bytes);
+        assert_eq!(
+            b.dedup.transferred_share_bytes,
+            a.dedup.transferred_share_bytes
+        );
         // ...but the servers store nothing new for Bob.
         assert_eq!(b.dedup.physical_share_bytes, 0);
         assert!((b.dedup.inter_user_saving() - 1.0).abs() < 1e-9);
         // Both users can restore independently.
-        assert_eq!(alice.download(&mut servers, &[true; 4], "/a").unwrap(), data);
+        assert_eq!(
+            alice.download(&mut servers, &[true; 4], "/a").unwrap(),
+            data
+        );
         assert_eq!(bob.download(&mut servers, &[true; 4], "/b").unwrap(), data);
     }
 
@@ -368,7 +387,10 @@ mod tests {
         let r2 = client.upload(&mut servers, "/w2", &week2).unwrap();
         assert!(r2.dedup.transferred_share_bytes < r1.dedup.transferred_share_bytes / 4);
         assert!(r2.dedup.intra_user_saving() > 0.7);
-        assert_eq!(client.download(&mut servers, &[true; 4], "/w2").unwrap(), week2);
+        assert_eq!(
+            client.download(&mut servers, &[true; 4], "/w2").unwrap(),
+            week2
+        );
     }
 
     #[test]
@@ -402,7 +424,10 @@ mod tests {
         let client = CdStoreClient::new(1, 4, 3).unwrap();
         let report = client.upload(&mut servers, "/empty", b"").unwrap();
         assert_eq!(report.num_secrets, 0);
-        assert_eq!(client.download(&mut servers, &[true; 4], "/empty").unwrap(), Vec::<u8>::new());
+        assert_eq!(
+            client.download(&mut servers, &[true; 4], "/empty").unwrap(),
+            Vec::<u8>::new()
+        );
     }
 
     #[test]

@@ -62,7 +62,11 @@ impl DedupStats {
     /// shares (e.g. `10×`).
     pub fn dedup_ratio(&self) -> f64 {
         if self.physical_share_bytes == 0 {
-            return if self.logical_share_bytes == 0 { 1.0 } else { f64::INFINITY };
+            return if self.logical_share_bytes == 0 {
+                1.0
+            } else {
+                f64::INFINITY
+            };
         }
         self.logical_share_bytes as f64 / self.physical_share_bytes as f64
     }

@@ -42,7 +42,10 @@ impl fmt::Display for CdStoreError {
             CdStoreError::Storage(e) => write!(f, "storage error: {e}"),
             CdStoreError::Cloud(e) => write!(f, "cloud error: {e}"),
             CdStoreError::NotEnoughClouds { needed, available } => {
-                write!(f, "need {needed} reachable clouds, only {available} available")
+                write!(
+                    f,
+                    "need {needed} reachable clouds, only {available} available"
+                )
             }
             CdStoreError::FileNotFound(path) => write!(f, "file not found: {path}"),
             CdStoreError::MissingShare(fp) => write!(f, "missing share: {fp}"),
@@ -78,7 +81,10 @@ mod tests {
 
     #[test]
     fn errors_render_human_readable_messages() {
-        let e = CdStoreError::NotEnoughClouds { needed: 3, available: 2 };
+        let e = CdStoreError::NotEnoughClouds {
+            needed: 3,
+            available: 2,
+        };
         assert!(e.to_string().contains("need 3"));
         let e = CdStoreError::FileNotFound("/backup.tar".into());
         assert!(e.to_string().contains("/backup.tar"));

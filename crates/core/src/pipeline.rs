@@ -39,7 +39,9 @@ impl<'a> ParallelCoder<'a> {
         &self,
         items: &[(Vec<Option<Vec<u8>>>, usize)],
     ) -> Result<Vec<Vec<u8>>, SharingError> {
-        self.run(items, |scheme, (shares, len)| scheme.reconstruct(shares, *len))
+        self.run(items, |scheme, (shares, len)| {
+            scheme.reconstruct(shares, *len)
+        })
     }
 
     fn run<I, O, F>(&self, items: &[I], op: F) -> Result<Vec<O>, SharingError>
@@ -62,7 +64,10 @@ impl<'a> ParallelCoder<'a> {
                 let op = &op;
                 let scheme = self.scheme;
                 handles.push(scope.spawn(move || {
-                    chunk.iter().map(|item| op(scheme, item)).collect::<Result<Vec<O>, _>>()
+                    chunk
+                        .iter()
+                        .map(|item| op(scheme, item))
+                        .collect::<Result<Vec<O>, _>>()
                 }));
             }
             handles
@@ -95,7 +100,9 @@ mod tests {
         let batch = secrets(37);
         let sequential = ParallelCoder::new(&scheme, 1).encode_batch(&batch).unwrap();
         for threads in [2, 3, 4, 8] {
-            let parallel = ParallelCoder::new(&scheme, threads).encode_batch(&batch).unwrap();
+            let parallel = ParallelCoder::new(&scheme, threads)
+                .encode_batch(&batch)
+                .unwrap();
             assert_eq!(parallel, sequential, "threads={threads}");
         }
     }
@@ -151,5 +158,117 @@ mod tests {
         // Reconstructing from too few shares must surface the error.
         let items = vec![(vec![None, None, None, None], 10usize); 4];
         assert!(coder.decode_batch(&items).is_err());
+    }
+
+    /// A scheme that fails to split any secret whose first byte is the
+    /// poison marker, for exercising partial-failure paths.
+    struct PoisonScheme {
+        inner: CaontRs,
+    }
+
+    const POISON: u8 = 0xFF;
+
+    impl SecretSharing for PoisonScheme {
+        fn name(&self) -> &'static str {
+            "poison"
+        }
+
+        fn n(&self) -> usize {
+            self.inner.n()
+        }
+
+        fn k(&self) -> usize {
+            self.inner.k()
+        }
+
+        fn confidentiality_degree(&self) -> usize {
+            self.inner.confidentiality_degree()
+        }
+
+        fn total_share_size(&self, secret_len: usize) -> usize {
+            self.inner.total_share_size(secret_len)
+        }
+
+        fn split(&self, secret: &[u8]) -> Result<Vec<Vec<u8>>, SharingError> {
+            if secret.first() == Some(&POISON) {
+                return Err(SharingError::InvalidParameters("poisoned secret".into()));
+            }
+            self.inner.split(secret)
+        }
+
+        fn reconstruct(
+            &self,
+            shares: &[Option<Vec<u8>>],
+            secret_len: usize,
+        ) -> Result<Vec<u8>, SharingError> {
+            self.inner.reconstruct(shares, secret_len)
+        }
+    }
+
+    #[test]
+    fn one_failing_secret_mid_batch_fails_the_whole_batch() {
+        let scheme = PoisonScheme {
+            inner: CaontRs::new(4, 3).unwrap(),
+        };
+        let mut batch = secrets(24);
+        batch[13][0] = POISON;
+        for threads in [1, 2, 4, 8] {
+            let err = ParallelCoder::new(&scheme, threads)
+                .encode_batch(&batch)
+                .expect_err("poisoned batch must not encode");
+            assert!(
+                matches!(err, SharingError::InvalidParameters(_)),
+                "threads={threads}: unexpected error {err:?}"
+            );
+        }
+        // The same batch without the poisoned secret encodes fine, so the
+        // failure above really came from the one bad item.
+        batch.remove(13);
+        assert!(ParallelCoder::new(&scheme, 4).encode_batch(&batch).is_ok());
+    }
+
+    #[test]
+    fn one_failing_item_mid_batch_fails_decode() {
+        let scheme = CaontRs::new(4, 3).unwrap();
+        let coder = ParallelCoder::new(&scheme, 3);
+        let batch = secrets(9);
+        let encoded = coder.encode_batch(&batch).unwrap();
+        let mut items: Vec<(Vec<Option<Vec<u8>>>, usize)> = encoded
+            .into_iter()
+            .zip(&batch)
+            .map(|(shares, secret)| (shares.into_iter().map(Some).collect(), secret.len()))
+            .collect();
+        // Drop every share of one mid-batch item: below threshold k.
+        items[5].0.iter_mut().for_each(|slot| *slot = None);
+        assert!(
+            matches!(
+                coder.decode_batch(&items),
+                Err(SharingError::NotEnoughShares { .. })
+            ),
+            "unreconstructable mid-batch item must surface NotEnoughShares"
+        );
+    }
+
+    #[test]
+    fn more_threads_than_items_matches_sequential_output() {
+        let scheme = CaontRs::new(4, 3).unwrap();
+        let batch = secrets(2);
+        let sequential = ParallelCoder::new(&scheme, 1).encode_batch(&batch).unwrap();
+        // 16 threads for 2 secrets: workers are capped at the batch size and
+        // the output must be identical, element for element, to sequential.
+        let parallel = ParallelCoder::new(&scheme, 16)
+            .encode_batch(&batch)
+            .unwrap();
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn single_item_batch_encodes_on_many_threads() {
+        let scheme = CaontRs::new(4, 3).unwrap();
+        let coder = ParallelCoder::new(&scheme, 8);
+        let batch = secrets(1);
+        let encoded = coder.encode_batch(&batch).unwrap();
+        assert_eq!(encoded.len(), 1);
+        assert_eq!(encoded[0].len(), 4);
     }
 }

@@ -162,7 +162,9 @@ impl CdStoreServer {
         let key = FileKey::new(user, encoded_pathname);
         let recipe_bytes = recipe.to_bytes();
         let recipe_fp = Fingerprint::tagged(b"recipe", key.as_bytes());
-        let location = self.containers.store_recipe(user, recipe_fp, &recipe_bytes)?;
+        let location = self
+            .containers
+            .store_recipe(user, recipe_fp, &recipe_bytes)?;
         self.stats.recipe_bytes += recipe_bytes.len() as u64;
         // Store the location inside the file entry: the container id plus the
         // offset/size packed into the remaining fields.
@@ -192,10 +194,9 @@ impl CdStoreServer {
         encoded_pathname: &[u8],
     ) -> Result<FileRecipe, CdStoreError> {
         let key = FileKey::new(user, encoded_pathname);
-        let entry = self
-            .file_index
-            .get(&key)
-            .ok_or_else(|| CdStoreError::FileNotFound(format!("user {user} on cloud {}", self.cloud_index)))?;
+        let entry = self.file_index.get(&key).ok_or_else(|| {
+            CdStoreError::FileNotFound(format!("user {user} on cloud {}", self.cloud_index))
+        })?;
         let location = cdstore_index::ShareLocation {
             container_id: entry.recipe_container_id,
             offset: (entry.file_size >> 32) as u32,
@@ -217,16 +218,19 @@ impl CdStoreServer {
     /// fingerprint recorded in the file recipe. Ownership is enforced: a user
     /// who never uploaded the share cannot retrieve it by fingerprint alone
     /// (the proof-of-ownership side channel of §3.3).
-    pub fn fetch_share(&mut self, user: u64, client_fp: &Fingerprint) -> Result<Vec<u8>, CdStoreError> {
+    pub fn fetch_share(
+        &mut self,
+        user: u64,
+        client_fp: &Fingerprint,
+    ) -> Result<Vec<u8>, CdStoreError> {
         let server_fp_bytes = self
             .user_shares
             .get(&Self::user_share_key(user, client_fp))
             .ok_or_else(|| CdStoreError::MissingShare(client_fp.to_hex()))?;
-        let server_fp = Fingerprint::from_bytes(
-            server_fp_bytes
-                .try_into()
-                .map_err(|_| CdStoreError::InconsistentMetadata("bad fingerprint mapping".into()))?,
-        );
+        let server_fp =
+            Fingerprint::from_bytes(server_fp_bytes.try_into().map_err(|_| {
+                CdStoreError::InconsistentMetadata("bad fingerprint mapping".into())
+            })?);
         let entry = self
             .share_index
             .lookup(&server_fp)
@@ -275,15 +279,18 @@ mod tests {
     }
 
     fn share(data: &[u8]) -> (ShareMetadata, Vec<u8>) {
-        (meta(Fingerprint::of(data), data.len() as u32, 0), data.to_vec())
+        (
+            meta(Fingerprint::of(data), data.len() as u32, 0),
+            data.to_vec(),
+        )
     }
 
     #[test]
     fn inter_user_dedup_stores_one_copy() {
         let mut server = CdStoreServer::new(0);
         let s = share(b"identical share content");
-        let new_a = server.store_shares(1, &[s.clone()]).unwrap();
-        let new_b = server.store_shares(2, &[s.clone()]).unwrap();
+        let new_a = server.store_shares(1, std::slice::from_ref(&s)).unwrap();
+        let new_b = server.store_shares(2, std::slice::from_ref(&s)).unwrap();
         assert_eq!(new_a, s.1.len() as u64);
         assert_eq!(new_b, 0, "second user's identical share is deduplicated");
         assert_eq!(server.unique_shares(), 1);
@@ -297,8 +304,8 @@ mod tests {
         let mut server = CdStoreServer::new(0);
         let s1 = share(b"first");
         let s2 = share(b"second");
-        server.store_shares(1, &[s1.clone()]).unwrap();
-        server.store_shares(2, &[s2.clone()]).unwrap();
+        server.store_shares(1, std::slice::from_ref(&s1)).unwrap();
+        server.store_shares(2, std::slice::from_ref(&s2)).unwrap();
         // User 1 owns s1 but not s2 (even though s2 is stored): the reply must
         // not leak other users' deduplication state.
         let reply = server.intra_user_query(1, &[s1.0.fingerprint, s2.0.fingerprint]);
@@ -311,7 +318,7 @@ mod tests {
     fn fetch_share_enforces_ownership() {
         let mut server = CdStoreServer::new(0);
         let s = share(b"sensitive share of user 1");
-        server.store_shares(1, &[s.clone()]).unwrap();
+        server.store_shares(1, std::slice::from_ref(&s)).unwrap();
         server.flush().unwrap();
         assert_eq!(server.fetch_share(1, &s.0.fingerprint).unwrap(), s.1);
         // User 2 knows the fingerprint but never uploaded the share: denied.
@@ -347,7 +354,10 @@ mod tests {
     #[test]
     fn newer_recipe_versions_replace_older_ones() {
         let mut server = CdStoreServer::new(0);
-        let old = FileRecipe { file_size: 1, entries: vec![] };
+        let old = FileRecipe {
+            file_size: 1,
+            entries: vec![],
+        };
         let new = FileRecipe {
             file_size: 2,
             entries: vec![crate::metadata::RecipeEntry {
@@ -363,11 +373,17 @@ mod tests {
     #[test]
     fn delete_file_removes_the_index_entry() {
         let mut server = CdStoreServer::new(0);
-        let recipe = FileRecipe { file_size: 5, entries: vec![] };
+        let recipe = FileRecipe {
+            file_size: 5,
+            entries: vec![],
+        };
         server.put_file(1, b"/f", &recipe).unwrap();
         assert!(server.delete_file(1, b"/f"));
         assert!(!server.delete_file(1, b"/f"));
-        assert!(matches!(server.get_recipe(1, b"/f"), Err(CdStoreError::FileNotFound(_))));
+        assert!(matches!(
+            server.get_recipe(1, b"/f"),
+            Err(CdStoreError::FileNotFound(_))
+        ));
     }
 
     #[test]
@@ -385,7 +401,9 @@ mod tests {
     #[test]
     fn backend_bytes_reflect_flushed_containers() {
         let mut server = CdStoreServer::new(0);
-        server.store_shares(1, &[share(&vec![7u8; 100_000])]).unwrap();
+        server
+            .store_shares(1, &[share(&vec![7u8; 100_000])])
+            .unwrap();
         assert_eq!(server.backend_bytes(), 0);
         server.flush().unwrap();
         assert!(server.backend_bytes() >= 100_000);

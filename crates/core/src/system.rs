@@ -274,7 +274,12 @@ mod tests {
         let data_b = sample(90_000, 4);
         store.backup(1, "/a", &data_a).unwrap();
         store.backup(2, "/b", &data_b).unwrap();
-        let physical_before: u64 = store.stats().servers.iter().map(|s| s.physical_share_bytes).sum();
+        let physical_before: u64 = store
+            .stats()
+            .servers
+            .iter()
+            .map(|s| s.physical_share_bytes)
+            .sum();
 
         // Cloud 2 is lost permanently and replaced by an empty one.
         let repaired = store.replace_and_repair_cloud(2).unwrap();
@@ -285,7 +290,12 @@ mod tests {
         assert_eq!(store.restore(2, "/b").unwrap(), data_b);
         // Repair regenerated roughly the lost quarter of the physical data,
         // not a full re-store (convergent shares deduplicate on survivors).
-        let physical_after: u64 = store.stats().servers.iter().map(|s| s.physical_share_bytes).sum();
+        let physical_after: u64 = store
+            .stats()
+            .servers
+            .iter()
+            .map(|s| s.physical_share_bytes)
+            .sum();
         assert!(physical_after >= physical_before);
         assert!(physical_after < physical_before * 2);
     }

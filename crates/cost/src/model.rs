@@ -160,7 +160,9 @@ impl CostModel {
         // (non-deduplicated) secret of every retained backup.
         let secrets = logical / scenario.avg_chunk_bytes;
         let recipe_per_cloud = secrets * self.recipe_entry_bytes;
-        let storage_usd = n * self.pricing.monthly_cost(physical_per_cloud + recipe_per_cloud);
+        let storage_usd = n * self
+            .pricing
+            .monthly_cost(physical_per_cloud + recipe_per_cloud);
         // Index sizing: one entry per unique share stored on the cloud.
         let share_bytes = (scenario.avg_chunk_bytes + 32.0) / k;
         let unique_shares_per_cloud = physical_per_cloud / share_bytes;
@@ -194,13 +196,27 @@ mod tests {
         let model = CostModel::new();
         let comparison = model.evaluate(&Scenario::case_study(16.0 * TB, 10.0));
         // Single-cloud ≈ US$12,250/month, AONT-RS ≈ US$16,400/month.
-        assert!((10_500.0..13_500.0).contains(&comparison.single_cloud.total_usd()),
-            "single cloud {}", comparison.single_cloud.total_usd());
-        assert!((15_000.0..18_000.0).contains(&comparison.aont_rs.total_usd()),
-            "AONT-RS {}", comparison.aont_rs.total_usd());
+        assert!(
+            (10_500.0..13_500.0).contains(&comparison.single_cloud.total_usd()),
+            "single cloud {}",
+            comparison.single_cloud.total_usd()
+        );
+        assert!(
+            (15_000.0..18_000.0).contains(&comparison.aont_rs.total_usd()),
+            "AONT-RS {}",
+            comparison.aont_rs.total_usd()
+        );
         // CDStore saves at least 70% against both baselines.
-        assert!(comparison.saving_vs_aont_rs() >= 0.70, "vs AONT-RS {}", comparison.saving_vs_aont_rs());
-        assert!(comparison.saving_vs_single_cloud() >= 0.70, "vs single {}", comparison.saving_vs_single_cloud());
+        assert!(
+            comparison.saving_vs_aont_rs() >= 0.70,
+            "vs AONT-RS {}",
+            comparison.saving_vs_aont_rs()
+        );
+        assert!(
+            comparison.saving_vs_single_cloud() >= 0.70,
+            "vs single {}",
+            comparison.saving_vs_single_cloud()
+        );
         // And it does pay for VMs.
         assert!(comparison.cdstore.vm_usd > 0.0);
         assert!(comparison.cdstore.instance.is_some());
@@ -234,7 +250,10 @@ mod tests {
         let model = CostModel::new();
         for weekly_tb in [1.0, 4.0, 16.0, 64.0] {
             let c = model.evaluate(&Scenario::case_study(weekly_tb * TB, 10.0));
-            assert!(c.saving_vs_aont_rs() > c.saving_vs_single_cloud(), "weekly {weekly_tb} TB");
+            assert!(
+                c.saving_vs_aont_rs() > c.saving_vs_single_cloud(),
+                "weekly {weekly_tb} TB"
+            );
         }
     }
 
@@ -270,9 +289,15 @@ mod tests {
         // §5.6: "The increase slows down as the weekly backup size further
         // increases, since the overhead of file recipes becomes significant."
         let model = CostModel::new();
-        let s64 = model.evaluate(&Scenario::case_study(64.0 * TB, 10.0)).saving_vs_aont_rs();
-        let s128 = model.evaluate(&Scenario::case_study(128.0 * TB, 10.0)).saving_vs_aont_rs();
-        let s256 = model.evaluate(&Scenario::case_study(256.0 * TB, 10.0)).saving_vs_aont_rs();
+        let s64 = model
+            .evaluate(&Scenario::case_study(64.0 * TB, 10.0))
+            .saving_vs_aont_rs();
+        let s128 = model
+            .evaluate(&Scenario::case_study(128.0 * TB, 10.0))
+            .saving_vs_aont_rs();
+        let s256 = model
+            .evaluate(&Scenario::case_study(256.0 * TB, 10.0))
+            .saving_vs_aont_rs();
         let growth_1 = s128 - s64;
         let growth_2 = s256 - s128;
         assert!(growth_2 <= growth_1 + 1e-6);

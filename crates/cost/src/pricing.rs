@@ -36,12 +36,30 @@ impl Default for S3Pricing {
     fn default() -> Self {
         S3Pricing {
             tiers: vec![
-                S3Tier { upto_gb: 1024.0, usd_per_gb_month: 0.0300 },
-                S3Tier { upto_gb: 50.0 * 1024.0, usd_per_gb_month: 0.0295 },
-                S3Tier { upto_gb: 500.0 * 1024.0, usd_per_gb_month: 0.0290 },
-                S3Tier { upto_gb: 1000.0 * 1024.0, usd_per_gb_month: 0.0285 },
-                S3Tier { upto_gb: 5000.0 * 1024.0, usd_per_gb_month: 0.0280 },
-                S3Tier { upto_gb: 1.0e15, usd_per_gb_month: 0.0275 },
+                S3Tier {
+                    upto_gb: 1024.0,
+                    usd_per_gb_month: 0.0300,
+                },
+                S3Tier {
+                    upto_gb: 50.0 * 1024.0,
+                    usd_per_gb_month: 0.0295,
+                },
+                S3Tier {
+                    upto_gb: 500.0 * 1024.0,
+                    usd_per_gb_month: 0.0290,
+                },
+                S3Tier {
+                    upto_gb: 1000.0 * 1024.0,
+                    usd_per_gb_month: 0.0285,
+                },
+                S3Tier {
+                    upto_gb: 5000.0 * 1024.0,
+                    usd_per_gb_month: 0.0280,
+                },
+                S3Tier {
+                    upto_gb: 1.0e15,
+                    usd_per_gb_month: 0.0275,
+                },
             ],
         }
     }
@@ -87,12 +105,48 @@ pub struct Ec2Instance {
 
 /// The embedded catalogue of candidate instances, cheapest first.
 pub const EC2_CATALOG: [Ec2Instance; 6] = [
-    Ec2Instance { name: "c3.large", vcpus: 2, memory_gb: 3.75, local_storage_gb: 32.0, monthly_usd: 61.0 },
-    Ec2Instance { name: "c3.xlarge", vcpus: 4, memory_gb: 7.5, local_storage_gb: 80.0, monthly_usd: 123.0 },
-    Ec2Instance { name: "c3.2xlarge", vcpus: 8, memory_gb: 15.0, local_storage_gb: 160.0, monthly_usd: 245.0 },
-    Ec2Instance { name: "i2.xlarge", vcpus: 4, memory_gb: 30.5, local_storage_gb: 800.0, monthly_usd: 360.0 },
-    Ec2Instance { name: "i2.2xlarge", vcpus: 8, memory_gb: 61.0, local_storage_gb: 1600.0, monthly_usd: 720.0 },
-    Ec2Instance { name: "i2.4xlarge", vcpus: 16, memory_gb: 122.0, local_storage_gb: 3200.0, monthly_usd: 1295.0 },
+    Ec2Instance {
+        name: "c3.large",
+        vcpus: 2,
+        memory_gb: 3.75,
+        local_storage_gb: 32.0,
+        monthly_usd: 61.0,
+    },
+    Ec2Instance {
+        name: "c3.xlarge",
+        vcpus: 4,
+        memory_gb: 7.5,
+        local_storage_gb: 80.0,
+        monthly_usd: 123.0,
+    },
+    Ec2Instance {
+        name: "c3.2xlarge",
+        vcpus: 8,
+        memory_gb: 15.0,
+        local_storage_gb: 160.0,
+        monthly_usd: 245.0,
+    },
+    Ec2Instance {
+        name: "i2.xlarge",
+        vcpus: 4,
+        memory_gb: 30.5,
+        local_storage_gb: 800.0,
+        monthly_usd: 360.0,
+    },
+    Ec2Instance {
+        name: "i2.2xlarge",
+        vcpus: 8,
+        memory_gb: 61.0,
+        local_storage_gb: 1600.0,
+        monthly_usd: 720.0,
+    },
+    Ec2Instance {
+        name: "i2.4xlarge",
+        vcpus: 16,
+        memory_gb: 122.0,
+        local_storage_gb: 3200.0,
+        monthly_usd: 1295.0,
+    },
 ];
 
 /// Chooses the cheapest instance configuration whose local storage holds an
@@ -134,7 +188,10 @@ mod tests {
         // Paper's example: 16 TB weekly * 26 weeks = 416 TB logical in a
         // single cloud costs about US$12,250 per month.
         let single_cloud = pricing.monthly_cost(416.0 * TB);
-        assert!((11_000.0..13_500.0).contains(&single_cloud), "416 TB costs {single_cloud}");
+        assert!(
+            (11_000.0..13_500.0).contains(&single_cloud),
+            "416 TB costs {single_cloud}"
+        );
     }
 
     #[test]

@@ -176,8 +176,8 @@ mod tests {
     #[test]
     fn short_key_uses_leading_bytes() {
         let fp = Fingerprint::from_bytes([
-            0, 0, 0, 0, 0, 0, 0, 42, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9,
-            9, 9, 9, 9,
+            0, 0, 0, 0, 0, 0, 0, 42, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9,
+            9, 9, 9,
         ]);
         assert_eq!(fp.short(), 42);
     }

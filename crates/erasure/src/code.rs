@@ -46,7 +46,10 @@ impl fmt::Display for ErasureError {
                 write!(f, "expected {expected} shards, got {actual}")
             }
             ErasureError::NotEnoughShards { needed, available } => {
-                write!(f, "need {needed} shards to reconstruct, only {available} available")
+                write!(
+                    f,
+                    "need {needed} shards to reconstruct, only {available} available"
+                )
             }
             ErasureError::InconsistentShardSize => write!(f, "shards have inconsistent sizes"),
             ErasureError::MatrixSingular => write!(f, "decode matrix is singular"),
@@ -196,7 +199,12 @@ impl ReedSolomon {
             .iter()
             .map(|&i| shards[i].as_ref().expect("available").as_slice())
             .collect();
-        Ok(region::matrix_apply(inv.as_slice(), self.k, self.k, &inputs))
+        Ok(region::matrix_apply(
+            inv.as_slice(),
+            self.k,
+            self.k,
+            &inputs,
+        ))
     }
 
     /// Reconstructs the original byte buffer of length `original_len` from
@@ -294,10 +302,14 @@ mod tests {
     fn fewer_than_k_shards_fails() {
         let rs = ReedSolomon::new(4, 3).unwrap();
         let shards = rs.encode_data(b"some data to protect").unwrap();
-        let received: Vec<Option<Vec<u8>>> = vec![Some(shards[0].clone()), Some(shards[3].clone()), None, None];
+        let received: Vec<Option<Vec<u8>>> =
+            vec![Some(shards[0].clone()), Some(shards[3].clone()), None, None];
         assert!(matches!(
             rs.reconstruct_data(&received, 20),
-            Err(ErasureError::NotEnoughShards { needed: 3, available: 2 })
+            Err(ErasureError::NotEnoughShards {
+                needed: 3,
+                available: 2
+            })
         ));
     }
 
@@ -327,11 +339,17 @@ mod tests {
         let rs = ReedSolomon::new(4, 3).unwrap();
         assert!(matches!(
             rs.encode_shards(&[b"ab".as_slice(), b"cd".as_slice()]),
-            Err(ErasureError::WrongShardCount { expected: 3, actual: 2 })
+            Err(ErasureError::WrongShardCount {
+                expected: 3,
+                actual: 2
+            })
         ));
         assert!(matches!(
             rs.reconstruct_data_shards(&[None, None]),
-            Err(ErasureError::WrongShardCount { expected: 4, actual: 2 })
+            Err(ErasureError::WrongShardCount {
+                expected: 4,
+                actual: 2
+            })
         ));
     }
 

@@ -82,6 +82,9 @@ impl From<Gf256> for u8 {
     }
 }
 
+// In GF(2^8) addition and subtraction are both XOR; clippy flags `^`
+// inside arithmetic impls, but here it is the field operation itself.
+#[allow(clippy::suspicious_arithmetic_impl)]
 impl Add for Gf256 {
     type Output = Gf256;
     #[inline]
@@ -90,6 +93,9 @@ impl Add for Gf256 {
     }
 }
 
+// In GF(2^8) addition and subtraction are both XOR; clippy flags `^`
+// inside arithmetic impls, but here it is the field operation itself.
+#[allow(clippy::suspicious_op_assign_impl)]
 impl AddAssign for Gf256 {
     #[inline]
     fn add_assign(&mut self, rhs: Gf256) {
@@ -97,6 +103,9 @@ impl AddAssign for Gf256 {
     }
 }
 
+// In GF(2^8) addition and subtraction are both XOR; clippy flags `^`
+// inside arithmetic impls, but here it is the field operation itself.
+#[allow(clippy::suspicious_arithmetic_impl)]
 impl Sub for Gf256 {
     type Output = Gf256;
     #[inline]
@@ -106,6 +115,9 @@ impl Sub for Gf256 {
     }
 }
 
+// In GF(2^8) addition and subtraction are both XOR; clippy flags `^`
+// inside arithmetic impls, but here it is the field operation itself.
+#[allow(clippy::suspicious_op_assign_impl)]
 impl SubAssign for Gf256 {
     #[inline]
     fn sub_assign(&mut self, rhs: Gf256) {
@@ -169,7 +181,7 @@ mod tests {
     fn generator_has_full_order() {
         let mut x = Gf256::ONE;
         for i in 1..=255u32 {
-            x = x * Gf256::GENERATOR;
+            x *= Gf256::GENERATOR;
             if i < 255 {
                 assert_ne!(x, Gf256::ONE, "order divides {i}");
             }
@@ -187,7 +199,7 @@ mod tests {
         let mut x = Gf256::ONE;
         for e in 0..600u32 {
             assert_eq!(Gf256::alpha_pow(e), x);
-            x = x * Gf256::GENERATOR;
+            x *= Gf256::GENERATOR;
         }
     }
 
@@ -249,7 +261,7 @@ mod tests {
             let a = Gf256::new(a);
             let mut expected = Gf256::ONE;
             for _ in 0..e {
-                expected = expected * a;
+                expected *= a;
             }
             prop_assert_eq!(a.pow(e), expected);
         }

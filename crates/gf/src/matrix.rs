@@ -114,7 +114,10 @@ impl Matrix {
     /// Panics if the indices are out of bounds.
     #[inline]
     pub fn get(&self, row: usize, col: usize) -> u8 {
-        assert!(row < self.rows && col < self.cols, "matrix index out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "matrix index out of bounds"
+        );
         self.data[row * self.cols + col]
     }
 
@@ -125,7 +128,10 @@ impl Matrix {
     /// Panics if the indices are out of bounds.
     #[inline]
     pub fn set(&mut self, row: usize, col: usize, value: u8) {
-        assert!(row < self.rows && col < self.cols, "matrix index out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "matrix index out of bounds"
+        );
         self.data[row * self.cols + col] = value;
     }
 

@@ -45,11 +45,11 @@ pub fn interpolate_at(points: &[(Gf256, Gf256)], at: Gf256) -> Option<Gf256> {
             if i == j {
                 continue;
             }
-            num = num * (at - xj);
-            den = den * (xi - xj);
+            num *= at - xj;
+            den *= xi - xj;
         }
         let basis = num * den.inverse().expect("distinct x-coordinates");
-        acc = acc + yi * basis;
+        acc += yi * basis;
     }
     Some(acc)
 }
@@ -89,16 +89,16 @@ pub fn interpolate_coeffs(points: &[(Gf256, Gf256)]) -> Option<Vec<Gf256>> {
             // num *= (x - x_j) == (x + x_j) in GF(2^8).
             let mut next = vec![Gf256::ZERO; k];
             for d in 0..=deg {
-                next[d + 1] = next[d + 1] + num[d];
-                next[d] = next[d] + num[d] * xj;
+                next[d + 1] += num[d];
+                next[d] += num[d] * xj;
             }
             num = next;
             deg += 1;
-            den = den * (xi - xj);
+            den *= xi - xj;
         }
         let scale = yi * den.inverse().expect("distinct x-coordinates");
         for d in 0..k {
-            coeffs[d] = coeffs[d] + num[d] * scale;
+            coeffs[d] += num[d] * scale;
         }
     }
     Some(coeffs)
@@ -136,8 +136,7 @@ mod tests {
     #[test]
     fn interpolation_recovers_known_polynomial() {
         let coeffs = [g(0x17), g(0x2e), g(0x80)];
-        let points: Vec<(Gf256, Gf256)> =
-            (1..=3u8).map(|x| (g(x), eval(&coeffs, g(x)))).collect();
+        let points: Vec<(Gf256, Gf256)> = (1..=3u8).map(|x| (g(x), eval(&coeffs, g(x)))).collect();
         assert_eq!(interpolate_at_zero(&points), Some(g(0x17)));
         assert_eq!(interpolate_coeffs(&points).unwrap(), coeffs.to_vec());
     }

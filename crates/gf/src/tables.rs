@@ -142,8 +142,7 @@ mod tests {
 
     #[test]
     fn exp_log_are_inverse_maps() {
-        for i in 0..GROUP_ORDER {
-            let x = EXP[i];
+        for (i, &x) in EXP.iter().enumerate().take(GROUP_ORDER) {
             assert_ne!(x, 0, "generator power must be non-zero");
             assert_eq!(LOG[x as usize] as usize, i);
         }
@@ -163,7 +162,10 @@ mod tests {
             seen[EXP[i] as usize] = true;
         }
         assert!(!seen[0]);
-        assert!(seen[1..].iter().all(|&s| s), "α must generate the whole group");
+        assert!(
+            seen[1..].iter().all(|&s| s),
+            "α must generate the whole group"
+        );
     }
 
     #[test]

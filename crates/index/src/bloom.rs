@@ -134,7 +134,9 @@ mod tests {
     #[test]
     fn fewer_bits_per_key_raise_the_false_positive_rate() {
         let keys: Vec<Vec<u8>> = (0..5000u32).map(|i| i.to_le_bytes().to_vec()).collect();
-        let absent: Vec<Vec<u8>> = (5000..10_000u32).map(|i| i.to_le_bytes().to_vec()).collect();
+        let absent: Vec<Vec<u8>> = (5000..10_000u32)
+            .map(|i| i.to_le_bytes().to_vec())
+            .collect();
         let mut small = BloomFilter::new(keys.len(), 4);
         let mut large = BloomFilter::new(keys.len(), 16);
         for k in &keys {

@@ -214,10 +214,8 @@ impl KvStore {
             }
         }
         // Tombstones can be dropped once all older runs are merged away.
-        let entries: Vec<(Vec<u8>, Option<Vec<u8>>)> = merged
-            .into_iter()
-            .filter(|(_, v)| v.is_some())
-            .collect();
+        let entries: Vec<(Vec<u8>, Option<Vec<u8>>)> =
+            merged.into_iter().filter(|(_, v)| v.is_some()).collect();
         if !entries.is_empty() {
             self.runs
                 .push(Run::from_sorted(entries, self.config.bloom_bits_per_key));
@@ -307,7 +305,10 @@ mod tests {
         assert!(store.stats().flushes > 0);
         assert!(store.stats().compactions > 0);
         for i in 0..200u32 {
-            assert_eq!(store.get(&i.to_be_bytes()), Some((i * 3).to_be_bytes().to_vec()));
+            assert_eq!(
+                store.get(&i.to_be_bytes()),
+                Some((i * 3).to_be_bytes().to_vec())
+            );
         }
         assert_eq!(store.len(), 200);
     }
@@ -366,7 +367,11 @@ mod tests {
         for i in 1000..1200u32 {
             let _ = store.get(&i.to_be_bytes());
         }
-        assert!(store.stats().bloom_skips > 100, "bloom skips: {}", store.stats().bloom_skips);
+        assert!(
+            store.stats().bloom_skips > 100,
+            "bloom skips: {}",
+            store.stats().bloom_skips
+        );
     }
 
     #[test]

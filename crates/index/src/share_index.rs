@@ -236,9 +236,18 @@ mod tests {
     fn new_share_then_duplicates() {
         let mut index = ShareIndex::new();
         assert!(!index.is_stored(&fp(1)));
-        assert_eq!(index.add_reference(&fp(1), loc(10, 100), 1), ShareAddOutcome::NewShare);
-        assert_eq!(index.add_reference(&fp(1), loc(99, 100), 2), ShareAddOutcome::Duplicate);
-        assert_eq!(index.add_reference(&fp(1), loc(99, 100), 1), ShareAddOutcome::Duplicate);
+        assert_eq!(
+            index.add_reference(&fp(1), loc(10, 100), 1),
+            ShareAddOutcome::NewShare
+        );
+        assert_eq!(
+            index.add_reference(&fp(1), loc(99, 100), 2),
+            ShareAddOutcome::Duplicate
+        );
+        assert_eq!(
+            index.add_reference(&fp(1), loc(99, 100), 1),
+            ShareAddOutcome::Duplicate
+        );
         let entry = index.lookup(&fp(1)).unwrap();
         // The original location wins; the duplicate's location is ignored.
         assert_eq!(entry.location, loc(10, 100));

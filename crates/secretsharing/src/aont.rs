@@ -41,7 +41,7 @@ pub fn padded_secret_len(secret_len: usize, k: usize) -> usize {
     let mut padded = secret_len.div_ceil(WORD_SIZE) * WORD_SIZE;
     // gcd(WORD_SIZE, k) always divides PACKAGE_OVERHEAD (48), so the loop
     // terminates within k iterations.
-    while (padded + PACKAGE_OVERHEAD) % k != 0 {
+    while !(padded + PACKAGE_OVERHEAD).is_multiple_of(k) {
         padded += WORD_SIZE;
     }
     padded
@@ -104,7 +104,7 @@ pub fn package(secret: &[u8], key: &[u8; KEY_SIZE], k: usize) -> Vec<u8> {
 /// Fails with [`SharingError::IntegrityCheckFailed`] if the canary word does
 /// not match (the package was corrupted or assembled from wrong shares).
 pub fn unpackage(package: &[u8], secret_len: usize) -> Result<Vec<u8>, SharingError> {
-    if package.len() < PACKAGE_OVERHEAD || (package.len() - TAIL_SIZE) % WORD_SIZE != 0 {
+    if package.len() < PACKAGE_OVERHEAD || !(package.len() - TAIL_SIZE).is_multiple_of(WORD_SIZE) {
         return Err(SharingError::MalformedShare(format!(
             "AONT package of {} bytes has an invalid size",
             package.len()
@@ -200,7 +200,10 @@ mod tests {
         let mut pkg = package(&secret, &key, 3);
         // Flip one bit anywhere in the masked words.
         pkg[5] ^= 0x01;
-        assert_eq!(unpackage(&pkg, secret.len()), Err(SharingError::IntegrityCheckFailed));
+        assert_eq!(
+            unpackage(&pkg, secret.len()),
+            Err(SharingError::IntegrityCheckFailed)
+        );
     }
 
     #[test]
@@ -210,14 +213,26 @@ mod tests {
         let mut pkg = package(&secret, &key, 3);
         let last = pkg.len() - 1;
         pkg[last] ^= 0x80;
-        assert_eq!(unpackage(&pkg, secret.len()), Err(SharingError::IntegrityCheckFailed));
+        assert_eq!(
+            unpackage(&pkg, secret.len()),
+            Err(SharingError::IntegrityCheckFailed)
+        );
     }
 
     #[test]
     fn invalid_package_sizes_are_rejected() {
-        assert!(matches!(unpackage(&[0u8; 10], 1), Err(SharingError::MalformedShare(_))));
-        assert!(matches!(unpackage(&[0u8; 49], 1), Err(SharingError::MalformedShare(_))));
-        assert!(matches!(recover_key(&[0u8; 10]), Err(SharingError::MalformedShare(_))));
+        assert!(matches!(
+            unpackage(&[0u8; 10], 1),
+            Err(SharingError::MalformedShare(_))
+        ));
+        assert!(matches!(
+            unpackage(&[0u8; 49], 1),
+            Err(SharingError::MalformedShare(_))
+        ));
+        assert!(matches!(
+            recover_key(&[0u8; 10]),
+            Err(SharingError::MalformedShare(_))
+        ));
     }
 
     #[test]

@@ -49,10 +49,7 @@ impl AontRsInner {
         Ok(self.rs.encode_data(&package)?)
     }
 
-    fn reconstruct_package(
-        &self,
-        shares: &[Option<Vec<u8>>],
-    ) -> Result<Vec<u8>, SharingError> {
+    fn reconstruct_package(&self, shares: &[Option<Vec<u8>>]) -> Result<Vec<u8>, SharingError> {
         let (_, share_len) = validate_shares(shares, self.n, self.k)?;
         let package_len = share_len * self.k;
         Ok(self.rs.reconstruct_data(shares, package_len)?)
@@ -219,7 +216,10 @@ mod tests {
     fn aont_rs_is_randomized() {
         let scheme = AontRs::new(4, 3).unwrap();
         let secret = vec![9u8; 1000];
-        assert_ne!(scheme.split(&secret).unwrap(), scheme.split(&secret).unwrap());
+        assert_ne!(
+            scheme.split(&secret).unwrap(),
+            scheme.split(&secret).unwrap()
+        );
         assert!(!scheme.is_convergent());
     }
 
@@ -269,8 +269,12 @@ mod tests {
         let secret = b"detect tampering in any share".to_vec();
         let mut shares = scheme.split(&secret).unwrap();
         shares[0][0] ^= 0x01;
-        let received: Vec<Option<Vec<u8>>> =
-            vec![Some(shares[0].clone()), Some(shares[1].clone()), Some(shares[2].clone()), None];
+        let received: Vec<Option<Vec<u8>>> = vec![
+            Some(shares[0].clone()),
+            Some(shares[1].clone()),
+            Some(shares[2].clone()),
+            None,
+        ];
         assert!(matches!(
             scheme.reconstruct(&received, secret.len()),
             Err(SharingError::IntegrityCheckFailed)
@@ -284,7 +288,10 @@ mod tests {
         let secret_len = 8 * 1024;
         let expected = (4.0 / 3.0) * (1.0 + (aont::PACKAGE_OVERHEAD as f64) / secret_len as f64);
         let actual = scheme.storage_blowup(secret_len);
-        assert!((actual - expected).abs() < 0.01, "expected {expected}, got {actual}");
+        assert!(
+            (actual - expected).abs() < 0.01,
+            "expected {expected}, got {actual}"
+        );
         // Lower than SSMS for the same parameters (keys are not replicated n times).
         let ssms = crate::Ssms::new(4, 3).unwrap();
         assert!(actual < ssms.storage_blowup(secret_len));

@@ -70,7 +70,7 @@ impl CaontRs {
     /// divides evenly into `k` shares.
     pub fn padded_secret_len(&self, secret_len: usize) -> usize {
         let mut padded = secret_len;
-        while (padded + HASH_SIZE) % self.k != 0 {
+        while !(padded + HASH_SIZE).is_multiple_of(self.k) {
             padded += 1;
         }
         padded
@@ -243,7 +243,10 @@ mod tests {
     fn split_is_convergent() {
         let scheme = CaontRs::new(4, 3).unwrap();
         let secret: Vec<u8> = (0..8192u32).map(|i| (i * 131 % 256) as u8).collect();
-        assert_eq!(scheme.split(&secret).unwrap(), scheme.split(&secret).unwrap());
+        assert_eq!(
+            scheme.split(&secret).unwrap(),
+            scheme.split(&secret).unwrap()
+        );
         assert!(scheme.is_convergent());
     }
 
@@ -320,7 +323,9 @@ mod tests {
         );
         // The brute-force path finds a clean subset (0, 2, 3) and succeeds.
         assert_eq!(
-            scheme.reconstruct_bruteforce(&received, secret.len()).unwrap(),
+            scheme
+                .reconstruct_bruteforce(&received, secret.len())
+                .unwrap(),
             secret
         );
     }
@@ -359,7 +364,10 @@ mod tests {
         let scheme = CaontRs::new(4, 3).unwrap();
         let shares = scheme.split(b"errors").unwrap();
         assert!(matches!(
-            scheme.reconstruct(&shares.iter().cloned().map(Some).take(3).collect::<Vec<_>>(), 6),
+            scheme.reconstruct(
+                &shares.iter().cloned().map(Some).take(3).collect::<Vec<_>>(),
+                6
+            ),
             Err(SharingError::WrongShareCount { .. })
         ));
         let received = drop_shares(shares, &[0, 1]);

@@ -316,22 +316,48 @@ mod tests {
         let convergent = [SchemeKind::CaontRs, SchemeKind::CaontRsRivest];
         for kind in SchemeKind::ALL {
             let scheme = build_scheme(kind, 4, 3, None).unwrap();
-            assert_eq!(
-                scheme.is_convergent(),
-                convergent.contains(&kind),
-                "{kind}"
-            );
+            assert_eq!(scheme.is_convergent(), convergent.contains(&kind), "{kind}");
         }
     }
 
     #[test]
     fn confidentiality_degrees_match_table1() {
-        assert_eq!(build_scheme(SchemeKind::Ssss, 4, 3, None).unwrap().confidentiality_degree(), 2);
-        assert_eq!(build_scheme(SchemeKind::Ida, 4, 3, None).unwrap().confidentiality_degree(), 0);
-        assert_eq!(build_scheme(SchemeKind::Rsss, 4, 3, Some(1)).unwrap().confidentiality_degree(), 1);
-        assert_eq!(build_scheme(SchemeKind::Ssms, 4, 3, None).unwrap().confidentiality_degree(), 2);
-        assert_eq!(build_scheme(SchemeKind::AontRs, 4, 3, None).unwrap().confidentiality_degree(), 2);
-        assert_eq!(build_scheme(SchemeKind::CaontRs, 4, 3, None).unwrap().confidentiality_degree(), 2);
+        assert_eq!(
+            build_scheme(SchemeKind::Ssss, 4, 3, None)
+                .unwrap()
+                .confidentiality_degree(),
+            2
+        );
+        assert_eq!(
+            build_scheme(SchemeKind::Ida, 4, 3, None)
+                .unwrap()
+                .confidentiality_degree(),
+            0
+        );
+        assert_eq!(
+            build_scheme(SchemeKind::Rsss, 4, 3, Some(1))
+                .unwrap()
+                .confidentiality_degree(),
+            1
+        );
+        assert_eq!(
+            build_scheme(SchemeKind::Ssms, 4, 3, None)
+                .unwrap()
+                .confidentiality_degree(),
+            2
+        );
+        assert_eq!(
+            build_scheme(SchemeKind::AontRs, 4, 3, None)
+                .unwrap()
+                .confidentiality_degree(),
+            2
+        );
+        assert_eq!(
+            build_scheme(SchemeKind::CaontRs, 4, 3, None)
+                .unwrap()
+                .confidentiality_degree(),
+            2
+        );
     }
 
     #[test]

@@ -196,7 +196,10 @@ mod tests {
         let secret = vec![0u8; 128];
         let shares = scheme.split(&secret).unwrap();
         for share in &shares {
-            assert!(share.iter().any(|&b| b != 0), "share leaked the zero secret");
+            assert!(
+                share.iter().any(|&b| b != 0),
+                "share leaked the zero secret"
+            );
         }
     }
 
@@ -204,7 +207,10 @@ mod tests {
     fn randomized_so_not_convergent() {
         let scheme = Rsss::new(4, 3, 1).unwrap();
         let secret = vec![0xabu8; 99];
-        assert_ne!(scheme.split(&secret).unwrap(), scheme.split(&secret).unwrap());
+        assert_ne!(
+            scheme.split(&secret).unwrap(),
+            scheme.split(&secret).unwrap()
+        );
         assert!(!scheme.is_convergent());
     }
 

@@ -185,7 +185,10 @@ mod tests {
     fn randomized_so_not_convergent() {
         let scheme = Ssms::new(4, 3).unwrap();
         let secret = vec![7u8; 100];
-        assert_ne!(scheme.split(&secret).unwrap(), scheme.split(&secret).unwrap());
+        assert_ne!(
+            scheme.split(&secret).unwrap(),
+            scheme.split(&secret).unwrap()
+        );
         assert!(!scheme.is_convergent());
     }
 

@@ -150,10 +150,12 @@ impl DirBackend {
         // Keys are sanitised to a flat, filesystem-safe name.
         let safe: String = key
             .chars()
-            .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.' {
-                c
-            } else {
-                '_'
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.' {
+                    c
+                } else {
+                    '_'
+                }
             })
             .collect();
         self.root.join(safe)
@@ -175,8 +177,8 @@ impl StorageBackend for DirBackend {
 
     fn get(&self, key: &str) -> Result<Vec<u8>, StorageError> {
         let path = self.path_for(key);
-        let mut file = fs::File::open(&path)
-            .map_err(|_| StorageError::NotFound(key.to_string()))?;
+        let mut file =
+            fs::File::open(&path).map_err(|_| StorageError::NotFound(key.to_string()))?;
         let mut data = Vec::new();
         file.read_to_end(&mut data)?;
         Ok(data)
@@ -199,7 +201,12 @@ impl StorageBackend for DirBackend {
         let mut keys = Vec::new();
         for entry in fs::read_dir(&self.root)? {
             let entry = entry?;
-            if entry.path().extension().map(|e| e == "tmp").unwrap_or(false) {
+            if entry
+                .path()
+                .extension()
+                .map(|e| e == "tmp")
+                .unwrap_or(false)
+            {
                 continue;
             }
             if let Some(name) = entry.file_name().to_str() {
@@ -221,7 +228,10 @@ mod tests {
         backend.put("b", b"beta").unwrap();
         assert!(backend.exists("a").unwrap());
         assert_eq!(backend.get("a").unwrap(), b"alpha");
-        assert_eq!(backend.list().unwrap(), vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(
+            backend.list().unwrap(),
+            vec!["a".to_string(), "b".to_string()]
+        );
         assert_eq!(backend.total_bytes().unwrap(), 9);
         backend.put("a", b"alpha2").unwrap();
         assert_eq!(backend.get("a").unwrap(), b"alpha2");
@@ -252,7 +262,8 @@ mod tests {
 
     #[test]
     fn dir_backend_sanitises_keys() {
-        let dir = std::env::temp_dir().join(format!("cdstore-backend-sanitise-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("cdstore-backend-sanitise-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         let backend = DirBackend::new(&dir).unwrap();
         backend.put("shares/container:1", b"x").unwrap();
@@ -266,6 +277,9 @@ mod tests {
         backend.put("c", &[1, 2, 3]).unwrap();
         backend.corrupt("c", 1).unwrap();
         assert_eq!(backend.get("c").unwrap(), vec![1, 2 ^ 0xff, 3]);
-        assert!(matches!(backend.corrupt("missing", 0), Err(StorageError::NotFound(_))));
+        assert!(matches!(
+            backend.corrupt("missing", 0),
+            Err(StorageError::NotFound(_))
+        ));
     }
 }

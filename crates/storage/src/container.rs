@@ -262,7 +262,10 @@ mod tests {
     #[test]
     fn overflow_detection_honours_the_cap() {
         let mut builder = ContainerBuilder::new(1, 1, ContainerKind::Share);
-        assert!(!builder.would_overflow(CONTAINER_CAPACITY + 1), "empty container accepts oversized blobs");
+        assert!(
+            !builder.would_overflow(CONTAINER_CAPACITY + 1),
+            "empty container accepts oversized blobs"
+        );
         builder.append(fp(0), &vec![0u8; CONTAINER_CAPACITY - 100]);
         assert!(!builder.would_overflow(100));
         assert!(builder.would_overflow(101));

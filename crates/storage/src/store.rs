@@ -140,7 +140,12 @@ impl ContainerStore {
         }
     }
 
-    fn seal_user(&self, inner: &mut Inner, user: u64, kind: ContainerKind) -> Result<(), StorageError> {
+    fn seal_user(
+        &self,
+        inner: &mut Inner,
+        user: u64,
+        kind: ContainerKind,
+    ) -> Result<(), StorageError> {
         let Some(builder) = Self::open_map(inner, kind).remove(&user) else {
             return Ok(());
         };
@@ -149,9 +154,7 @@ impl ContainerStore {
         }
         let container = builder.seal();
         let bytes = container.to_bytes();
-        inner
-            .backend
-            .put(&Self::object_key(container.id), &bytes)?;
+        inner.backend.put(&Self::object_key(container.id), &bytes)?;
         inner.stats.containers_written += 1;
         inner.stats.bytes_written += bytes.len() as u64;
         let size = container.payload_size();
@@ -192,12 +195,17 @@ impl ContainerStore {
                 .get_at(location.offset, location.size)
                 .map(|s| s.to_vec())
                 .ok_or_else(|| {
-                    StorageError::Corrupt(format!("container {} misses offset", location.container_id))
+                    StorageError::Corrupt(format!(
+                        "container {} misses offset",
+                        location.container_id
+                    ))
                 });
         }
         // 2. The LRU cache.
         if let Some(container) = inner.cache.get(&location.container_id) {
-            let blob = container.get_at(location.offset, location.size).map(|s| s.to_vec());
+            let blob = container
+                .get_at(location.offset, location.size)
+                .map(|s| s.to_vec());
             inner.stats.cache_reads += 1;
             return blob.ok_or_else(|| {
                 StorageError::Corrupt(format!("container {} misses offset", location.container_id))
@@ -207,8 +215,8 @@ impl ContainerStore {
         let key = Self::object_key(location.container_id);
         let bytes = inner.backend.get(&key)?;
         inner.stats.backend_reads += 1;
-        let container = Container::from_bytes(&bytes)
-            .ok_or_else(|| StorageError::Corrupt(key.clone()))?;
+        let container =
+            Container::from_bytes(&bytes).ok_or_else(|| StorageError::Corrupt(key.clone()))?;
         let blob = container
             .get_at(location.offset, location.size)
             .map(|s| s.to_vec());
@@ -345,7 +353,10 @@ mod tests {
             offset: 0,
             size: 4,
         };
-        assert!(matches!(store.fetch(&bogus), Err(StorageError::NotFound(_))));
+        assert!(matches!(
+            store.fetch(&bogus),
+            Err(StorageError::NotFound(_))
+        ));
     }
 
     #[test]
@@ -375,7 +386,9 @@ mod tests {
         let (store, backend) = new_store();
         let loc = store.store_share(1, fp(1), b"soon corrupt").unwrap();
         store.flush().unwrap();
-        backend.corrupt(&ContainerStore::object_key(loc.container_id), 0).unwrap();
+        backend
+            .corrupt(&ContainerStore::object_key(loc.container_id), 0)
+            .unwrap();
         let cold = ContainerStore::new(backend);
         assert!(matches!(cold.fetch(&loc), Err(StorageError::Corrupt(_))));
     }

@@ -167,7 +167,10 @@ mod tests {
             vec![snapshot(0, 1, &[1, 2, 3])],
         ];
         let result = weekly_dedup(&weeks, 4, 3);
-        assert_eq!(result[0].stats.transferred_share_bytes, result[0].stats.logical_share_bytes);
+        assert_eq!(
+            result[0].stats.transferred_share_bytes,
+            result[0].stats.logical_share_bytes
+        );
         assert_eq!(result[1].stats.transferred_share_bytes, 0);
         assert!((result[1].stats.intra_user_saving() - 1.0).abs() < 1e-12);
     }
@@ -177,7 +180,10 @@ mod tests {
         let weeks = vec![vec![snapshot(0, 0, &[1, 2]), snapshot(1, 0, &[1, 2])]];
         let result = weekly_dedup(&weeks, 4, 3);
         // Both users transfer everything (no client-side cross-user dedup)...
-        assert_eq!(result[0].stats.transferred_share_bytes, result[0].stats.logical_share_bytes);
+        assert_eq!(
+            result[0].stats.transferred_share_bytes,
+            result[0].stats.logical_share_bytes
+        );
         // ...but only one copy is stored.
         assert_eq!(
             result[0].stats.physical_share_bytes * 2,

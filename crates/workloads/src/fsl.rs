@@ -81,7 +81,8 @@ impl FslWorkload {
     }
 
     fn content_id(namespace: &str, a: u64, b: u64) -> u64 {
-        let digest = sha256::hash_parts(&[namespace.as_bytes(), &a.to_be_bytes(), &b.to_be_bytes()]);
+        let digest =
+            sha256::hash_parts(&[namespace.as_bytes(), &a.to_be_bytes(), &b.to_be_bytes()]);
         u64::from_be_bytes(digest[..8].try_into().expect("8 bytes"))
     }
 
@@ -239,7 +240,12 @@ mod tests {
         let workload = FslWorkload::new(FslConfig::small());
         let snapshots = workload.snapshots();
         let first: u64 = snapshots[0].iter().map(|s| s.logical_bytes()).sum();
-        let last: u64 = snapshots.last().unwrap().iter().map(|s| s.logical_bytes()).sum();
+        let last: u64 = snapshots
+            .last()
+            .unwrap()
+            .iter()
+            .map(|s| s.logical_bytes())
+            .sum();
         assert!(last > first);
         assert!(last < first * 2);
     }

@@ -84,7 +84,8 @@ impl VmWorkload {
     }
 
     fn content_id(namespace: &str, a: u64, b: u64) -> u64 {
-        let digest = sha256::hash_parts(&[namespace.as_bytes(), &a.to_be_bytes(), &b.to_be_bytes()]);
+        let digest =
+            sha256::hash_parts(&[namespace.as_bytes(), &a.to_be_bytes(), &b.to_be_bytes()]);
         u64::from_be_bytes(digest[..8].try_into().expect("8 bytes"))
     }
 }
@@ -133,10 +134,8 @@ impl Workload for VmWorkload {
         let mut next_unique: u64 = 1 << 40;
         for week in 0..cfg.weeks {
             // The shared pool of this week's "assignment" changes.
-            let weekly_pool_size = ((cfg.chunks_per_image as f64) * cfg.weekly_modify_rate).ceil()
-                as usize
-                * 2
-                + 1;
+            let weekly_pool_size =
+                ((cfg.chunks_per_image as f64) * cfg.weekly_modify_rate).ceil() as usize * 2 + 1;
             let weekly_pool: Vec<ChunkSpec> = (0..weekly_pool_size)
                 .map(|i| {
                     ChunkSpec::new(

@@ -3,7 +3,7 @@
 //! system and a single encrypted cloud (the §5.6 analysis).
 //!
 //! Run with
-//! `cargo run --release -p cdstore-core --example cost_planning [weekly_tb] [dedup_ratio]`.
+//! `cargo run --release --example cost_planning [weekly_tb] [dedup_ratio]`.
 
 use cdstore_cost::{CostModel, Scenario, TB};
 
@@ -23,7 +23,10 @@ fn main() {
 
     println!("Scenario: {weekly_tb} TB weekly backups, {dedup_ratio}x dedup ratio, 26-week retention, (n, k) = (4, 3)");
     println!();
-    println!("{:<16} {:>14} {:>12} {:>14}", "System", "Storage $/mo", "VM $/mo", "Total $/mo");
+    println!(
+        "{:<16} {:>14} {:>12} {:>14}",
+        "System", "Storage $/mo", "VM $/mo", "Total $/mo"
+    );
     for breakdown in [
         &comparison.single_cloud,
         &comparison.aont_rs,

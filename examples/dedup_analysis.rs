@@ -3,7 +3,7 @@
 //! the fast bookkeeping analyser and by replaying a scaled-down slice of the
 //! workload through the real CDStore system to show the two agree.
 //!
-//! Run with `cargo run --release -p cdstore-core --example dedup_analysis`.
+//! Run with `cargo run --release --example dedup_analysis`.
 
 use cdstore_core::{CdStore, CdStoreConfig};
 use cdstore_workloads::{weekly_dedup, FslConfig, FslWorkload, VmConfig, VmWorkload, Workload};
@@ -36,7 +36,10 @@ fn main() {
         println!("=== {name} workload ===");
         // Fast analysis (what the Figure 6 harness uses at scale).
         let weekly = weekly_dedup(&snapshots, n, k);
-        println!("{:<6} {:>18} {:>18}", "Week", "Intra-user saving", "Inter-user saving");
+        println!(
+            "{:<6} {:>18} {:>18}",
+            "Week", "Intra-user saving", "Inter-user saving"
+        );
         for week in &weekly {
             println!(
                 "{:<6} {:>17.1}% {:>17.1}%",

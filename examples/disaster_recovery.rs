@@ -2,7 +2,7 @@
 //! the CAONT-RS embedded integrity hash, and rebuild a permanently lost
 //! cloud from the survivors.
 //!
-//! Run with `cargo run --release -p cdstore-core --example disaster_recovery`.
+//! Run with `cargo run --release --example disaster_recovery`.
 
 use cdstore_core::{CdStore, CdStoreConfig};
 use cdstore_secretsharing::{CaontRs, SecretSharing, SharingError};
@@ -10,10 +10,16 @@ use cdstore_secretsharing::{CaontRs, SecretSharing, SharingError};
 fn main() {
     // --- 1. Outage: restore with only k of n clouds reachable. -------------
     let mut store = CdStore::new(CdStoreConfig::new(4, 3).expect("valid (n, k)"));
-    let payroll: Vec<u8> = (0..1_000_000).map(|i| ((i / 800) as u8).wrapping_mul(7)).collect();
-    store.backup(42, "/finance/payroll.tar", &payroll).expect("backup succeeds");
+    let payroll: Vec<u8> = (0..1_000_000)
+        .map(|i| ((i / 800) as u8).wrapping_mul(7))
+        .collect();
+    store
+        .backup(42, "/finance/payroll.tar", &payroll)
+        .expect("backup succeeds");
     store.fail_cloud(3);
-    let restored = store.restore(42, "/finance/payroll.tar").expect("restore succeeds");
+    let restored = store
+        .restore(42, "/finance/payroll.tar")
+        .expect("restore succeeds");
     assert_eq!(restored, payroll);
     println!("outage: restored payroll with cloud 3 unreachable");
 
@@ -24,7 +30,7 @@ fn main() {
     let mut shares = scheme.split(&secret).expect("split succeeds");
     shares[1][0] ^= 0x80; // a bit flip inside cloud 1's share
     let tampered: Vec<Option<Vec<u8>>> = shares.iter().cloned().map(Some).collect();
-    let direct = scheme.reconstruct(&tampered[..].to_vec(), secret.len());
+    let direct = scheme.reconstruct(&tampered[..], secret.len());
     assert_eq!(direct, Err(SharingError::IntegrityCheckFailed));
     let recovered = scheme
         .reconstruct_bruteforce(&tampered, secret.len())
@@ -37,7 +43,9 @@ fn main() {
     let repaired = store.replace_and_repair_cloud(3).expect("repair succeeds");
     println!("repair: rebuilt cloud 3 from the survivors ({repaired} file(s) repaired)");
     store.fail_cloud(0); // prove the rebuilt cloud now carries real redundancy
-    let after_repair = store.restore(42, "/finance/payroll.tar").expect("restore succeeds");
+    let after_repair = store
+        .restore(42, "/finance/payroll.tar")
+        .expect("restore succeeds");
     assert_eq!(after_repair, payroll);
     println!("repair verified: restore succeeds using the rebuilt cloud while cloud 0 is offline");
 }

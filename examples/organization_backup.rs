@@ -2,7 +2,7 @@
 //! backups with small changes, and cross-user duplicate content — the
 //! scenario CDStore's two-stage deduplication is designed for.
 //!
-//! Run with `cargo run --release -p cdstore-core --example organization_backup`.
+//! Run with `cargo run --release --example organization_backup`.
 
 use cdstore_core::{CdStore, CdStoreConfig};
 
@@ -30,7 +30,10 @@ fn main() {
     let users: Vec<u64> = (1..=5).collect();
     let weeks = 4usize;
 
-    println!("{:<6} {:>16} {:>18} {:>18}", "Week", "Logical (MB)", "Transferred (MB)", "Stored new (MB)");
+    println!(
+        "{:<6} {:>16} {:>18} {:>18}",
+        "Week", "Logical (MB)", "Transferred (MB)", "Stored new (MB)"
+    );
     for week in 0..weeks {
         let mut logical = 0u64;
         let mut transferred = 0u64;

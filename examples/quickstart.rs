@@ -1,6 +1,6 @@
 //! Quickstart: back up a file to four clouds, lose one cloud, restore.
 //!
-//! Run with `cargo run --release -p cdstore-core --example quickstart`.
+//! Run with `cargo run --release --example quickstart`.
 
 use cdstore_core::{CdStore, CdStoreConfig};
 
@@ -42,5 +42,8 @@ fn main() {
         .restore(user, "/home/alice/projects.tar")
         .expect("restore succeeds with 3 of 4 clouds");
     assert_eq!(restored, backup);
-    println!("restored {} bytes with cloud 2 offline — contents verified", restored.len());
+    println!(
+        "restored {} bytes with cloud 2 offline — contents verified",
+        restored.len()
+    );
 }

@@ -54,7 +54,11 @@ fn restore_succeeds_under_every_single_cloud_failure() {
     store.backup(5, "/critical.tar", &data).unwrap();
     for cloud in 0..4usize {
         store.fail_cloud(cloud);
-        assert_eq!(store.restore(5, "/critical.tar").unwrap(), data, "cloud {cloud} down");
+        assert_eq!(
+            store.restore(5, "/critical.tar").unwrap(),
+            data,
+            "cloud {cloud} down"
+        );
         store.recover_cloud(cloud);
     }
 }
@@ -70,7 +74,10 @@ fn restore_fails_cleanly_when_too_many_clouds_are_down() {
     store.fail_cloud(2);
     assert!(matches!(
         store.restore(1, "/f"),
-        Err(CdStoreError::NotEnoughClouds { needed: 3, available: 2 })
+        Err(CdStoreError::NotEnoughClouds {
+            needed: 3,
+            available: 2
+        })
     ));
 }
 
@@ -98,7 +105,9 @@ fn weekly_backups_accumulate_high_dedup_savings() {
     assert!(stats.dedup.dedup_ratio() > 3.0);
     // Every weekly version remains restorable.
     for week in 0..5usize {
-        assert!(store.restore(3, &format!("/weekly/week-{week}.tar")).is_ok());
+        assert!(store
+            .restore(3, &format!("/weekly/week-{week}.tar"))
+            .is_ok());
     }
 }
 
@@ -134,7 +143,11 @@ fn custom_chunker_configurations_work_end_to_end() {
     let mut store = CdStore::new(config);
     let data = structured_data(200_000, 1);
     let report = store.backup(9, "/small-chunks.tar", &data).unwrap();
-    assert!(report.num_secrets > 20, "expected many small chunks, got {}", report.num_secrets);
+    assert!(
+        report.num_secrets > 20,
+        "expected many small chunks, got {}",
+        report.num_secrets
+    );
     assert_eq!(store.restore(9, "/small-chunks.tar").unwrap(), data);
 }
 

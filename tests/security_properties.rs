@@ -2,12 +2,14 @@
 //! confidentiality, integrity, convergent determinism, and resistance to the
 //! deduplication side-channel attacks.
 
-use cdstore_core::{CdStore, CdStoreConfig, CdStoreClient, CdStoreServer};
+use cdstore_core::{CdStore, CdStoreClient, CdStoreConfig, CdStoreServer};
 use cdstore_crypto::Fingerprint;
 use cdstore_secretsharing::{CaontRs, SecretSharing, SharingError};
 
 fn sensitive_data(len: usize) -> Vec<u8> {
-    (0..len).map(|i| ((i / 640) as u8).wrapping_mul(29)).collect()
+    (0..len)
+        .map(|i| ((i / 640) as u8).wrapping_mul(29))
+        .collect()
 }
 
 #[test]
@@ -61,7 +63,12 @@ fn integrity_violations_are_detected_and_survivable() {
         Err(SharingError::IntegrityCheckFailed)
     );
     // The brute-force subset decode finds the clean subset.
-    assert_eq!(scheme.reconstruct_bruteforce(&received, secret.len()).unwrap(), secret);
+    assert_eq!(
+        scheme
+            .reconstruct_bruteforce(&received, secret.len())
+            .unwrap(),
+        secret
+    );
 }
 
 #[test]
@@ -82,7 +89,7 @@ fn intra_user_dedup_reply_does_not_leak_other_users_data() {
     // The attacker guesses the victim's document and probes both worlds.
     let attacker = CdStoreClient::new(666, 4, 3).unwrap();
     let scheme = CaontRs::new(4, 3).unwrap();
-    let guess_shares = scheme.split(&secret_doc[..8192].to_vec()).unwrap();
+    let guess_shares = scheme.split(&secret_doc[..8192]).unwrap();
     for cloud in 0..4usize {
         let fp = Fingerprint::of(&guess_shares[cloud]);
         let with_victim = victim_servers[cloud].intra_user_query(attacker.user(), &[fp]);
@@ -106,11 +113,14 @@ fn knowing_a_fingerprint_does_not_grant_share_ownership() {
     owner.upload(&mut servers, "/owner/tax.tar", &data).unwrap();
 
     let scheme = CaontRs::new(4, 3).unwrap();
-    let chunk_guess = scheme.split(&data[..8192].to_vec()).unwrap();
+    let chunk_guess = scheme.split(&data[..8192]).unwrap();
     for cloud in 0..4usize {
         let fp = Fingerprint::of(&chunk_guess[cloud]);
         let result = servers[cloud].fetch_share(666, &fp);
-        assert!(result.is_err(), "cloud {cloud} must refuse a non-owner fetch");
+        assert!(
+            result.is_err(),
+            "cloud {cloud} must refuse a non-owner fetch"
+        );
     }
 }
 
@@ -131,7 +141,13 @@ fn salted_deployments_do_not_share_dedup_identities() {
     let org_a = CaontRs::with_salt(4, 3, b"org-a-secret").unwrap();
     let org_b = CaontRs::with_salt(4, 3, b"org-b-secret").unwrap();
     let common_file = sensitive_data(16 * 1024);
-    assert_ne!(org_a.split(&common_file).unwrap(), org_b.split(&common_file).unwrap());
+    assert_ne!(
+        org_a.split(&common_file).unwrap(),
+        org_b.split(&common_file).unwrap()
+    );
     // But within one organisation the scheme is still convergent.
-    assert_eq!(org_a.split(&common_file).unwrap(), org_a.split(&common_file).unwrap());
+    assert_eq!(
+        org_a.split(&common_file).unwrap(),
+        org_a.split(&common_file).unwrap()
+    );
 }

@@ -6,7 +6,12 @@
 use cdstore_core::{CdStore, CdStoreConfig};
 use cdstore_workloads::{weekly_dedup, FslConfig, FslWorkload, VmConfig, VmWorkload, Workload};
 
-fn replay_and_compare(name: &str, snapshots: &[Vec<cdstore_workloads::Snapshot>], n: usize, k: usize) {
+fn replay_and_compare(
+    name: &str,
+    snapshots: &[Vec<cdstore_workloads::Snapshot>],
+    n: usize,
+    k: usize,
+) {
     let mut store = CdStore::new(CdStoreConfig::new(n, k).unwrap());
     for week in snapshots {
         for snapshot in week {
@@ -21,7 +26,10 @@ fn replay_and_compare(name: &str, snapshots: &[Vec<cdstore_workloads::Snapshot>]
         .expect("non-empty workload")
         .cumulative;
 
-    assert_eq!(system.logical_bytes, analysed.logical_bytes, "{name}: logical bytes");
+    assert_eq!(
+        system.logical_bytes, analysed.logical_bytes,
+        "{name}: logical bytes"
+    );
     assert_eq!(
         system.logical_share_bytes, analysed.logical_share_bytes,
         "{name}: logical share bytes"

@@ -1,0 +1,245 @@
+//! Offline stand-in for the subset of the `criterion` 0.5 API this
+//! workspace's benches use: [`Criterion`], benchmark groups, [`Bencher`],
+//! [`Throughput`], [`BenchmarkId`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros (with `harness = false`, as usual).
+//!
+//! Instead of criterion's statistical sampling it runs each benchmark
+//! `sample_size` times, reports the median wall-clock iteration time, and
+//! derives throughput from the group's [`Throughput`] setting. Good enough to
+//! rank the schemes and spot order-of-magnitude regressions offline; swap the
+//! real criterion back in when crates.io access is available.
+
+use std::hint::black_box as std_black_box;
+use std::time::Instant;
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    std_black_box(value)
+}
+
+/// How a group's per-iteration throughput is reported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: a function name plus an optional parameter label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id with both a function name and a parameter, like `encode/n4_k3`.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// An id that is just a parameter, like `CAONT-RS`.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Top-level benchmark driver; collects configuration and runs groups.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// Runs one closure under timing; handed to each benchmark function.
+pub struct Bencher {
+    sample_size: usize,
+    /// Median nanoseconds per iteration, filled in by [`Bencher::iter`].
+    median_nanos: f64,
+}
+
+impl Bencher {
+    /// Times `sample_size` iterations of `routine` and records the median.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One untimed warm-up iteration.
+        std_black_box(routine());
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std_black_box(routine());
+            samples.push(start.elapsed().as_nanos() as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.median_nanos = samples[samples.len() / 2];
+    }
+}
+
+/// A group of related benchmarks sharing throughput and sampling settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how throughput is derived from iteration time.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Overrides the sample size for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            median_nanos: 0.0,
+        };
+        f(&mut bencher);
+        self.report(&id.to_string(), bencher.median_nanos);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            median_nanos: 0.0,
+        };
+        f(&mut bencher, input);
+        self.report(&id.to_string(), bencher.median_nanos);
+        self
+    }
+
+    /// Closes the group. (The shim reports eagerly, so this is a no-op.)
+    pub fn finish(self) {}
+
+    fn report(&self, id: &str, median_nanos: f64) {
+        let throughput = match self.throughput {
+            Some(Throughput::Bytes(bytes)) if median_nanos > 0.0 => {
+                let mib_per_s = bytes as f64 / (1024.0 * 1024.0) / (median_nanos * 1e-9);
+                format!("  {mib_per_s:10.1} MiB/s")
+            }
+            Some(Throughput::Elements(n)) if median_nanos > 0.0 => {
+                let elems_per_s = n as f64 / (median_nanos * 1e-9);
+                format!("  {elems_per_s:10.0} elem/s")
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{:<40} {:>12.3} us/iter{}",
+            format!("{}/{}", self.name, id),
+            median_nanos / 1000.0,
+            throughput
+        );
+    }
+}
+
+/// Defines a bench group function, mirroring criterion's macro. Supports both
+/// the `name = ...; config = ...; targets = ...` form and the positional form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Defines `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Cargo passes harness flags like `--bench`; the shim ignores them.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut criterion = Criterion::default().sample_size(5);
+        let mut group = criterion.benchmark_group("shim");
+        group.throughput(Throughput::Bytes(1024));
+        let mut runs = 0usize;
+        group.bench_function("count", |b| b.iter(|| runs += 1));
+        group.bench_with_input(BenchmarkId::new("param", 3), &3, |b, n| {
+            b.iter(|| black_box(*n * 2))
+        });
+        group.finish();
+        // 5 timed + 1 warm-up iterations.
+        assert_eq!(runs, 6);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(
+            BenchmarkId::new("encode", "n4_k3").to_string(),
+            "encode/n4_k3"
+        );
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

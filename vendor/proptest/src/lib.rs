@@ -1,0 +1,422 @@
+//! Offline stand-in for the subset of the `proptest` API this workspace's
+//! property tests use: the [`proptest!`] macro (with optional
+//! `#![proptest_config(...)]`), `name: Type` and `name in strategy` bindings,
+//! [`any`], integer-range strategies, [`collection::vec`],
+//! [`array::uniform32`], [`option::of`], tuple strategies, and the
+//! `prop_assert*` / [`prop_assume!`] macros.
+//!
+//! Unlike real proptest there is no shrinking: a failing case panics with the
+//! raw inputs' debug representation. Generation is deterministic — case `i`
+//! of every test derives its RNG seed from `i` — so failures reproduce.
+
+use std::ops::{Range, RangeInclusive};
+
+pub use rand::rngs::StdRng as TestRng;
+use rand::{Rng, SeedableRng, StandardSample, UniformInt};
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is skipped.
+    Reject,
+    /// A `prop_assert*!` failed; the test fails.
+    Fail(String),
+}
+
+/// Runner configuration; only the case count is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` generated cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A source of generated values, mirroring `proptest::strategy::Strategy`.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Generates one value. (No shrinking in the shim.)
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Types with a canonical "anything" strategy, mirroring `Arbitrary`.
+pub trait Arbitrary {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl<T: StandardSample> Arbitrary for T {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen()
+    }
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Strategy producing any value of `T` (uniform over the representation).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl<T: UniformInt> Strategy for Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T: UniformInt> Strategy for RangeInclusive<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// A length distribution for [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            SizeRange {
+                lo: exact,
+                hi_exclusive: exact + 1,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(range: std::ops::Range<usize>) -> Self {
+            SizeRange {
+                lo: range.start,
+                hi_exclusive: range.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(range: std::ops::RangeInclusive<usize>) -> Self {
+            let (lo, hi) = range.into_inner();
+            SizeRange {
+                lo,
+                hi_exclusive: hi + 1,
+            }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Strategy producing a `Vec` whose length is drawn from `size` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = if self.size.lo + 1 >= self.size.hi_exclusive {
+                self.size.lo
+            } else {
+                rng.gen_range(self.size.lo..self.size.hi_exclusive)
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod array {
+    //! Fixed-size array strategies.
+
+    use super::{Strategy, TestRng};
+
+    /// The strategy returned by [`uniform32`].
+    #[derive(Debug, Clone)]
+    pub struct Uniform32<S>(S);
+
+    /// Strategy producing a `[T; 32]` with each element drawn from `element`.
+    pub fn uniform32<S: Strategy>(element: S) -> Uniform32<S> {
+        Uniform32(element)
+    }
+
+    impl<S: Strategy> Strategy for Uniform32<S> {
+        type Value = [S::Value; 32];
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            std::array::from_fn(|_| self.0.generate(rng))
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// The strategy returned by [`of`].
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S>(S);
+
+    /// Strategy producing `None` 25% of the time (like proptest's default
+    /// weighting) and `Some(element)` otherwise.
+    pub fn of<S: Strategy>(element: S) -> OptionStrategy<S> {
+        OptionStrategy(element)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.gen_bool(0.25) {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Derives the deterministic RNG for case `case` of a property test.
+pub fn case_rng(case: u32) -> TestRng {
+    // Golden-ratio stride so nearby cases get unrelated streams.
+    TestRng::seed_from_u64(0xC0FF_EE00_u64 ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Defines property tests. Supports the `#![proptest_config(...)]` header,
+/// multiple `fn` items per invocation, and `name: Type` / `name in strategy`
+/// parameter bindings.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands each `fn` item.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($config:expr); ) => {};
+    (($config:expr); $(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            for case in 0..config.cases {
+                let mut proptest_rng = $crate::case_rng(case);
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $crate::__proptest_bind! { proptest_rng; $($params)* }
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                match outcome {
+                    Ok(()) => {}
+                    Err($crate::TestCaseError::Reject) => continue,
+                    Err($crate::TestCaseError::Fail(message)) => {
+                        panic!("proptest case {case} failed: {message}");
+                    }
+                }
+            }
+        }
+        $crate::__proptest_fns! { ($config); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands parameter bindings.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident; ) => {};
+    ($rng:ident; $name:ident in $strategy:expr) => {
+        let $name = $crate::Strategy::generate(&($strategy), &mut $rng);
+    };
+    ($rng:ident; $name:ident in $strategy:expr, $($rest:tt)*) => {
+        let $name = $crate::Strategy::generate(&($strategy), &mut $rng);
+        $crate::__proptest_bind! { $rng; $($rest)* }
+    };
+    ($rng:ident; $name:ident: $ty:ty) => {
+        let $name: $ty = $crate::Arbitrary::arbitrary(&mut $rng);
+    };
+    ($rng:ident; $name:ident: $ty:ty, $($rest:tt)*) => {
+        let $name: $ty = $crate::Arbitrary::arbitrary(&mut $rng);
+        $crate::__proptest_bind! { $rng; $($rest)* }
+    };
+}
+
+/// Fails the current case unless `condition` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($condition:expr) => {
+        if !$condition {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {}",
+                stringify!($condition),
+            )));
+        }
+    };
+    ($condition:expr, $($fmt:tt)*) => {
+        if !$condition {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right,
+            )));
+        }
+    }};
+}
+
+/// Fails the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if left == right {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{}` != `{}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+            )));
+        }
+    }};
+}
+
+/// Skips the current case unless `condition` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($condition:expr) => {
+        if !$condition {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn strategies_respect_bounds() {
+        let mut rng = crate::case_rng(0);
+        for _ in 0..200 {
+            let v = Strategy::generate(&crate::collection::vec(any::<u8>(), 3..6), &mut rng);
+            assert!((3..6).contains(&v.len()));
+            let a = Strategy::generate(&crate::array::uniform32(any::<u8>()), &mut rng);
+            assert_eq!(a.len(), 32);
+            let n = Strategy::generate(&(1usize..=8), &mut rng);
+            assert!((1..=8).contains(&n));
+        }
+    }
+
+    #[test]
+    fn option_of_produces_both_variants() {
+        let mut rng = crate::case_rng(1);
+        let strategy = crate::option::of(any::<u8>());
+        let values: Vec<_> = (0..200)
+            .map(|_| Strategy::generate(&strategy, &mut rng))
+            .collect();
+        assert!(values.iter().any(Option::is_none));
+        assert!(values.iter().any(Option::is_some));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn macro_binds_both_forms(a: u64, data in crate::collection::vec(any::<u8>(), 0..10)) {
+            prop_assume!(a != 0);
+            prop_assert!(data.len() < 10);
+            prop_assert_eq!(a, a);
+            prop_assert_ne!(a, 0);
+        }
+    }
+}

@@ -1,0 +1,361 @@
+//! Offline stand-in for the subset of the `rand` 0.8 API this workspace uses.
+//!
+//! The build container has no access to crates.io, so the workspace vendors
+//! a minimal, deterministic implementation with the same surface:
+//! [`RngCore`], [`SeedableRng`], the [`Rng`] extension trait (`gen`,
+//! `gen_range`, `gen_bool`, `fill`), [`rngs::StdRng`], and [`thread_rng`].
+//!
+//! `StdRng` here is a SplitMix64 generator, not ChaCha12: same-seed streams
+//! are reproducible within this workspace but do not match upstream `rand`.
+//! [`thread_rng`] matches upstream in the property that matters to callers
+//! generating key material: it draws unpredictable OS entropy (from
+//! `/dev/urandom`), never a clock-seeded deterministic stream — the
+//! clock-seeded SplitMix64 is only a fallback when the device is
+//! unavailable (e.g. non-unix hosts).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core random-number generation, mirroring `rand_core::RngCore`.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rest = chunks.into_remainder();
+        if !rest.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rest.copy_from_slice(&bytes[..rest.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Seedable generators, mirroring `rand_core::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed. Deterministic.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A value that can be produced by [`Rng::gen`] (the `Standard` distribution).
+pub trait StandardSample {
+    /// Draws one value from `rng`.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl StandardSample for u128 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl StandardSample for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardSample for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform bits in [0, 1), the standard conversion.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Integer types usable with [`Rng::gen_range`].
+pub trait UniformInt: Copy {
+    /// Draws uniformly from `[lo, hi)`. `lo < hi` must hold.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    /// Draws uniformly from `[lo, hi]`. `lo <= hi` must hold.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128;
+                lo.wrapping_add((u128::sample_standard(rng) % span) as $t)
+            }
+
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                lo.wrapping_add((u128::sample_standard(rng) % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Range arguments accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: UniformInt> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: UniformInt> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_inclusive(rng, lo, hi)
+    }
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        self.start + f64::sample_standard(rng) * (self.end - self.start)
+    }
+}
+
+/// Convenience extension methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Draws a value of any [`StandardSample`] type.
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p={p} out of range");
+        f64::sample_standard(self) < p
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    //! Concrete generator types.
+
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    /// A handle to the per-thread entropy source returned by
+    /// [`crate::thread_rng`]. Callers (the secret-sharing schemes) draw
+    /// cryptographic key material through this, so it reads OS entropy from
+    /// `/dev/urandom` rather than anything derivable from the wall clock;
+    /// only when the device cannot be opened or read does it degrade to the
+    /// clock-seeded SplitMix64 fallback.
+    #[derive(Debug, Clone)]
+    pub struct ThreadRng(());
+
+    impl ThreadRng {
+        pub(crate) fn new() -> Self {
+            ThreadRng(())
+        }
+    }
+
+    enum ThreadSource {
+        /// A buffered read handle on `/dev/urandom`.
+        Os {
+            dev: std::fs::File,
+            buf: Box<[u8; 256]>,
+            pos: usize,
+        },
+        /// Clock-seeded SplitMix64, used only when OS entropy is unavailable.
+        Fallback(StdRng),
+    }
+
+    impl ThreadSource {
+        fn new() -> Self {
+            match std::fs::File::open("/dev/urandom") {
+                Ok(dev) => ThreadSource::Os {
+                    dev,
+                    buf: Box::new([0u8; 256]),
+                    pos: 256,
+                },
+                Err(_) => ThreadSource::Fallback(super::clock_seeded()),
+            }
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            use std::io::Read;
+            loop {
+                match self {
+                    ThreadSource::Os { dev, buf, pos } => {
+                        if *pos + 8 > buf.len() {
+                            if dev.read_exact(&mut buf[..]).is_err() {
+                                *self = ThreadSource::Fallback(super::clock_seeded());
+                                continue;
+                            }
+                            *pos = 0;
+                        }
+                        let mut word = [0u8; 8];
+                        word.copy_from_slice(&buf[*pos..*pos + 8]);
+                        *pos += 8;
+                        return u64::from_le_bytes(word);
+                    }
+                    ThreadSource::Fallback(rng) => return rng.next_u64(),
+                }
+            }
+        }
+    }
+
+    thread_local! {
+        static SOURCE: std::cell::RefCell<ThreadSource> =
+            std::cell::RefCell::new(ThreadSource::new());
+    }
+
+    impl RngCore for ThreadRng {
+        fn next_u64(&mut self) -> u64 {
+            SOURCE.with(|source| source.borrow_mut().next_u64())
+        }
+    }
+}
+
+/// Returns a handle to this thread's OS-entropy generator (`/dev/urandom`,
+/// buffered per thread). Falls back to a clock-seeded generator only when
+/// the device is unavailable.
+pub fn thread_rng() -> rngs::ThreadRng {
+    rngs::ThreadRng::new()
+}
+
+/// The pre-OS-entropy seeding strategy, kept solely as the [`thread_rng`]
+/// fallback for hosts without `/dev/urandom`: wall clock XOR a process-wide
+/// counter. Guessable by design — never used when OS entropy is available.
+fn clock_seeded() -> rngs::StdRng {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::time::{SystemTime, UNIX_EPOCH};
+
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let nanos = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+        .unwrap_or(0);
+    let unique = COUNTER.fetch_add(1, Ordering::Relaxed);
+    rngs::StdRng::seed_from_u64(nanos ^ unique.rotate_left(32) ^ 0x5DEE_CE66_D013_05C9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = rngs::StdRng::seed_from_u64(42);
+        let mut b = rngs::StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn fill_bytes_covers_remainder() {
+        let mut rng = rngs::StdRng::seed_from_u64(7);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert_ne!(buf, [0u8; 13]);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = rngs::StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let v: usize = rng.gen_range(3..10);
+            assert!((3..10).contains(&v));
+            let w: u8 = rng.gen_range(b'a'..=b'f');
+            assert!((b'a'..=b'f').contains(&w));
+        }
+    }
+
+    #[test]
+    fn thread_rng_draws_os_entropy_not_a_shared_clock_seed() {
+        // Two handles must not replay one another's stream (the old
+        // clock-seeded scheme could collide within one counter tick), and a
+        // fresh handle must not be all zeros.
+        let mut a = thread_rng();
+        let mut b = thread_rng();
+        let first: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let second: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(first, second);
+        assert!(first.iter().any(|&w| w != 0));
+        let mut buf = [0u8; 64];
+        a.fill_bytes(&mut buf);
+        assert_ne!(buf, [0u8; 64]);
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = rngs::StdRng::seed_from_u64(11);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+}

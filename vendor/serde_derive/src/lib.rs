@@ -1,0 +1,139 @@
+//! `#[derive(Serialize, Deserialize)]` for the workspace's serde shim.
+//!
+//! Supports exactly what the workspace needs: non-generic structs with named
+//! fields. The macros are written against `proc_macro` directly (no `syn` /
+//! `quote` — the build container is offline), walking the token stream to
+//! extract the struct name and field names, then emitting field-by-field
+//! `Serialize` / `Deserialize` impls that delegate to each field type's own
+//! impl.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed `struct Name { field, ... }`.
+struct Struct {
+    name: String,
+    fields: Vec<String>,
+}
+
+/// Walks the item's token stream, extracting the struct name and the named
+/// fields. Panics (compile error) on enums, tuple structs, or generics.
+fn parse_named_struct(input: TokenStream, trait_name: &str) -> Struct {
+    let mut tokens = input.into_iter().peekable();
+    let mut name = None;
+    let mut seen_struct = false;
+    while let Some(token) = tokens.next() {
+        match token {
+            // Skip outer attributes: `#` followed by a bracket group.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                tokens.next();
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                seen_struct = true;
+            }
+            TokenTree::Ident(id) if id.to_string() == "enum" => {
+                panic!("derive({trait_name}) shim supports structs only, found enum");
+            }
+            TokenTree::Ident(id) if seen_struct && name.is_none() => {
+                name = Some(id.to_string());
+            }
+            TokenTree::Punct(p) if name.is_some() && p.as_char() == '<' => {
+                panic!("derive({trait_name}) shim does not support generic structs");
+            }
+            TokenTree::Group(g) if name.is_some() && g.delimiter() == Delimiter::Brace => {
+                return Struct {
+                    name: name.unwrap(),
+                    fields: parse_field_names(g.stream()),
+                };
+            }
+            TokenTree::Group(g) if name.is_some() && g.delimiter() == Delimiter::Parenthesis => {
+                panic!("derive({trait_name}) shim supports named fields only, found tuple struct");
+            }
+            _ => {}
+        }
+    }
+    panic!("derive({trait_name}) shim: could not find a braced struct body");
+}
+
+/// Extracts field names from the body of a braced struct: for each
+/// top-level-comma-separated entry, the identifier right before the first
+/// top-level `:`. Attributes (incl. doc comments) and visibility are skipped.
+fn parse_field_names(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut angle_depth = 0usize;
+    let mut in_type = false; // between the field's `:` and the next `,`
+    let mut last_ident = None;
+    let mut tokens = body.into_iter().peekable();
+    while let Some(token) = tokens.next() {
+        match token {
+            TokenTree::Punct(p) => match p.as_char() {
+                '#' => {
+                    tokens.next();
+                }
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ':' if !in_type && angle_depth == 0 => {
+                    if let Some(name) = last_ident.take() {
+                        fields.push(name);
+                    }
+                    in_type = true;
+                }
+                ',' if angle_depth == 0 => {
+                    in_type = false;
+                    last_ident = None;
+                }
+                _ => {}
+            },
+            TokenTree::Ident(id) if !in_type => {
+                let text = id.to_string();
+                if text != "pub" {
+                    last_ident = Some(text);
+                }
+            }
+            _ => {}
+        }
+    }
+    fields
+}
+
+/// Implements `serde::Serialize` by serializing each named field in order.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_named_struct(input, "Serialize");
+    let entries: String = parsed
+        .fields
+        .iter()
+        .map(|f| format!("(\"{f}\".to_string(), serde::Serialize::to_value(&self.{f})),"))
+        .collect();
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{\n\
+                 serde::Value::Obj(vec![{entries}])\n\
+             }}\n\
+         }}",
+        name = parsed.name,
+    )
+    .parse()
+    .expect("serde_derive shim emitted invalid Serialize impl")
+}
+
+/// Implements `serde::Deserialize` by deserializing each named field from the
+/// corresponding object entry (absent entries read as `null`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_named_struct(input, "Deserialize");
+    let entries: String = parsed
+        .fields
+        .iter()
+        .map(|f| format!("{f}: serde::Deserialize::from_value(value.field(\"{f}\")?)?,"))
+        .collect();
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+             fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                 Ok({name} {{ {entries} }})\n\
+             }}\n\
+         }}",
+        name = parsed.name,
+    )
+    .parse()
+    .expect("serde_derive shim emitted invalid Deserialize impl")
+}
