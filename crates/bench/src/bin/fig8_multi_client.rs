@@ -1,47 +1,107 @@
 //! Figure 8: aggregate upload speed of multiple concurrent CDStore clients
-//! (1–8) on the LAN testbed with four servers and (n, k) = (4, 3), for both
-//! unique and duplicate data.
+//! (1–8) with four servers and (n, k) = (4, 3), for both unique and
+//! duplicate data.
 //!
-//! Run with `cargo run --release -p cdstore-bench --bin fig8_multi_client [data_mb]`.
+//! Unlike the earlier analytical-only version, this drives *real* concurrent
+//! traffic: each round builds a live [`CdStore`] deployment, spawns 1–8
+//! client threads (each with its own cloned handle and user id), releases
+//! them through a barrier, and measures the wall-clock aggregate MB/s of
+//! logical data through the full chunk → CAONT-RS → two-stage-dedup →
+//! container pipeline. The LAN flow model of the paper's testbed is printed
+//! alongside for comparison (in-process servers have neither NICs nor
+//! disks, so the two columns answer different questions).
+//!
+//! Run with
+//! `cargo run --release -p cdstore_bench --bin fig8_multi_client [per_client_mb]`.
+
+use std::sync::Barrier;
+use std::time::Instant;
 
 use cdstore_bench::transfer::MultiClientModel;
 use cdstore_bench::{chunk_and_encode_speed, random_secrets};
+use cdstore_core::{CdStore, CdStoreConfig};
 use cdstore_secretsharing::CaontRs;
 
+/// One measured round: `clients` threads each backing up `per_client` bytes
+/// against a fresh deployment. With `duplicate`, the timed run re-uploads
+/// data each user already backed up (the paper's duplicate-data scenario:
+/// intra-user dedup eliminates the share transfer); without it, each
+/// client's data is unique and unseen. Returns aggregate logical MB/s.
+fn measure_aggregate(clients: usize, per_client: usize, duplicate: bool) -> f64 {
+    let store = CdStore::new(CdStoreConfig::new(4, 3).unwrap());
+    // Materialise each client's payload before starting the clock.
+    let payloads: Vec<Vec<u8>> = (0..clients)
+        .map(|c| random_secrets(per_client, 8 * 1024, 100 + c as u64).concat())
+        .collect();
+    if duplicate {
+        // Seed every user's data outside the timed region, so the measured
+        // backups hit the intra-user dedup path for all of their shares.
+        for (c, payload) in payloads.iter().enumerate() {
+            store
+                .backup(c as u64 + 1, &format!("/client-{c}/seed.tar"), payload)
+                .expect("seed backup succeeds");
+        }
+    }
+    let barrier = Barrier::new(clients);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for (c, payload) in payloads.iter().enumerate() {
+            let store = store.clone();
+            let barrier = &barrier;
+            scope.spawn(move || {
+                barrier.wait();
+                let user = c as u64 + 1;
+                store
+                    .backup(user, &format!("/client-{c}/backup.tar"), payload)
+                    .expect("backup succeeds");
+            });
+        }
+    });
+    store.flush().expect("flush succeeds");
+    let elapsed = start.elapsed().as_secs_f64();
+    let logical_mb: f64 = payloads.iter().map(|p| p.len() as f64).sum::<f64>() / (1024.0 * 1024.0);
+    logical_mb / elapsed
+}
+
 fn main() {
-    let data_mb: usize = std::env::args()
+    let per_client_mb: usize = std::env::args()
         .nth(1)
         .and_then(|a| a.parse().ok())
-        .unwrap_or(64);
+        .unwrap_or(8);
     let (n, k) = (4usize, 3usize);
     let scheme = CaontRs::new(n, k).unwrap();
     let threads = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(4)
         .min(8);
-    let flat: Vec<u8> = random_secrets(data_mb * 1024 * 1024, 8 * 1024, 8).concat();
+    let flat: Vec<u8> = random_secrets(16 * 1024 * 1024, 8 * 1024, 8).concat();
     let compute_mbps = chunk_and_encode_speed(&scheme, &flat, threads);
-
     let model = MultiClientModel::lan(n, k, compute_mbps);
-    let per_client_mb = 2048.0;
+    let model_per_client_mb = 2048.0;
 
+    println!("Figure 8: aggregate upload speeds (MB/s) vs number of clients, (n, k) = ({n}, {k})");
+    println!("(per-client chunk+encode speed: {compute_mbps:.1} MB/s; measured columns drive");
+    println!(" {per_client_mb} MB per client through live in-process servers)");
     println!(
-        "Figure 8: aggregate upload speeds (MB/s) vs number of clients, LAN, (n, k) = ({n}, {k})"
-    );
-    println!("(measured per-client chunk+encode speed: {compute_mbps:.1} MB/s)");
-    println!(
-        "{:<10} {:>16} {:>16}",
-        "Clients", "Upload (uniq)", "Upload (dup)"
+        "{:<10} {:>15} {:>15} {:>17} {:>17}",
+        "Clients", "Meas. (uniq)", "Meas. (dup)", "LAN model (uniq)", "LAN model (dup)"
     );
     for clients in 1..=8usize {
-        let uniq = model.aggregate_unique_upload(clients, per_client_mb);
-        let dup = model.aggregate_duplicate_upload(clients, per_client_mb);
-        println!("{clients:<10} {uniq:>16.1} {dup:>16.1}");
+        let measured_uniq = measure_aggregate(clients, per_client_mb * 1024 * 1024, false);
+        let measured_dup = measure_aggregate(clients, per_client_mb * 1024 * 1024, true);
+        let model_uniq = model.aggregate_unique_upload(clients, model_per_client_mb);
+        let model_dup = model.aggregate_duplicate_upload(clients, model_per_client_mb);
+        println!(
+            "{clients:<10} {measured_uniq:>15.1} {measured_dup:>15.1} {model_uniq:>17.1} {model_dup:>17.1}"
+        );
     }
     println!();
     println!(
         "Paper: unique-data aggregate reaches 282 MB/s at 8 clients (310 MB/s without disk I/O,"
     );
     println!("i.e. about the aggregate Ethernet speed of k = 3 servers); duplicate-data aggregate reaches");
-    println!("572 MB/s with a knee at 4 clients where server CPU saturates.");
+    println!(
+        "572 MB/s with a knee at 4 clients where server CPU saturates. The measured columns are"
+    );
+    println!("CPU-bound (no real network), so they scale with available cores rather than NICs.");
 }

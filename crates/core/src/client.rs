@@ -36,6 +36,29 @@ impl UploadReport {
     }
 }
 
+/// The output of the CPU half of an upload ([`CdStoreClient::prepare`]):
+/// encoded shares staged per cloud plus the recipe entries, ready to be
+/// committed to the servers with [`CdStoreClient::commit`].
+pub struct PreparedUpload {
+    num_secrets: usize,
+    file_size: u64,
+    dedup: DedupStats,
+    recipes: Vec<Vec<RecipeEntry>>,
+    pending: Vec<Vec<(ShareMetadata, Vec<u8>)>>,
+}
+
+impl PreparedUpload {
+    /// Number of secrets (chunks) the file produced.
+    pub fn num_secrets(&self) -> usize {
+        self.num_secrets
+    }
+
+    /// Logical size of the file in bytes.
+    pub fn file_size(&self) -> u64 {
+        self.file_size
+    }
+}
+
 /// The CDStore client run by each user machine.
 pub struct CdStoreClient {
     user: u64,
@@ -93,13 +116,13 @@ impl CdStoreClient {
     /// all `n` clouds so redundancy is not silently degraded).
     pub fn upload(
         &self,
-        servers: &mut [CdStoreServer],
+        servers: &[CdStoreServer],
         pathname: &str,
         data: &[u8],
     ) -> Result<UploadReport, CdStoreError> {
-        let chunks = self.chunker.chunk(data);
-        let chunk_data: Vec<Vec<u8>> = chunks.into_iter().map(|c| c.data).collect();
-        self.upload_chunks(servers, pathname, &chunk_data)
+        self.check_server_count(servers)?;
+        let prepared = self.prepare(data)?;
+        self.commit(servers, pathname, prepared)
     }
 
     /// Uploads a file already divided into secrets (chunks). Used directly by
@@ -107,10 +130,17 @@ impl CdStoreClient {
     /// boundaries (§5.2).
     pub fn upload_chunks(
         &self,
-        servers: &mut [CdStoreServer],
+        servers: &[CdStoreServer],
         pathname: &str,
         chunks: &[Vec<u8>],
     ) -> Result<UploadReport, CdStoreError> {
+        self.check_server_count(servers)?;
+        let prepared = self.prepare_chunks(chunks)?;
+        self.commit(servers, pathname, prepared)
+    }
+
+    /// Rejects a server slice of the wrong length before any encoding work.
+    fn check_server_count(&self, servers: &[CdStoreServer]) -> Result<(), CdStoreError> {
         if servers.len() != self.n {
             return Err(CdStoreError::InvalidConfig(format!(
                 "expected {} servers, got {}",
@@ -118,6 +148,22 @@ impl CdStoreClient {
                 servers.len()
             )));
         }
+        Ok(())
+    }
+
+    /// The CPU half of an upload: chunks the data and runs
+    /// [`CdStoreClient::prepare_chunks`]. Touches no server, so callers
+    /// (e.g. `CdStore`) can run it outside any per-file ordering lock.
+    pub fn prepare(&self, data: &[u8]) -> Result<PreparedUpload, CdStoreError> {
+        let chunks = self.chunker.chunk(data);
+        let chunk_data: Vec<Vec<u8>> = chunks.into_iter().map(|c| c.data).collect();
+        self.prepare_chunks(&chunk_data)
+    }
+
+    /// The CPU half of an upload for pre-chunked data: CAONT-RS encodes
+    /// every secret, fingerprints the shares, builds the per-cloud recipes,
+    /// and stages the candidate shares (first stage of intra-user dedup).
+    pub fn prepare_chunks(&self, chunks: &[Vec<u8>]) -> Result<PreparedUpload, CdStoreError> {
         let mut dedup = DedupStats::new();
         let mut recipes: Vec<Vec<RecipeEntry>> = vec![Vec::with_capacity(chunks.len()); self.n];
         // Per-cloud upload staging: (metadata, share bytes).
@@ -153,11 +199,39 @@ impl CdStoreClient {
             }
         }
 
+        Ok(PreparedUpload {
+            num_secrets: chunks.len(),
+            file_size: chunks.iter().map(|c| c.len() as u64).sum(),
+            dedup,
+            recipes,
+            pending,
+        })
+    }
+
+    /// The server half of an upload: second-stage intra-user dedup queries,
+    /// batched share transfer, and the per-cloud metadata offload. Callers
+    /// serialising writes per file need to hold their ordering lock only
+    /// around this call.
+    pub fn commit(
+        &self,
+        servers: &[CdStoreServer],
+        pathname: &str,
+        prepared: PreparedUpload,
+    ) -> Result<UploadReport, CdStoreError> {
+        self.check_server_count(servers)?;
+        let PreparedUpload {
+            num_secrets,
+            file_size,
+            mut dedup,
+            mut recipes,
+            mut pending,
+        } = prepared;
+
         let mut transferred_per_cloud = vec![0u64; self.n];
         let mut physical_per_cloud = vec![0u64; self.n];
         let mut batches_per_cloud = vec![0u64; self.n];
 
-        for (cloud, server) in servers.iter_mut().enumerate() {
+        for (cloud, server) in servers.iter().enumerate() {
             // Second stage of intra-user dedup: ask the server which of the
             // candidate shares this user has uploaded in previous backups.
             let fps: Vec<Fingerprint> = pending[cloud].iter().map(|(m, _)| m.fingerprint).collect();
@@ -179,8 +253,7 @@ impl CdStoreClient {
         // Offload file metadata: each server gets its own recipe, keyed by its
         // own share of the encoded pathname.
         let encoded_paths = self.encode_pathname(pathname)?;
-        let file_size: u64 = chunks.iter().map(|c| c.len() as u64).sum();
-        for (cloud, server) in servers.iter_mut().enumerate() {
+        for (cloud, server) in servers.iter().enumerate() {
             let recipe = FileRecipe {
                 file_size,
                 entries: std::mem::take(&mut recipes[cloud]),
@@ -189,7 +262,7 @@ impl CdStoreClient {
         }
 
         Ok(UploadReport {
-            num_secrets: chunks.len(),
+            num_secrets,
             dedup,
             transferred_per_cloud,
             batches_per_cloud,
@@ -201,7 +274,7 @@ impl CdStoreClient {
     /// `available[i]` states whether cloud `i` (and its server) is reachable.
     pub fn download(
         &self,
-        servers: &mut [CdStoreServer],
+        servers: &[CdStoreServer],
         available: &[bool],
         pathname: &str,
     ) -> Result<Vec<u8>, CdStoreError> {
@@ -289,72 +362,68 @@ mod tests {
 
     #[test]
     fn upload_then_download_round_trips() {
-        let mut servers = make_servers(4);
+        let servers = make_servers(4);
         let client = CdStoreClient::new(1, 4, 3).unwrap();
         let data = test_data(300_000, 1);
-        let report = client.upload(&mut servers, "/backup/a.tar", &data).unwrap();
+        let report = client.upload(&servers, "/backup/a.tar", &data).unwrap();
         assert!(report.num_secrets > 1);
         assert_eq!(report.dedup.logical_bytes, data.len() as u64);
         let restored = client
-            .download(&mut servers, &[true; 4], "/backup/a.tar")
+            .download(&servers, &[true; 4], "/backup/a.tar")
             .unwrap();
         assert_eq!(restored, data);
     }
 
     #[test]
     fn download_works_with_any_k_clouds() {
-        let mut servers = make_servers(4);
+        let servers = make_servers(4);
         let client = CdStoreClient::new(1, 4, 3).unwrap();
         let data = test_data(150_000, 2);
-        client.upload(&mut servers, "/f", &data).unwrap();
+        client.upload(&servers, "/f", &data).unwrap();
         for down in 0..4 {
             let mut available = [true; 4];
             available[down] = false;
-            let restored = client.download(&mut servers, &available, "/f").unwrap();
+            let restored = client.download(&servers, &available, "/f").unwrap();
             assert_eq!(restored, data, "cloud {down} down");
         }
         // Two clouds down is too many for k = 3.
         assert!(matches!(
-            client.download(&mut servers, &[true, true, false, false], "/f"),
+            client.download(&servers, &[true, true, false, false], "/f"),
             Err(CdStoreError::NotEnoughClouds { .. })
         ));
     }
 
     #[test]
     fn second_identical_upload_transfers_no_share_data() {
-        let mut servers = make_servers(4);
+        let servers = make_servers(4);
         let client = CdStoreClient::new(1, 4, 3).unwrap();
         let data = test_data(200_000, 3);
-        let first = client.upload(&mut servers, "/weekly/v1", &data).unwrap();
+        let first = client.upload(&servers, "/weekly/v1", &data).unwrap();
         assert!(first.dedup.transferred_share_bytes > 0);
         // The same content under a new pathname: intra-user dedup removes
         // every share transfer.
-        let second = client.upload(&mut servers, "/weekly/v2", &data).unwrap();
+        let second = client.upload(&servers, "/weekly/v2", &data).unwrap();
         assert_eq!(second.dedup.transferred_share_bytes, 0);
         assert!((second.dedup.intra_user_saving() - 1.0).abs() < 1e-9);
         // Both versions remain restorable.
         assert_eq!(
-            client
-                .download(&mut servers, &[true; 4], "/weekly/v1")
-                .unwrap(),
+            client.download(&servers, &[true; 4], "/weekly/v1").unwrap(),
             data
         );
         assert_eq!(
-            client
-                .download(&mut servers, &[true; 4], "/weekly/v2")
-                .unwrap(),
+            client.download(&servers, &[true; 4], "/weekly/v2").unwrap(),
             data
         );
     }
 
     #[test]
     fn cross_user_duplicates_are_removed_server_side_only() {
-        let mut servers = make_servers(4);
+        let servers = make_servers(4);
         let alice = CdStoreClient::new(1, 4, 3).unwrap();
         let bob = CdStoreClient::new(2, 4, 3).unwrap();
         let data = test_data(120_000, 4);
-        let a = alice.upload(&mut servers, "/a", &data).unwrap();
-        let b = bob.upload(&mut servers, "/b", &data).unwrap();
+        let a = alice.upload(&servers, "/a", &data).unwrap();
+        let b = bob.upload(&servers, "/b", &data).unwrap();
         // Bob still transfers his shares (no client-side global dedup — that
         // would open the side channel)...
         assert!(b.dedup.transferred_share_bytes > 0);
@@ -366,16 +435,13 @@ mod tests {
         assert_eq!(b.dedup.physical_share_bytes, 0);
         assert!((b.dedup.inter_user_saving() - 1.0).abs() < 1e-9);
         // Both users can restore independently.
-        assert_eq!(
-            alice.download(&mut servers, &[true; 4], "/a").unwrap(),
-            data
-        );
-        assert_eq!(bob.download(&mut servers, &[true; 4], "/b").unwrap(), data);
+        assert_eq!(alice.download(&servers, &[true; 4], "/a").unwrap(), data);
+        assert_eq!(bob.download(&servers, &[true; 4], "/b").unwrap(), data);
     }
 
     #[test]
     fn modified_backup_transfers_only_changed_chunks() {
-        let mut servers = make_servers(4);
+        let servers = make_servers(4);
         let client = CdStoreClient::new(1, 4, 3).unwrap();
         let week1 = test_data(400_000, 5);
         let mut week2 = week1.clone();
@@ -383,59 +449,56 @@ mod tests {
         for b in &mut week2[100_000..101_000] {
             *b ^= 0xff;
         }
-        let r1 = client.upload(&mut servers, "/w1", &week1).unwrap();
-        let r2 = client.upload(&mut servers, "/w2", &week2).unwrap();
+        let r1 = client.upload(&servers, "/w1", &week1).unwrap();
+        let r2 = client.upload(&servers, "/w2", &week2).unwrap();
         assert!(r2.dedup.transferred_share_bytes < r1.dedup.transferred_share_bytes / 4);
         assert!(r2.dedup.intra_user_saving() > 0.7);
-        assert_eq!(
-            client.download(&mut servers, &[true; 4], "/w2").unwrap(),
-            week2
-        );
+        assert_eq!(client.download(&servers, &[true; 4], "/w2").unwrap(), week2);
     }
 
     #[test]
     fn unknown_file_and_wrong_user_are_rejected() {
-        let mut servers = make_servers(4);
+        let servers = make_servers(4);
         let client = CdStoreClient::new(1, 4, 3).unwrap();
         let data = test_data(50_000, 6);
-        client.upload(&mut servers, "/mine", &data).unwrap();
+        client.upload(&servers, "/mine", &data).unwrap();
         assert!(matches!(
-            client.download(&mut servers, &[true; 4], "/missing"),
+            client.download(&servers, &[true; 4], "/missing"),
             Err(CdStoreError::FileNotFound(_))
         ));
         // Another user cannot restore the file even if they guess the path.
         let eve = CdStoreClient::new(66, 4, 3).unwrap();
-        assert!(eve.download(&mut servers, &[true; 4], "/mine").is_err());
+        assert!(eve.download(&servers, &[true; 4], "/mine").is_err());
     }
 
     #[test]
     fn upload_requires_matching_server_count() {
-        let mut servers = make_servers(3);
+        let servers = make_servers(3);
         let client = CdStoreClient::new(1, 4, 3).unwrap();
         assert!(matches!(
-            client.upload(&mut servers, "/f", b"data"),
+            client.upload(&servers, "/f", b"data"),
             Err(CdStoreError::InvalidConfig(_))
         ));
     }
 
     #[test]
     fn empty_file_round_trips() {
-        let mut servers = make_servers(4);
+        let servers = make_servers(4);
         let client = CdStoreClient::new(1, 4, 3).unwrap();
-        let report = client.upload(&mut servers, "/empty", b"").unwrap();
+        let report = client.upload(&servers, "/empty", b"").unwrap();
         assert_eq!(report.num_secrets, 0);
         assert_eq!(
-            client.download(&mut servers, &[true; 4], "/empty").unwrap(),
+            client.download(&servers, &[true; 4], "/empty").unwrap(),
             Vec::<u8>::new()
         );
     }
 
     #[test]
     fn logical_share_bytes_reflect_dispersal_blowup() {
-        let mut servers = make_servers(4);
+        let servers = make_servers(4);
         let client = CdStoreClient::new(1, 4, 3).unwrap();
         let data = test_data(256_000, 7);
-        let report = client.upload(&mut servers, "/blowup", &data).unwrap();
+        let report = client.upload(&servers, "/blowup", &data).unwrap();
         let blowup = report.dedup.logical_share_bytes as f64 / report.dedup.logical_bytes as f64;
         // n/k = 4/3 plus the per-secret CAONT tail overhead.
         assert!(blowup > 1.33 && blowup < 1.40, "blowup {blowup}");

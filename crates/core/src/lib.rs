@@ -36,7 +36,7 @@
 //! use cdstore_core::{CdStore, CdStoreConfig};
 //!
 //! let config = CdStoreConfig::new(4, 3).unwrap();
-//! let mut store = CdStore::new(config);
+//! let store = CdStore::new(config);
 //!
 //! let user = 1;
 //! let backup = vec![42u8; 200_000];
@@ -60,7 +60,7 @@ pub mod pipeline;
 pub mod server;
 pub mod system;
 
-pub use client::{CdStoreClient, UploadReport};
+pub use client::{CdStoreClient, PreparedUpload, UploadReport};
 pub use dedup::DedupStats;
 pub use error::CdStoreError;
 pub use metadata::{FileRecipe, RecipeEntry, ShareMetadata};

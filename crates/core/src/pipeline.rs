@@ -70,9 +70,11 @@ impl<'a> ParallelCoder<'a> {
                         .collect::<Result<Vec<O>, _>>()
                 }));
             }
+            // A panicking worker must not take the whole process down with
+            // it: surface the panic as a SharingError to the caller instead.
             handles
                 .into_iter()
-                .map(|h| h.join().expect("coding worker panicked"))
+                .map(|h| h.join().unwrap_or_else(|payload| Err(panic_error(payload))))
                 .collect()
         });
         let mut out = Vec::with_capacity(items.len());
@@ -81,6 +83,17 @@ impl<'a> ParallelCoder<'a> {
         }
         Ok(out)
     }
+}
+
+/// Converts a worker thread's panic payload into a [`SharingError`],
+/// preserving `panic!` string messages where possible.
+fn panic_error(payload: Box<dyn std::any::Any + Send>) -> SharingError {
+    let message = payload
+        .downcast_ref::<&'static str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "unknown panic payload".to_string());
+    SharingError::WorkerPanic(message)
 }
 
 #[cfg(test)]
@@ -223,6 +236,72 @@ mod tests {
         }
         // The same batch without the poisoned secret encodes fine, so the
         // failure above really came from the one bad item.
+        batch.remove(13);
+        assert!(ParallelCoder::new(&scheme, 4).encode_batch(&batch).is_ok());
+    }
+
+    /// A scheme that panics while splitting any secret whose first byte is
+    /// the marker, for exercising worker-panic recovery.
+    struct PanicScheme {
+        inner: CaontRs,
+    }
+
+    impl SecretSharing for PanicScheme {
+        fn name(&self) -> &'static str {
+            "panic"
+        }
+
+        fn n(&self) -> usize {
+            self.inner.n()
+        }
+
+        fn k(&self) -> usize {
+            self.inner.k()
+        }
+
+        fn confidentiality_degree(&self) -> usize {
+            self.inner.confidentiality_degree()
+        }
+
+        fn total_share_size(&self, secret_len: usize) -> usize {
+            self.inner.total_share_size(secret_len)
+        }
+
+        fn split(&self, secret: &[u8]) -> Result<Vec<Vec<u8>>, SharingError> {
+            if secret.first() == Some(&POISON) {
+                panic!("injected worker panic");
+            }
+            self.inner.split(secret)
+        }
+
+        fn reconstruct(
+            &self,
+            shares: &[Option<Vec<u8>>],
+            secret_len: usize,
+        ) -> Result<Vec<u8>, SharingError> {
+            self.inner.reconstruct(shares, secret_len)
+        }
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_a_sharing_error() {
+        let scheme = PanicScheme {
+            inner: CaontRs::new(4, 3).unwrap(),
+        };
+        let mut batch = secrets(24);
+        batch[13][0] = POISON;
+        for threads in [2, 4, 8] {
+            let err = ParallelCoder::new(&scheme, threads)
+                .encode_batch(&batch)
+                .expect_err("a panicking worker must fail the batch, not the process");
+            match err {
+                SharingError::WorkerPanic(msg) => {
+                    assert!(msg.contains("injected worker panic"), "message: {msg}")
+                }
+                other => panic!("threads={threads}: unexpected error {other:?}"),
+            }
+        }
+        // The same coder still works on a clean batch afterwards.
         batch.remove(13);
         assert!(ParallelCoder::new(&scheme, 4).encode_batch(&batch).is_ok());
     }

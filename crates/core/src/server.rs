@@ -1,11 +1,24 @@
 //! The CDStore server (§4): one per cloud, co-located with the storage
 //! backend, performing inter-user deduplication and index/container
 //! management on behalf of all clients.
+//!
+//! The server is built for concurrent multi-client traffic (§5.4, Figure 8):
+//! every entry point takes `&self`, the indices are striped over per-shard
+//! mutexes ([`cdstore_index::sharded`]), containers take per-user append
+//! locks, and the traffic counters are atomics. `CdStoreServer` is
+//! `Send + Sync`, so any number of client threads may upload, restore, and
+//! delete against it simultaneously. Exactly-once physical storage under
+//! races is guaranteed by
+//! [`ShardedShareIndex::add_reference_or_store`], which holds the
+//! fingerprint's stripe lock across the dedup test and the container append.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use cdstore_crypto::Fingerprint;
-use cdstore_index::{FileEntry, FileIndex, FileKey, KvStore, ShareIndex};
+use cdstore_index::{
+    FileEntry, FileKey, ShardedFileIndex, ShardedKvStore, ShardedShareIndex, StoreOutcome,
+};
 use cdstore_storage::{ContainerStore, MemoryBackend, StorageBackend};
 
 use crate::error::CdStoreError;
@@ -28,22 +41,46 @@ pub struct ServerStats {
     pub served_share_bytes: u64,
 }
 
-/// One CDStore server.
+/// Lock-free counterpart of [`ServerStats`].
+#[derive(Default)]
+struct AtomicServerStats {
+    received_share_bytes: AtomicU64,
+    physical_share_bytes: AtomicU64,
+    shares_received: AtomicU64,
+    inter_user_duplicates: AtomicU64,
+    recipe_bytes: AtomicU64,
+    served_share_bytes: AtomicU64,
+}
+
+impl AtomicServerStats {
+    fn snapshot(&self) -> ServerStats {
+        ServerStats {
+            received_share_bytes: self.received_share_bytes.load(Ordering::Relaxed),
+            physical_share_bytes: self.physical_share_bytes.load(Ordering::Relaxed),
+            shares_received: self.shares_received.load(Ordering::Relaxed),
+            inter_user_duplicates: self.inter_user_duplicates.load(Ordering::Relaxed),
+            recipe_bytes: self.recipe_bytes.load(Ordering::Relaxed),
+            served_share_bytes: self.served_share_bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One CDStore server. `Send + Sync`; all entry points take `&self`.
 pub struct CdStoreServer {
     cloud_index: usize,
     /// Server-side fingerprint tag: inter-user deduplication never trusts the
     /// client-computed fingerprint (it re-fingerprints the share content with
     /// this tag), which defeats the ownership side-channel attack (§3.3).
     tag: Vec<u8>,
-    share_index: ShareIndex,
-    file_index: FileIndex,
+    share_index: ShardedShareIndex,
+    file_index: ShardedFileIndex,
     /// `(user || client fingerprint)` → server fingerprint. Answers intra-user
     /// dedup queries and resolves recipe entries at restore time; because the
     /// key embeds the user id, a user can only ever resolve shares they own.
-    user_shares: KvStore,
+    user_shares: ShardedKvStore,
     containers: ContainerStore,
-    stats: ServerStats,
-    next_version: u64,
+    stats: AtomicServerStats,
+    next_version: AtomicU64,
 }
 
 impl CdStoreServer {
@@ -58,12 +95,12 @@ impl CdStoreServer {
         CdStoreServer {
             cloud_index,
             tag: format!("cdstore-server-{cloud_index}").into_bytes(),
-            share_index: ShareIndex::new(),
-            file_index: FileIndex::new(),
-            user_shares: KvStore::new(),
+            share_index: ShardedShareIndex::new(),
+            file_index: ShardedFileIndex::new(),
+            user_shares: ShardedKvStore::new(),
             containers: ContainerStore::new(backend),
-            stats: ServerStats::default(),
-            next_version: 1,
+            stats: AtomicServerStats::default(),
+            next_version: AtomicU64::new(1),
         }
     }
 
@@ -74,7 +111,7 @@ impl CdStoreServer {
 
     /// Traffic and deduplication counters.
     pub fn stats(&self) -> ServerStats {
-        self.stats
+        self.stats.snapshot()
     }
 
     /// Approximate size of the server's indices in bytes (drives the EC2
@@ -92,7 +129,7 @@ impl CdStoreServer {
 
     /// Physical bytes stored for unique shares.
     pub fn physical_share_bytes(&self) -> u64 {
-        self.stats.physical_share_bytes
+        self.stats.physical_share_bytes.load(Ordering::Relaxed)
     }
 
     fn user_share_key(user: u64, fp: &Fingerprint) -> Vec<u8> {
@@ -105,7 +142,7 @@ impl CdStoreServer {
     /// Answers an intra-user deduplication query: for each client-computed
     /// share fingerprint, has this user already uploaded the share to this
     /// server? (§3.3, intra-user deduplication.)
-    pub fn intra_user_query(&mut self, user: u64, fingerprints: &[Fingerprint]) -> Vec<bool> {
+    pub fn intra_user_query(&self, user: u64, fingerprints: &[Fingerprint]) -> Vec<bool> {
         fingerprints
             .iter()
             .map(|fp| self.user_shares.contains(&Self::user_share_key(user, fp)))
@@ -117,32 +154,46 @@ impl CdStoreServer {
     /// share content, stores only globally unique shares into containers, and
     /// records ownership (§3.3, inter-user deduplication).
     ///
+    /// When two clients race on the same share content, the fingerprint's
+    /// stripe lock serialises them: exactly one performs the container
+    /// append, the other only gains a reference.
+    ///
     /// Returns the number of bytes that were new (physically stored).
     pub fn store_shares(
-        &mut self,
+        &self,
         user: u64,
         shares: &[(ShareMetadata, Vec<u8>)],
     ) -> Result<u64, CdStoreError> {
         let mut new_bytes = 0u64;
         for (meta, data) in shares {
-            self.stats.shares_received += 1;
-            self.stats.received_share_bytes += data.len() as u64;
+            self.stats.shares_received.fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .received_share_bytes
+                .fetch_add(data.len() as u64, Ordering::Relaxed);
             // Server-side fingerprint: never reuse the client's.
             let server_fp = Fingerprint::tagged(&self.tag, data);
-            let already = self.share_index.lookup(&server_fp);
-            let location = match already {
-                Some(entry) => {
-                    self.stats.inter_user_duplicates += 1;
-                    entry.location
+            let (_, outcome) = self
+                .share_index
+                .add_reference_or_store(&server_fp, user, || {
+                    self.containers.store_share(user, server_fp, data)
+                })
+                .map_err(CdStoreError::Storage)?;
+            match outcome {
+                StoreOutcome::DedupInterUser => {
+                    self.stats
+                        .inter_user_duplicates
+                        .fetch_add(1, Ordering::Relaxed);
                 }
-                None => {
-                    let location = self.containers.store_share(user, server_fp, data)?;
-                    self.stats.physical_share_bytes += data.len() as u64;
+                // The user's own uploads raced past the intra-user query
+                // stage; not an inter-user duplicate.
+                StoreOutcome::DedupIntraUser => {}
+                StoreOutcome::Stored => {
+                    self.stats
+                        .physical_share_bytes
+                        .fetch_add(data.len() as u64, Ordering::Relaxed);
                     new_bytes += data.len() as u64;
-                    location
                 }
-            };
-            self.share_index.add_reference(&server_fp, location, user);
+            }
             // Record the user's client-fingerprint → server-fingerprint link.
             self.user_shares.put(
                 Self::user_share_key(user, &meta.fingerprint),
@@ -154,7 +205,7 @@ impl CdStoreServer {
 
     /// Stores the file recipe and registers the file in the file index.
     pub fn put_file(
-        &mut self,
+        &self,
         user: u64,
         encoded_pathname: &[u8],
         recipe: &FileRecipe,
@@ -165,31 +216,37 @@ impl CdStoreServer {
         let location = self
             .containers
             .store_recipe(user, recipe_fp, &recipe_bytes)?;
-        self.stats.recipe_bytes += recipe_bytes.len() as u64;
+        self.stats
+            .recipe_bytes
+            .fetch_add(recipe_bytes.len() as u64, Ordering::Relaxed);
         // Store the location inside the file entry: the container id plus the
-        // offset/size packed into the remaining fields.
-        self.file_index.put(
+        // offset/size packed into the remaining fields. The version is
+        // allocated before the index stripe lock, so racing re-uploads of the
+        // same file may arrive out of order; put_if_newer keeps the highest
+        // *on this server*. Cross-server consistency of a file's n recipes is
+        // the caller's job: `CdStore` serialises whole-file writes per
+        // (user, pathname), since each server orders versions independently.
+        self.file_index.put_if_newer(
             key,
             FileEntry {
                 recipe_container_id: location.container_id,
                 file_size: ((location.offset as u64) << 32) | location.size as u64,
                 num_secrets: recipe.num_secrets() as u64,
-                version: self.next_version,
+                version: self.next_version.fetch_add(1, Ordering::Relaxed),
             },
         );
-        self.next_version += 1;
         Ok(())
     }
 
     /// Whether the server knows the given file of the given user.
-    pub fn has_file(&mut self, user: u64, encoded_pathname: &[u8]) -> bool {
+    pub fn has_file(&self, user: u64, encoded_pathname: &[u8]) -> bool {
         let key = FileKey::new(user, encoded_pathname);
         self.file_index.get(&key).is_some()
     }
 
     /// Fetches the file recipe for a user's file.
     pub fn get_recipe(
-        &mut self,
+        &self,
         user: u64,
         encoded_pathname: &[u8],
     ) -> Result<FileRecipe, CdStoreError> {
@@ -209,7 +266,7 @@ impl CdStoreServer {
 
     /// Removes a file from the file index (garbage collection of the shares
     /// themselves is future work, as in the paper §4.7).
-    pub fn delete_file(&mut self, user: u64, encoded_pathname: &[u8]) -> bool {
+    pub fn delete_file(&self, user: u64, encoded_pathname: &[u8]) -> bool {
         let key = FileKey::new(user, encoded_pathname);
         self.file_index.remove(&key).is_some()
     }
@@ -218,11 +275,7 @@ impl CdStoreServer {
     /// fingerprint recorded in the file recipe. Ownership is enforced: a user
     /// who never uploaded the share cannot retrieve it by fingerprint alone
     /// (the proof-of-ownership side channel of §3.3).
-    pub fn fetch_share(
-        &mut self,
-        user: u64,
-        client_fp: &Fingerprint,
-    ) -> Result<Vec<u8>, CdStoreError> {
+    pub fn fetch_share(&self, user: u64, client_fp: &Fingerprint) -> Result<Vec<u8>, CdStoreError> {
         let server_fp_bytes = self
             .user_shares
             .get(&Self::user_share_key(user, client_fp))
@@ -236,13 +289,15 @@ impl CdStoreServer {
             .lookup(&server_fp)
             .ok_or_else(|| CdStoreError::MissingShare(client_fp.to_hex()))?;
         let data = self.containers.fetch(&entry.location)?;
-        self.stats.served_share_bytes += data.len() as u64;
+        self.stats
+            .served_share_bytes
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
         Ok(data)
     }
 
     /// Fetches a batch of shares owned by `user`.
     pub fn fetch_shares(
-        &mut self,
+        &self,
         user: u64,
         client_fps: &[Fingerprint],
     ) -> Result<Vec<Vec<u8>>, CdStoreError> {
@@ -254,7 +309,7 @@ impl CdStoreServer {
 
     /// Seals and persists all open containers (called at the end of a backup
     /// job and before shutting down).
-    pub fn flush(&mut self) -> Result<(), CdStoreError> {
+    pub fn flush(&self) -> Result<(), CdStoreError> {
         self.containers.flush()?;
         Ok(())
     }
@@ -287,7 +342,7 @@ mod tests {
 
     #[test]
     fn inter_user_dedup_stores_one_copy() {
-        let mut server = CdStoreServer::new(0);
+        let server = CdStoreServer::new(0);
         let s = share(b"identical share content");
         let new_a = server.store_shares(1, std::slice::from_ref(&s)).unwrap();
         let new_b = server.store_shares(2, std::slice::from_ref(&s)).unwrap();
@@ -300,8 +355,22 @@ mod tests {
     }
 
     #[test]
+    fn same_user_duplicate_is_not_counted_as_inter_user() {
+        let server = CdStoreServer::new(0);
+        let s = share(b"same user twice");
+        server.store_shares(1, std::slice::from_ref(&s)).unwrap();
+        // A second upload by the same user (e.g. two of their devices racing
+        // past the intra-user query) is an intra-user duplicate.
+        let second = server.store_shares(1, std::slice::from_ref(&s)).unwrap();
+        assert_eq!(second, 0);
+        assert_eq!(server.stats().inter_user_duplicates, 0);
+        assert_eq!(server.unique_shares(), 1);
+        assert_eq!(server.physical_share_bytes(), s.1.len() as u64);
+    }
+
+    #[test]
     fn intra_user_query_reports_only_own_uploads() {
-        let mut server = CdStoreServer::new(0);
+        let server = CdStoreServer::new(0);
         let s1 = share(b"first");
         let s2 = share(b"second");
         server.store_shares(1, std::slice::from_ref(&s1)).unwrap();
@@ -316,7 +385,7 @@ mod tests {
 
     #[test]
     fn fetch_share_enforces_ownership() {
-        let mut server = CdStoreServer::new(0);
+        let server = CdStoreServer::new(0);
         let s = share(b"sensitive share of user 1");
         server.store_shares(1, std::slice::from_ref(&s)).unwrap();
         server.flush().unwrap();
@@ -330,7 +399,7 @@ mod tests {
 
     #[test]
     fn recipes_round_trip_through_containers() {
-        let mut server = CdStoreServer::new(1);
+        let server = CdStoreServer::new(1);
         let recipe = FileRecipe {
             file_size: 999,
             entries: (0..50u32)
@@ -353,7 +422,7 @@ mod tests {
 
     #[test]
     fn newer_recipe_versions_replace_older_ones() {
-        let mut server = CdStoreServer::new(0);
+        let server = CdStoreServer::new(0);
         let old = FileRecipe {
             file_size: 1,
             entries: vec![],
@@ -372,7 +441,7 @@ mod tests {
 
     #[test]
     fn delete_file_removes_the_index_entry() {
-        let mut server = CdStoreServer::new(0);
+        let server = CdStoreServer::new(0);
         let recipe = FileRecipe {
             file_size: 5,
             entries: vec![],
@@ -388,7 +457,7 @@ mod tests {
 
     #[test]
     fn index_size_grows_with_stored_shares() {
-        let mut server = CdStoreServer::new(0);
+        let server = CdStoreServer::new(0);
         let before = server.index_bytes();
         for i in 0..500u32 {
             let data = format!("share-{i}").into_bytes();
@@ -399,8 +468,79 @@ mod tests {
     }
 
     #[test]
+    fn server_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CdStoreServer>();
+    }
+
+    #[test]
+    fn racing_identical_uploads_store_the_share_exactly_once() {
+        let server = CdStoreServer::new(0);
+        let users = 8u64;
+        let shares: Vec<_> = (0..32u32)
+            .map(|i| share(format!("contended share {i}").as_bytes()))
+            .collect();
+        let barrier = std::sync::Barrier::new(users as usize);
+        let new_bytes: u64 = std::thread::scope(|scope| {
+            let handles: Vec<_> = (1..=users)
+                .map(|user| {
+                    let server = &server;
+                    let shares = &shares;
+                    let barrier = &barrier;
+                    scope.spawn(move || {
+                        barrier.wait();
+                        server.store_shares(user, shares).unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        let unique_bytes: u64 = shares.iter().map(|(_, d)| d.len() as u64).sum();
+        // Across all racing users, each share was physically stored once.
+        assert_eq!(new_bytes, unique_bytes);
+        assert_eq!(server.physical_share_bytes(), unique_bytes);
+        assert_eq!(server.unique_shares(), shares.len());
+        let stats = server.stats();
+        assert_eq!(stats.shares_received, users * shares.len() as u64);
+        assert_eq!(
+            stats.inter_user_duplicates,
+            (users - 1) * shares.len() as u64
+        );
+        // Every user owns every share and can fetch it back.
+        for user in 1..=users {
+            for (meta, data) in &shares {
+                assert_eq!(&server.fetch_share(user, &meta.fingerprint).unwrap(), data);
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_users_interleave_stores_and_fetches() {
+        let server = CdStoreServer::new(0);
+        std::thread::scope(|scope| {
+            for user in 1..=8u64 {
+                let server = &server;
+                scope.spawn(move || {
+                    for i in 0..20u32 {
+                        let data = format!("user {user} private share {i}").into_bytes();
+                        let s = share(&data);
+                        server.store_shares(user, std::slice::from_ref(&s)).unwrap();
+                        assert_eq!(server.fetch_share(user, &s.0.fingerprint).unwrap(), data);
+                        assert_eq!(
+                            server.intra_user_query(user, &[s.0.fingerprint]),
+                            vec![true]
+                        );
+                    }
+                });
+            }
+        });
+        assert_eq!(server.unique_shares(), 8 * 20);
+        assert_eq!(server.stats().inter_user_duplicates, 0);
+    }
+
+    #[test]
     fn backend_bytes_reflect_flushed_containers() {
-        let mut server = CdStoreServer::new(0);
+        let server = CdStoreServer::new(0);
         server
             .store_shares(1, &[share(&vec![7u8; 100_000])])
             .unwrap();

@@ -1,9 +1,18 @@
 //! [`CdStore`]: the whole-system façade wiring one organisation's clients to
 //! `n` in-process CDStore servers.
+//!
+//! [`CdStore`] is a cheap clonable `Arc` handle: clone it into as many OS
+//! threads as you like and call [`CdStore::backup`], [`CdStore::restore`],
+//! and [`CdStore::delete`] concurrently — the servers behind it are
+//! `Send + Sync` and internally sharded (see [`crate::server`]). This is how
+//! the multi-client experiments of §5.4 (Figure 8) drive real concurrent
+//! traffic.
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use cdstore_chunking::ChunkerConfig;
+use parking_lot::{Mutex, RwLock};
 
 use crate::client::{CdStoreClient, UploadReport};
 use crate::dedup::DedupStats;
@@ -58,133 +67,200 @@ pub struct SystemStats {
     pub files: usize,
 }
 
-/// The CDStore system: `n` servers plus per-user clients, with failure
-/// injection and repair.
-pub struct CdStore {
+/// The state shared by every clone of a [`CdStore`] handle.
+struct Shared {
     config: CdStoreConfig,
-    servers: Vec<CdStoreServer>,
-    available: Vec<bool>,
-    dedup: DedupStats,
+    /// The servers themselves are `Send + Sync` with `&self` entry points;
+    /// the `RwLock` only exists so [`CdStore::replace_and_repair_cloud`] can
+    /// swap a lost server for a fresh one. All normal traffic takes the read
+    /// lock and proceeds fully concurrently.
+    servers: RwLock<Vec<CdStoreServer>>,
+    available: RwLock<Vec<bool>>,
+    dedup: Mutex<DedupStats>,
     /// Catalogue of `(user, pathname)` pairs ever backed up, used by repair
     /// and statistics. (In a deployment this information lives in the file
     /// indices; the façade keeps a copy for convenience.)
-    catalog: BTreeSet<(u64, String)>,
+    catalog: Mutex<BTreeSet<(u64, String)>>,
+    /// Striped per-file locks keyed by `(user, pathname)`. Each server
+    /// orders recipe versions with its own counter, so two concurrent writes
+    /// of the *same* file could otherwise commit in opposite orders on
+    /// different clouds, leaving the n per-cloud recipes mixed between two
+    /// uploads — and a concurrent restore could fetch recipes from two
+    /// different uploads. Writers (backup, delete) take the write side,
+    /// restores the read side; traffic on different files stays fully
+    /// concurrent.
+    path_locks: Vec<RwLock<()>>,
+}
+
+/// Number of path-lock stripes (distinct files rarely collide at 64).
+const PATH_LOCK_STRIPES: usize = 64;
+
+/// The CDStore system: `n` servers plus per-user clients, with failure
+/// injection and repair.
+///
+/// Cloning a `CdStore` yields another handle to the same deployment; hand
+/// one clone to each client thread for concurrent multi-client traffic.
+#[derive(Clone)]
+pub struct CdStore {
+    shared: Arc<Shared>,
 }
 
 impl CdStore {
     /// Creates a CDStore deployment with `n` in-memory servers.
     pub fn new(config: CdStoreConfig) -> Self {
         CdStore {
-            servers: (0..config.n).map(CdStoreServer::new).collect(),
-            available: vec![true; config.n],
-            dedup: DedupStats::new(),
-            catalog: BTreeSet::new(),
-            config,
+            shared: Arc::new(Shared {
+                servers: RwLock::new((0..config.n).map(CdStoreServer::new).collect()),
+                available: RwLock::new(vec![true; config.n]),
+                dedup: Mutex::new(DedupStats::new()),
+                catalog: Mutex::new(BTreeSet::new()),
+                path_locks: (0..PATH_LOCK_STRIPES).map(|_| RwLock::new(())).collect(),
+                config,
+            }),
         }
     }
 
     /// The configuration in use.
     pub fn config(&self) -> CdStoreConfig {
-        self.config
+        self.shared.config
     }
 
     /// Builds a client handle for a user.
     pub fn client(&self, user: u64) -> Result<CdStoreClient, CdStoreError> {
-        CdStoreClient::with_chunker(user, self.config.n, self.config.k, self.config.chunker)
+        let config = &self.shared.config;
+        CdStoreClient::with_chunker(user, config.n, config.k, config.chunker)
+    }
+
+    /// The lock covering one `(user, pathname)` file.
+    fn path_lock(&self, user: u64, pathname: &str) -> &RwLock<()> {
+        let hash =
+            cdstore_index::sharded::fnv1a(pathname.as_bytes()) ^ user.wrapping_mul(0x9e37_79b9);
+        &self.shared.path_locks[(hash % PATH_LOCK_STRIPES as u64) as usize]
     }
 
     /// Backs up a file for a user.
     pub fn backup(
-        &mut self,
+        &self,
         user: u64,
         pathname: &str,
         data: &[u8],
     ) -> Result<UploadReport, CdStoreError> {
-        self.ensure_all_clouds_up()?;
-        let client = self.client(user)?;
-        let report = client.upload(&mut self.servers, pathname, data)?;
-        self.dedup.accumulate(&report.dedup);
-        self.catalog.insert((user, pathname.to_string()));
-        Ok(report)
+        self.backup_with(user, pathname, |client| client.prepare(data))
     }
 
     /// Backs up a file already divided into chunks (trace-driven workloads).
     pub fn backup_chunks(
-        &mut self,
+        &self,
         user: u64,
         pathname: &str,
         chunks: &[Vec<u8>],
     ) -> Result<UploadReport, CdStoreError> {
+        self.backup_with(user, pathname, |client| client.prepare_chunks(chunks))
+    }
+
+    /// The shared backup protocol: availability check, the CPU-bound
+    /// prepare (chunking + CAONT-RS, run *outside* any lock so unrelated
+    /// backups never serialise their encoding), then the server commit
+    /// under the per-file write lock plus accounting.
+    fn backup_with(
+        &self,
+        user: u64,
+        pathname: &str,
+        prepare: impl FnOnce(&CdStoreClient) -> Result<crate::client::PreparedUpload, CdStoreError>,
+    ) -> Result<UploadReport, CdStoreError> {
         self.ensure_all_clouds_up()?;
         let client = self.client(user)?;
-        let report = client.upload_chunks(&mut self.servers, pathname, chunks)?;
-        self.dedup.accumulate(&report.dedup);
-        self.catalog.insert((user, pathname.to_string()));
+        let prepared = prepare(&client)?;
+        let _file = self.path_lock(user, pathname).write();
+        let servers = self.shared.servers.read();
+        let report = client.commit(&servers, pathname, prepared)?;
+        self.shared.dedup.lock().accumulate(&report.dedup);
+        self.shared
+            .catalog
+            .lock()
+            .insert((user, pathname.to_string()));
         Ok(report)
     }
 
     /// Restores a file for a user from any `k` available clouds.
-    pub fn restore(&mut self, user: u64, pathname: &str) -> Result<Vec<u8>, CdStoreError> {
+    pub fn restore(&self, user: u64, pathname: &str) -> Result<Vec<u8>, CdStoreError> {
         let client = self.client(user)?;
-        client.download(&mut self.servers, &self.available, pathname)
+        // Read side of the per-file lock: a restore never observes a
+        // half-committed rewrite of the same file (mixed per-cloud recipes),
+        // while restores of the same file still run concurrently.
+        let _file = self.path_lock(user, pathname).read();
+        let availability = self.shared.available.read().clone();
+        let servers = self.shared.servers.read();
+        client.download(&servers, &availability, pathname)
     }
 
     /// Deletes a file's index entries on all available servers (share
     /// garbage collection is future work, §4.7).
-    pub fn delete(&mut self, user: u64, pathname: &str) -> Result<bool, CdStoreError> {
+    pub fn delete(&self, user: u64, pathname: &str) -> Result<bool, CdStoreError> {
         let client = self.client(user)?;
         let encoded = client.encode_pathname(pathname)?;
+        let _file = self.path_lock(user, pathname).write();
+        let availability = self.shared.available.read().clone();
+        let servers = self.shared.servers.read();
         let mut any = false;
-        for (i, server) in self.servers.iter_mut().enumerate() {
-            if self.available[i] {
+        for (i, server) in servers.iter().enumerate() {
+            if availability[i] {
                 any |= server.delete_file(user, &encoded[i]);
             }
         }
-        self.catalog.remove(&(user, pathname.to_string()));
+        self.shared
+            .catalog
+            .lock()
+            .remove(&(user, pathname.to_string()));
         Ok(any)
     }
 
     /// Injects a failure of cloud `i` (its server becomes unreachable).
-    pub fn fail_cloud(&mut self, i: usize) {
-        self.available[i] = false;
+    pub fn fail_cloud(&self, i: usize) {
+        self.shared.available.write()[i] = false;
     }
 
     /// Marks cloud `i` reachable again.
-    pub fn recover_cloud(&mut self, i: usize) {
-        self.available[i] = true;
+    pub fn recover_cloud(&self, i: usize) {
+        self.shared.available.write()[i] = true;
     }
 
     /// Whether cloud `i` is currently reachable.
     pub fn is_cloud_available(&self, i: usize) -> bool {
-        self.available[i]
+        self.shared.available.read()[i]
     }
 
     /// Replaces cloud `i` with a brand-new empty server (permanent loss) and
     /// rebuilds every lost share on it from the surviving `k` clouds, as in
     /// Reed-Solomon repair (§3.1). Returns the number of files repaired.
-    pub fn replace_and_repair_cloud(&mut self, i: usize) -> Result<usize, CdStoreError> {
-        self.servers[i] = CdStoreServer::new(i);
-        self.available[i] = true;
-        let catalog: Vec<(u64, String)> = self.catalog.iter().cloned().collect();
+    ///
+    /// Repair is an administrative operation: run it while client traffic is
+    /// quiesced, as files backed up concurrently with the repair pass may be
+    /// missed.
+    pub fn replace_and_repair_cloud(&self, i: usize) -> Result<usize, CdStoreError> {
+        self.shared.servers.write()[i] = CdStoreServer::new(i);
+        self.shared.available.write()[i] = true;
+        let catalog: Vec<(u64, String)> = self.shared.catalog.lock().iter().cloned().collect();
         let mut repaired = 0usize;
         for (user, pathname) in catalog {
             // Restore from the surviving clouds...
             let client = self.client(user)?;
-            let mut availability = self.available.clone();
+            let mut availability = self.shared.available.read().clone();
             availability[i] = false;
-            let data = client.download(&mut self.servers, &availability, &pathname)?;
+            let servers = self.shared.servers.read();
+            let data = client.download(&servers, &availability, &pathname)?;
             // ...and re-upload, which regenerates the identical convergent
             // shares and repopulates cloud i (the other clouds deduplicate the
             // re-uploaded shares away).
-            client.upload(&mut self.servers, &pathname, &data)?;
+            client.upload(&servers, &pathname, &data)?;
             repaired += 1;
         }
         Ok(repaired)
     }
 
     /// Seals open containers on every server.
-    pub fn flush(&mut self) -> Result<(), CdStoreError> {
-        for server in &mut self.servers {
+    pub fn flush(&self) -> Result<(), CdStoreError> {
+        for server in self.shared.servers.read().iter() {
             server.flush()?;
         }
         Ok(())
@@ -192,28 +268,30 @@ impl CdStore {
 
     /// Aggregated system statistics.
     pub fn stats(&self) -> SystemStats {
+        let servers = self.shared.servers.read();
         SystemStats {
-            dedup: self.dedup,
-            servers: self.servers.iter().map(|s| s.stats()).collect(),
-            backend_bytes: self.servers.iter().map(|s| s.backend_bytes()).collect(),
-            index_bytes: self.servers.iter().map(|s| s.index_bytes()).collect(),
-            files: self.catalog.len(),
+            dedup: *self.shared.dedup.lock(),
+            servers: servers.iter().map(|s| s.stats()).collect(),
+            backend_bytes: servers.iter().map(|s| s.backend_bytes()).collect(),
+            index_bytes: servers.iter().map(|s| s.index_bytes()).collect(),
+            files: self.shared.catalog.lock().len(),
         }
     }
 
-    /// Direct access to the servers (used by benchmarks that drive clients
-    /// explicitly).
-    pub fn servers_mut(&mut self) -> &mut [CdStoreServer] {
-        &mut self.servers
+    /// Runs a closure against the server slice (used by benchmarks and tests
+    /// that drive [`CdStoreClient`]s explicitly).
+    pub fn with_servers<R>(&self, f: impl FnOnce(&[CdStoreServer]) -> R) -> R {
+        f(&self.shared.servers.read())
     }
 
     fn ensure_all_clouds_up(&self) -> Result<(), CdStoreError> {
-        let up = self.available.iter().filter(|&&a| a).count();
-        if up < self.config.n {
+        let available = self.shared.available.read();
+        let up = available.iter().filter(|&&a| a).count();
+        if up < self.shared.config.n {
             // Uploads write to all n clouds so redundancy is never silently
             // degraded; the paper's prototype behaves the same way.
             return Err(CdStoreError::NotEnoughClouds {
-                needed: self.config.n,
+                needed: self.shared.config.n,
                 available: up,
             });
         }
@@ -233,7 +311,7 @@ mod tests {
 
     #[test]
     fn backup_restore_delete_lifecycle() {
-        let mut store = CdStore::new(CdStoreConfig::new(4, 3).unwrap());
+        let store = CdStore::new(CdStoreConfig::new(4, 3).unwrap());
         let data = sample(250_000, 1);
         let report = store.backup(7, "/docs.tar", &data).unwrap();
         assert_eq!(report.dedup.logical_bytes, data.len() as u64);
@@ -246,7 +324,7 @@ mod tests {
 
     #[test]
     fn tolerates_cloud_failures_up_to_n_minus_k() {
-        let mut store = CdStore::new(CdStoreConfig::new(4, 3).unwrap());
+        let store = CdStore::new(CdStoreConfig::new(4, 3).unwrap());
         let data = sample(100_000, 2);
         store.backup(1, "/f", &data).unwrap();
         store.fail_cloud(0);
@@ -269,7 +347,7 @@ mod tests {
 
     #[test]
     fn repair_rebuilds_a_lost_cloud() {
-        let mut store = CdStore::new(CdStoreConfig::new(4, 3).unwrap());
+        let store = CdStore::new(CdStoreConfig::new(4, 3).unwrap());
         let data_a = sample(180_000, 3);
         let data_b = sample(90_000, 4);
         store.backup(1, "/a", &data_a).unwrap();
@@ -302,7 +380,7 @@ mod tests {
 
     #[test]
     fn stats_aggregate_across_users_and_uploads() {
-        let mut store = CdStore::new(CdStoreConfig::new(4, 3).unwrap());
+        let store = CdStore::new(CdStoreConfig::new(4, 3).unwrap());
         let data = sample(150_000, 5);
         store.backup(1, "/u1", &data).unwrap();
         store.backup(2, "/u2", &data).unwrap();
@@ -315,6 +393,36 @@ mod tests {
         assert_eq!(stats.servers.len(), 4);
         assert!(stats.backend_bytes.iter().all(|&b| b > 0));
         assert!(stats.index_bytes.iter().all(|&b| b > 0));
+    }
+
+    #[test]
+    fn cdstore_handles_are_clonable_and_send_sync() {
+        fn assert_send_sync_clone<T: Send + Sync + Clone>() {}
+        assert_send_sync_clone::<CdStore>();
+        let store = CdStore::new(CdStoreConfig::new(4, 3).unwrap());
+        let clone = store.clone();
+        let data = sample(60_000, 9);
+        store.backup(1, "/via-original", &data).unwrap();
+        // Both handles see the same deployment.
+        assert_eq!(clone.restore(1, "/via-original").unwrap(), data);
+        assert_eq!(clone.stats().files, 1);
+    }
+
+    #[test]
+    fn concurrent_clients_back_up_and_restore_through_clones() {
+        let store = CdStore::new(CdStoreConfig::new(4, 3).unwrap());
+        std::thread::scope(|scope| {
+            for user in 1..=8u64 {
+                let store = store.clone();
+                scope.spawn(move || {
+                    let data = sample(120_000, user as u8);
+                    let path = format!("/u{user}/data.tar");
+                    store.backup(user, &path, &data).unwrap();
+                    assert_eq!(store.restore(user, &path).unwrap(), data);
+                });
+            }
+        });
+        assert_eq!(store.stats().files, 8);
     }
 
     #[test]

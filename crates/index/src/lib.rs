@@ -12,6 +12,8 @@
 //! * [`ShareIndex`] — maps share fingerprints to container references, owner
 //!   lists, and per-user reference counts (the structure both deduplication
 //!   stages query).
+//! * [`sharded`] — thread-safe variants of all three, striped over
+//!   per-stripe mutexes so a server can run many clients concurrently.
 //!
 //! # Examples
 //!
@@ -31,9 +33,11 @@
 pub mod bloom;
 pub mod file_index;
 pub mod kvstore;
+pub mod sharded;
 pub mod share_index;
 
 pub use bloom::BloomFilter;
 pub use file_index::{FileEntry, FileIndex, FileKey};
 pub use kvstore::{KvStore, KvStoreConfig, KvStoreStats};
-pub use share_index::{ShareEntry, ShareIndex, ShareLocation};
+pub use sharded::{ShardedFileIndex, ShardedKvStore, ShardedShareIndex, StoreOutcome};
+pub use share_index::{ShareAddOutcome, ShareEntry, ShareIndex, ShareLocation};

@@ -157,22 +157,36 @@ impl ShareIndex {
     ) -> ShareAddOutcome {
         match self.lookup(fp) {
             Some(mut entry) => {
-                match entry.owners.iter_mut().find(|(u, _)| *u == user) {
-                    Some((_, count)) => *count += 1,
-                    None => entry.owners.push((user, 1)),
-                }
-                self.store.put(fp.as_bytes().to_vec(), entry.encode());
+                self.add_reference_to_entry(fp, &mut entry, user);
                 ShareAddOutcome::Duplicate
             }
             None => {
-                let entry = ShareEntry {
-                    location,
-                    owners: vec![(user, 1)],
-                };
-                self.store.put(fp.as_bytes().to_vec(), entry.encode());
+                self.insert_new(fp, location, user);
                 ShareAddOutcome::NewShare
             }
         }
+    }
+
+    /// Like [`ShareIndex::add_reference`] for a share known to exist, for
+    /// callers that already hold the decoded entry from a lookup: updates the
+    /// entry's owner list in place and writes it back without re-reading the
+    /// store.
+    pub fn add_reference_to_entry(&mut self, fp: &Fingerprint, entry: &mut ShareEntry, user: u64) {
+        match entry.owners.iter_mut().find(|(u, _)| *u == user) {
+            Some((_, count)) => *count += 1,
+            None => entry.owners.push((user, 1)),
+        }
+        self.store.put(fp.as_bytes().to_vec(), entry.encode());
+    }
+
+    /// Inserts a fresh entry for a share known to be absent, giving `user`
+    /// its first reference.
+    pub fn insert_new(&mut self, fp: &Fingerprint, location: ShareLocation, user: u64) {
+        let entry = ShareEntry {
+            location,
+            owners: vec![(user, 1)],
+        };
+        self.store.put(fp.as_bytes().to_vec(), entry.encode());
     }
 
     /// Drops one reference held by `user`. Returns the location if the share

@@ -83,6 +83,8 @@ pub enum SharingError {
     IntegrityCheckFailed,
     /// An internal erasure-coding error.
     Erasure(String),
+    /// A parallel coding worker panicked; the payload is the panic message.
+    WorkerPanic(String),
 }
 
 impl fmt::Display for SharingError {
@@ -99,6 +101,7 @@ impl fmt::Display for SharingError {
             SharingError::MalformedShare(msg) => write!(f, "malformed share: {msg}"),
             SharingError::IntegrityCheckFailed => write!(f, "integrity check failed"),
             SharingError::Erasure(msg) => write!(f, "erasure coding error: {msg}"),
+            SharingError::WorkerPanic(msg) => write!(f, "coding worker panicked: {msg}"),
         }
     }
 }

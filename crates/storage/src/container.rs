@@ -99,6 +99,19 @@ impl Container {
         out
     }
 
+    /// Reopens the sealed container as a builder with identical id, user,
+    /// entries, and payload — the inverse of [`ContainerBuilder::seal`].
+    /// Used to restore an open buffer after a failed backend write.
+    pub fn reopen(self) -> ContainerBuilder {
+        ContainerBuilder {
+            id: self.id,
+            user: self.user,
+            kind: self.kind,
+            entries: self.entries,
+            payload: self.payload,
+        }
+    }
+
     /// Parses a container serialised by [`Container::to_bytes`].
     pub fn from_bytes(bytes: &[u8]) -> Option<Container> {
         if bytes.len() < 25 || &bytes[..4] != b"CDCT" {
@@ -178,6 +191,14 @@ impl ContainerBuilder {
     /// Identifier that the sealed container will carry.
     pub fn id(&self) -> u64 {
         self.id
+    }
+
+    /// Returns the blob at a known offset/length from the live payload —
+    /// the open-buffer counterpart of [`Container::get_at`], so readers can
+    /// serve a single share without cloning the whole builder.
+    pub fn get_at(&self, offset: u32, length: u32) -> Option<&[u8]> {
+        let end = offset.checked_add(length)? as usize;
+        self.payload.get(offset as usize..end)
     }
 
     /// Current payload size.
@@ -287,6 +308,20 @@ mod tests {
         let container = builder.seal();
         assert_eq!(container.payload_size(), big.len());
         assert_eq!(container.get(&fp(1)).unwrap(), big.as_slice());
+    }
+
+    #[test]
+    fn reopen_restores_an_appendable_builder() {
+        let mut builder = ContainerBuilder::new(7, 3, ContainerKind::Share);
+        builder.append(fp(1), b"first");
+        let sealed = builder.seal();
+        let mut reopened = sealed.clone().reopen();
+        assert_eq!(reopened.id(), 7);
+        assert_eq!(reopened.payload_size(), sealed.payload_size());
+        reopened.append(fp(2), b"second");
+        let resealed = reopened.seal();
+        assert_eq!(resealed.get(&fp(1)), Some(b"first".as_slice()));
+        assert_eq!(resealed.get(&fp(2)), Some(b"second".as_slice()));
     }
 
     #[test]

@@ -1,13 +1,20 @@
 //! [`ContainerStore`]: the server-side component that buffers shares and
 //! recipes into containers, writes sealed containers to the backend, and
 //! serves reads through an LRU container cache.
+//!
+//! The store is designed for concurrent clients: containers are single-user
+//! (§4.5), so each user's open containers sit behind their own append lock,
+//! container ids come from an atomic counter, the read cache has its own
+//! mutex, and the I/O counters are atomics. Two users appending shares at the
+//! same time never contend on a common lock.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use cdstore_crypto::Fingerprint;
 use cdstore_index::ShareLocation;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use crate::backend::{StorageBackend, StorageError};
 use crate::cache::LruCache;
@@ -32,20 +39,66 @@ pub struct StoreStats {
     pub backend_reads: u64,
 }
 
-struct Inner {
-    backend: Arc<dyn StorageBackend>,
-    next_container_id: u64,
-    /// Open share containers, one per user (§4.5: containers are single-user).
-    open_shares: HashMap<u64, ContainerBuilder>,
-    /// Open recipe containers, one per user.
-    open_recipes: HashMap<u64, ContainerBuilder>,
-    cache: LruCache<u64, Container>,
-    stats: StoreStats,
+/// Lock-free counterpart of [`StoreStats`].
+#[derive(Default)]
+struct AtomicStoreStats {
+    containers_written: AtomicU64,
+    bytes_written: AtomicU64,
+    open_buffer_reads: AtomicU64,
+    cache_reads: AtomicU64,
+    backend_reads: AtomicU64,
+}
+
+impl AtomicStoreStats {
+    fn snapshot(&self) -> StoreStats {
+        StoreStats {
+            containers_written: self.containers_written.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            open_buffer_reads: self.open_buffer_reads.load(Ordering::Relaxed),
+            cache_reads: self.cache_reads.load(Ordering::Relaxed),
+            backend_reads: self.backend_reads.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One user's open (unsealed) containers: at most one share container and
+/// one recipe container at a time (§4.5).
+#[derive(Default)]
+struct OpenContainers {
+    share: Option<ContainerBuilder>,
+    recipe: Option<ContainerBuilder>,
+}
+
+impl OpenContainers {
+    fn slot(&mut self, kind: ContainerKind) -> &mut Option<ContainerBuilder> {
+        match kind {
+            ContainerKind::Share => &mut self.share,
+            ContainerKind::Recipe => &mut self.recipe,
+        }
+    }
+
+    fn builders(&self) -> impl Iterator<Item = &ContainerBuilder> {
+        self.share.iter().chain(self.recipe.iter())
+    }
 }
 
 /// Manages share and recipe containers on top of a storage backend.
+///
+/// All methods take `&self`; the store is `Send + Sync` and safe to share
+/// across server worker threads.
 pub struct ContainerStore {
-    inner: Mutex<Inner>,
+    backend: Arc<dyn StorageBackend>,
+    next_container_id: AtomicU64,
+    /// Per-user append locks over the open containers. The outer `RwLock`
+    /// only guards the map shape (inserting a new user's entry); appends
+    /// take the inner per-user mutex. Idle entries are pruned on `flush`.
+    open: RwLock<HashMap<u64, Arc<Mutex<OpenContainers>>>>,
+    /// Container id → owning user's entry, for every currently *open*
+    /// container, so reads resolve open containers in O(1) instead of
+    /// scanning all users. Maintained on builder creation and sealing.
+    open_by_id: Mutex<HashMap<u64, Arc<Mutex<OpenContainers>>>>,
+    cache: Mutex<LruCache<u64, Container>>,
+    stats: AtomicStoreStats,
 }
 
 impl ContainerStore {
@@ -58,19 +111,25 @@ impl ContainerStore {
     /// Creates a container store with an explicit cache budget.
     pub fn with_cache_bytes(backend: Arc<dyn StorageBackend>, cache_bytes: usize) -> Self {
         ContainerStore {
-            inner: Mutex::new(Inner {
-                backend,
-                next_container_id: 1,
-                open_shares: HashMap::new(),
-                open_recipes: HashMap::new(),
-                cache: LruCache::new(cache_bytes),
-                stats: StoreStats::default(),
-            }),
+            backend,
+            next_container_id: AtomicU64::new(1),
+            open: RwLock::new(HashMap::new()),
+            open_by_id: Mutex::new(HashMap::new()),
+            cache: Mutex::new(LruCache::new(cache_bytes)),
+            stats: AtomicStoreStats::default(),
         }
     }
 
     fn object_key(container_id: u64) -> String {
         format!("container-{container_id:016x}")
+    }
+
+    /// Returns the user's open-container entry, creating it if needed.
+    fn user_entry(&self, user: u64) -> Arc<Mutex<OpenContainers>> {
+        if let Some(entry) = self.open.read().get(&user) {
+            return entry.clone();
+        }
+        self.open.write().entry(user).or_default().clone()
     }
 
     /// Appends a share to the user's open share container, returning where it
@@ -82,8 +141,7 @@ impl ContainerStore {
         fingerprint: Fingerprint,
         data: &[u8],
     ) -> Result<ShareLocation, StorageError> {
-        let mut inner = self.inner.lock();
-        self.store_blob(&mut inner, user, fingerprint, data, ContainerKind::Share)
+        self.store_blob(user, fingerprint, data, ContainerKind::Share)
     }
 
     /// Appends a file recipe to the user's open recipe container, returning
@@ -94,35 +152,30 @@ impl ContainerStore {
         fingerprint: Fingerprint,
         data: &[u8],
     ) -> Result<ShareLocation, StorageError> {
-        let mut inner = self.inner.lock();
-        self.store_blob(&mut inner, user, fingerprint, data, ContainerKind::Recipe)
+        self.store_blob(user, fingerprint, data, ContainerKind::Recipe)
     }
 
     fn store_blob(
         &self,
-        inner: &mut Inner,
         user: u64,
         fingerprint: Fingerprint,
         data: &[u8],
         kind: ContainerKind,
     ) -> Result<ShareLocation, StorageError> {
+        let entry = self.user_entry(user);
+        let mut open = entry.lock();
+        let slot = open.slot(kind);
         // Seal the open container first if this blob would overflow it.
-        let needs_seal = {
-            let open = Self::open_map(inner, kind).get(&user);
-            open.map(|b| b.would_overflow(data.len())).unwrap_or(false)
-        };
-        if needs_seal {
-            self.seal_user(inner, user, kind)?;
+        if slot
+            .as_ref()
+            .map(|b| b.would_overflow(data.len()))
+            .unwrap_or(false)
+        {
+            self.seal_slot(slot)?;
         }
-        let next_id = &mut inner.next_container_id;
-        let builder = match kind {
-            ContainerKind::Share => &mut inner.open_shares,
-            ContainerKind::Recipe => &mut inner.open_recipes,
-        }
-        .entry(user)
-        .or_insert_with(|| {
-            let id = *next_id;
-            *next_id += 1;
+        let builder = open.slot(kind).get_or_insert_with(|| {
+            let id = self.next_container_id.fetch_add(1, Ordering::Relaxed);
+            self.open_by_id.lock().insert(id, entry.clone());
             ContainerBuilder::new(id, user, kind)
         });
         let offset = builder.append(fingerprint, data);
@@ -133,137 +186,150 @@ impl ContainerStore {
         })
     }
 
-    fn open_map(inner: &mut Inner, kind: ContainerKind) -> &mut HashMap<u64, ContainerBuilder> {
-        match kind {
-            ContainerKind::Share => &mut inner.open_shares,
-            ContainerKind::Recipe => &mut inner.open_recipes,
-        }
-    }
-
-    fn seal_user(
-        &self,
-        inner: &mut Inner,
-        user: u64,
-        kind: ContainerKind,
-    ) -> Result<(), StorageError> {
-        let Some(builder) = Self::open_map(inner, kind).remove(&user) else {
+    /// Seals the builder in `slot` (if any) and writes it to the backend and
+    /// the read cache. On success the slot is left empty; if the backend
+    /// write fails the builder is put back, so blobs whose locations were
+    /// already handed out stay readable from the open buffer and the next
+    /// seal attempt (overflow or flush) retries the write.
+    fn seal_slot(&self, slot: &mut Option<ContainerBuilder>) -> Result<(), StorageError> {
+        let Some(builder) = slot.take() else {
             return Ok(());
         };
+        let id = builder.id();
         if builder.is_empty() {
+            self.open_by_id.lock().remove(&id);
             return Ok(());
         }
         let container = builder.seal();
         let bytes = container.to_bytes();
-        inner.backend.put(&Self::object_key(container.id), &bytes)?;
-        inner.stats.containers_written += 1;
-        inner.stats.bytes_written += bytes.len() as u64;
+        if let Err(e) = self.backend.put(&Self::object_key(id), &bytes) {
+            *slot = Some(container.reopen());
+            return Err(e);
+        }
+        self.stats
+            .containers_written
+            .fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .bytes_written
+            .fetch_add(bytes.len() as u64, Ordering::Relaxed);
         let size = container.payload_size();
-        inner.cache.put(container.id, container, size);
+        self.cache.lock().put(id, container, size);
+        // Deregister only after the write landed: a reader racing the seal
+        // still resolves the id through `open_by_id`, blocks on the user's
+        // entry lock, misses the builder, and falls through to the cache
+        // populated above — never to a backend miss.
+        self.open_by_id.lock().remove(&id);
         Ok(())
     }
 
-    /// Seals and writes every open container (share and recipe) of every user.
+    /// Seals and writes every open container (share and recipe) of every
+    /// user, then prunes idle per-user entries so a long-lived server does
+    /// not accumulate one entry per user ever seen.
     pub fn flush(&self) -> Result<(), StorageError> {
-        let mut inner = self.inner.lock();
-        let users: Vec<u64> = inner
-            .open_shares
-            .keys()
-            .chain(inner.open_recipes.keys())
-            .copied()
-            .collect();
-        for user in users {
-            self.seal_user(&mut inner, user, ContainerKind::Share)?;
-            self.seal_user(&mut inner, user, ContainerKind::Recipe)?;
+        let entries: Vec<Arc<Mutex<OpenContainers>>> = self.open.read().values().cloned().collect();
+        for entry in entries {
+            let mut open = entry.lock();
+            self.seal_slot(&mut open.share)?;
+            self.seal_slot(&mut open.recipe)?;
         }
+        // Keep only entries some thread still holds (an appender racing past
+        // the seal loop above — its builder registration also keeps a clone
+        // in `open_by_id`) or that still buffer data.
+        self.open
+            .write()
+            .retain(|_, entry| Arc::strong_count(entry) > 1 || entry.lock().builders().count() > 0);
         Ok(())
+    }
+
+    /// Runs `read` against the open container with the given id, if it is
+    /// still open. O(1): resolved through the container-id index rather than
+    /// a scan over all users; the builder is read in place under the owning
+    /// user's entry lock, never cloned.
+    fn with_open_container<R>(
+        &self,
+        container_id: u64,
+        read: impl FnOnce(&ContainerBuilder) -> R,
+    ) -> Option<R> {
+        // Clone the entry out of the id index before locking it, so this
+        // read path never holds both locks at once.
+        let entry = self.open_by_id.lock().get(&container_id).cloned()?;
+        let open = entry.lock();
+        // The builder may have been sealed between the two locks; the caller
+        // then falls through to the cache/backend, where the seal landed it.
+        let found = open.builders().find(|b| b.id() == container_id).map(read);
+        found
     }
 
     /// Reads the blob at a share location (from the open buffers, the cache,
     /// or the backend — in that order).
     pub fn fetch(&self, location: &ShareLocation) -> Result<Vec<u8>, StorageError> {
-        let mut inner = self.inner.lock();
-        // 1. Open (unsealed) containers.
-        let open_hit = inner
-            .open_shares
-            .values()
-            .chain(inner.open_recipes.values())
-            .find(|b| b.id() == location.container_id)
-            .map(|b| b.clone().seal());
-        if let Some(container) = open_hit {
-            inner.stats.open_buffer_reads += 1;
+        let corrupt =
+            || StorageError::Corrupt(format!("container {} misses offset", location.container_id));
+        // 1. Open (unsealed) containers: copy out just the one blob.
+        if let Some(blob) = self.with_open_container(location.container_id, |builder| {
+            builder
+                .get_at(location.offset, location.size)
+                .map(|s| s.to_vec())
+        }) {
+            self.stats.open_buffer_reads.fetch_add(1, Ordering::Relaxed);
+            return blob.ok_or_else(corrupt);
+        }
+        // 2. The LRU cache.
+        if let Some(container) = self.cache.lock().get(&location.container_id) {
+            self.stats.cache_reads.fetch_add(1, Ordering::Relaxed);
             return container
                 .get_at(location.offset, location.size)
                 .map(|s| s.to_vec())
-                .ok_or_else(|| {
-                    StorageError::Corrupt(format!(
-                        "container {} misses offset",
-                        location.container_id
-                    ))
-                });
-        }
-        // 2. The LRU cache.
-        if let Some(container) = inner.cache.get(&location.container_id) {
-            let blob = container
-                .get_at(location.offset, location.size)
-                .map(|s| s.to_vec());
-            inner.stats.cache_reads += 1;
-            return blob.ok_or_else(|| {
-                StorageError::Corrupt(format!("container {} misses offset", location.container_id))
-            });
+                .ok_or_else(corrupt);
         }
         // 3. The backend.
         let key = Self::object_key(location.container_id);
-        let bytes = inner.backend.get(&key)?;
-        inner.stats.backend_reads += 1;
+        let bytes = self.backend.get(&key)?;
+        self.stats.backend_reads.fetch_add(1, Ordering::Relaxed);
         let container =
             Container::from_bytes(&bytes).ok_or_else(|| StorageError::Corrupt(key.clone()))?;
         let blob = container
             .get_at(location.offset, location.size)
             .map(|s| s.to_vec());
         let size = container.payload_size();
-        inner.cache.put(location.container_id, container, size);
+        self.cache
+            .lock()
+            .put(location.container_id, container, size);
         blob.ok_or(StorageError::Corrupt(key))
     }
 
     /// Reads a whole container by id (used by repair and garbage collection).
     pub fn fetch_container(&self, container_id: u64) -> Result<Container, StorageError> {
-        let mut inner = self.inner.lock();
-        let open_hit = inner
-            .open_shares
-            .values()
-            .chain(inner.open_recipes.values())
-            .find(|b| b.id() == container_id)
-            .cloned();
-        if let Some(container) = open_hit {
-            inner.stats.open_buffer_reads += 1;
-            return Ok(container.seal());
+        // Whole-container reads (repair/GC) are the one case that really
+        // needs a sealed snapshot of the open buffer.
+        if let Some(container) = self.with_open_container(container_id, |b| b.clone().seal()) {
+            self.stats.open_buffer_reads.fetch_add(1, Ordering::Relaxed);
+            return Ok(container);
         }
-        if let Some(container) = inner.cache.get(&container_id) {
-            let c = container.clone();
-            inner.stats.cache_reads += 1;
-            return Ok(c);
+        if let Some(container) = self.cache.lock().get(&container_id) {
+            self.stats.cache_reads.fetch_add(1, Ordering::Relaxed);
+            return Ok(container.clone());
         }
         let key = Self::object_key(container_id);
-        let bytes = inner.backend.get(&key)?;
-        inner.stats.backend_reads += 1;
+        let bytes = self.backend.get(&key)?;
+        self.stats.backend_reads.fetch_add(1, Ordering::Relaxed);
         Container::from_bytes(&bytes).ok_or(StorageError::Corrupt(key))
     }
 
     /// Deletes a sealed container from the backend (garbage collection).
     pub fn delete_container(&self, container_id: u64) -> Result<(), StorageError> {
-        let mut inner = self.inner.lock();
-        inner.cache.remove(&container_id);
-        inner.backend.delete(&Self::object_key(container_id))
+        self.cache.lock().remove(&container_id);
+        self.backend.delete(&Self::object_key(container_id))
     }
 
     /// Returns the I/O counters.
     pub fn stats(&self) -> StoreStats {
-        self.inner.lock().stats
+        self.stats.snapshot()
     }
 
     /// Total bytes currently stored at the backend.
     pub fn backend_bytes(&self) -> Result<u64, StorageError> {
-        self.inner.lock().backend.total_bytes()
+        self.backend.total_bytes()
     }
 }
 
@@ -379,6 +445,127 @@ mod tests {
         let container = store.fetch_container(loc.container_id).unwrap();
         assert_eq!(container.entry_count(), 2);
         assert_eq!(container.get(&fp(2)).unwrap(), b"bb");
+    }
+
+    /// A backend whose writes can be made to fail on demand.
+    struct FlakyBackend {
+        inner: MemoryBackend,
+        fail_puts: std::sync::atomic::AtomicBool,
+    }
+
+    impl FlakyBackend {
+        fn set_failing(&self, failing: bool) {
+            self.fail_puts
+                .store(failing, std::sync::atomic::Ordering::SeqCst);
+        }
+    }
+
+    impl crate::backend::StorageBackend for FlakyBackend {
+        fn put(&self, key: &str, data: &[u8]) -> Result<(), StorageError> {
+            if self.fail_puts.load(std::sync::atomic::Ordering::SeqCst) {
+                return Err(StorageError::Io(std::io::Error::other("disk full")));
+            }
+            self.inner.put(key, data)
+        }
+
+        fn get(&self, key: &str) -> Result<Vec<u8>, StorageError> {
+            self.inner.get(key)
+        }
+
+        fn delete(&self, key: &str) -> Result<(), StorageError> {
+            self.inner.delete(key)
+        }
+
+        fn exists(&self, key: &str) -> Result<bool, StorageError> {
+            self.inner.exists(key)
+        }
+
+        fn list(&self) -> Result<Vec<String>, StorageError> {
+            self.inner.list()
+        }
+    }
+
+    #[test]
+    fn failed_seal_keeps_buffered_blobs_readable_and_retries() {
+        let backend = Arc::new(FlakyBackend {
+            inner: MemoryBackend::new(),
+            fail_puts: std::sync::atomic::AtomicBool::new(false),
+        });
+        let store = ContainerStore::new(backend.clone());
+        let loc = store.store_share(1, fp(1), b"already indexed").unwrap();
+
+        // The backend starts failing; an overflowing append cannot seal.
+        backend.set_failing(true);
+        let big = vec![0u8; CONTAINER_CAPACITY];
+        assert!(store.store_share(1, fp(2), &big).is_err());
+        assert!(store.flush().is_err());
+        // The previously returned location still reads from the open buffer:
+        // a failed seal must not drop blobs the share index already points at.
+        assert_eq!(store.fetch(&loc).unwrap(), b"already indexed");
+
+        // Once the backend recovers, the seal retries and everything lands.
+        backend.set_failing(false);
+        store.flush().unwrap();
+        assert_eq!(store.fetch(&loc).unwrap(), b"already indexed");
+        assert!(backend.inner.object_count() >= 1);
+    }
+
+    #[test]
+    fn flush_prunes_idle_user_entries() {
+        let (store, _) = new_store();
+        store.store_share(1, fp(1), b"x").unwrap();
+        store.store_share(2, fp(2), b"y").unwrap();
+        assert_eq!(store.open.read().len(), 2);
+        assert_eq!(store.open_by_id.lock().len(), 2);
+        store.flush().unwrap();
+        assert_eq!(store.open.read().len(), 0, "idle user entries are pruned");
+        assert!(store.open_by_id.lock().is_empty());
+        // The store keeps working after pruning.
+        let loc = store.store_share(1, fp(3), b"z").unwrap();
+        assert_eq!(store.fetch(&loc).unwrap(), b"z");
+        assert_eq!(store.open_by_id.lock().len(), 1);
+    }
+
+    #[test]
+    fn concurrent_appenders_get_disjoint_locations() {
+        let (store, _) = new_store();
+        let users = 4u64;
+        let per_user = 200u32;
+        let locations = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..users)
+                .map(|user| {
+                    let store = &store;
+                    scope.spawn(move || {
+                        (0..per_user)
+                            .map(|i| {
+                                let data = vec![user as u8; 1000 + i as usize];
+                                let loc = store
+                                    .store_share(user, fp(user as u32 * 1000 + i), &data)
+                                    .unwrap();
+                                (loc, data)
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect::<Vec<_>>()
+        });
+        // Every blob reads back exactly, before and after flush.
+        for (loc, data) in &locations {
+            assert_eq!(&store.fetch(loc).unwrap(), data);
+        }
+        store.flush().unwrap();
+        for (loc, data) in &locations {
+            assert_eq!(&store.fetch(loc).unwrap(), data);
+        }
+        // Container ids are unique per (container, offset) location.
+        let mut seen = std::collections::HashSet::new();
+        for (loc, _) in &locations {
+            assert!(seen.insert((loc.container_id, loc.offset)));
+        }
     }
 
     #[test]

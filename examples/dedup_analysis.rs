@@ -50,7 +50,7 @@ fn main() {
         }
 
         // Replay the first two weeks through the real system and compare.
-        let mut store = CdStore::new(CdStoreConfig::new(n, k).expect("valid (n, k)"));
+        let store = CdStore::new(CdStoreConfig::new(n, k).expect("valid (n, k)"));
         for week in snapshots.iter().take(2) {
             for snapshot in week {
                 store

@@ -9,7 +9,7 @@ use cdstore_secretsharing::{CaontRs, SecretSharing, SharingError};
 
 fn main() {
     // --- 1. Outage: restore with only k of n clouds reachable. -------------
-    let mut store = CdStore::new(CdStoreConfig::new(4, 3).expect("valid (n, k)"));
+    let store = CdStore::new(CdStoreConfig::new(4, 3).expect("valid (n, k)"));
     let payroll: Vec<u8> = (0..1_000_000)
         .map(|i| ((i / 800) as u8).wrapping_mul(7))
         .collect();

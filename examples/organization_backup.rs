@@ -26,7 +26,7 @@ fn user_data(user: u64, week: usize) -> Vec<u8> {
 }
 
 fn main() {
-    let mut store = CdStore::new(CdStoreConfig::new(4, 3).expect("valid (n, k)"));
+    let store = CdStore::new(CdStoreConfig::new(4, 3).expect("valid (n, k)"));
     let users: Vec<u64> = (1..=5).collect();
     let weeks = 4usize;
 

@@ -7,7 +7,7 @@ use cdstore_core::{CdStore, CdStoreConfig};
 fn main() {
     // A CDStore deployment over n = 4 clouds; any k = 3 suffice to restore.
     let config = CdStoreConfig::new(4, 3).expect("valid (n, k)");
-    let mut store = CdStore::new(config);
+    let store = CdStore::new(config);
 
     // A user backs up a (synthetic) 2 MB archive.
     let user = 1;

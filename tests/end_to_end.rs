@@ -13,7 +13,7 @@ fn structured_data(len: usize, seed: u8) -> Vec<u8> {
 
 #[test]
 fn many_files_many_users_full_lifecycle() {
-    let mut store = CdStore::new(CdStoreConfig::new(4, 3).unwrap());
+    let store = CdStore::new(CdStoreConfig::new(4, 3).unwrap());
     let mut originals = Vec::new();
     for user in 1..=3u64 {
         for file in 0..3usize {
@@ -49,7 +49,7 @@ fn many_files_many_users_full_lifecycle() {
 
 #[test]
 fn restore_succeeds_under_every_single_cloud_failure() {
-    let mut store = CdStore::new(CdStoreConfig::new(4, 3).unwrap());
+    let store = CdStore::new(CdStoreConfig::new(4, 3).unwrap());
     let data = structured_data(300_000, 9);
     store.backup(5, "/critical.tar", &data).unwrap();
     for cloud in 0..4usize {
@@ -65,7 +65,7 @@ fn restore_succeeds_under_every_single_cloud_failure() {
 
 #[test]
 fn restore_fails_cleanly_when_too_many_clouds_are_down() {
-    let mut store = CdStore::new(CdStoreConfig::new(5, 3).unwrap());
+    let store = CdStore::new(CdStoreConfig::new(5, 3).unwrap());
     let data = structured_data(80_000, 2);
     store.backup(1, "/f", &data).unwrap();
     store.fail_cloud(0);
@@ -83,7 +83,7 @@ fn restore_fails_cleanly_when_too_many_clouds_are_down() {
 
 #[test]
 fn weekly_backups_accumulate_high_dedup_savings() {
-    let mut store = CdStore::new(CdStoreConfig::new(4, 3).unwrap());
+    let store = CdStore::new(CdStoreConfig::new(4, 3).unwrap());
     let base = structured_data(400_000, 7);
     for week in 0..5usize {
         let mut data = base.clone();
@@ -113,7 +113,7 @@ fn weekly_backups_accumulate_high_dedup_savings() {
 
 #[test]
 fn repair_after_permanent_cloud_loss_restores_full_redundancy() {
-    let mut store = CdStore::new(CdStoreConfig::new(4, 3).unwrap());
+    let store = CdStore::new(CdStoreConfig::new(4, 3).unwrap());
     let files: Vec<(u64, String, Vec<u8>)> = (0..4u64)
         .map(|i| {
             (
@@ -140,7 +140,7 @@ fn custom_chunker_configurations_work_end_to_end() {
     let config = CdStoreConfig::new(4, 2)
         .unwrap()
         .with_chunker(ChunkerConfig::new(512, 2048, 8192));
-    let mut store = CdStore::new(config);
+    let store = CdStore::new(config);
     let data = structured_data(200_000, 1);
     let report = store.backup(9, "/small-chunks.tar", &data).unwrap();
     assert!(
@@ -153,7 +153,7 @@ fn custom_chunker_configurations_work_end_to_end() {
 
 #[test]
 fn uploads_are_rejected_while_a_cloud_is_down() {
-    let mut store = CdStore::new(CdStoreConfig::new(4, 3).unwrap());
+    let store = CdStore::new(CdStoreConfig::new(4, 3).unwrap());
     store.fail_cloud(2);
     assert!(matches!(
         store.backup(1, "/f", b"data"),

@@ -77,13 +77,13 @@ fn intra_user_dedup_reply_does_not_leak_other_users_data() {
     // be deduplicated?" to learn whether someone else already stored it.
     // CDStore answers intra-user queries from the attacker's own history
     // only, so the reply is identical whether or not a victim stored it.
-    let mut victim_servers: Vec<CdStoreServer> = (0..4).map(CdStoreServer::new).collect();
-    let mut empty_servers: Vec<CdStoreServer> = (0..4).map(CdStoreServer::new).collect();
+    let victim_servers: Vec<CdStoreServer> = (0..4).map(CdStoreServer::new).collect();
+    let empty_servers: Vec<CdStoreServer> = (0..4).map(CdStoreServer::new).collect();
 
     let victim = CdStoreClient::new(1, 4, 3).unwrap();
     let secret_doc = sensitive_data(64 * 1024);
     victim
-        .upload(&mut victim_servers, "/victim/salary.tar", &secret_doc)
+        .upload(&victim_servers, "/victim/salary.tar", &secret_doc)
         .unwrap();
 
     // The attacker guesses the victim's document and probes both worlds.
@@ -107,10 +107,10 @@ fn knowing_a_fingerprint_does_not_grant_share_ownership() {
     // The proof-of-ownership attack: an attacker who learns a fingerprint
     // must not be able to fetch the share, because the server re-fingerprints
     // content itself and scopes retrieval to each user's own uploads.
-    let mut servers: Vec<CdStoreServer> = (0..4).map(CdStoreServer::new).collect();
+    let servers: Vec<CdStoreServer> = (0..4).map(CdStoreServer::new).collect();
     let owner = CdStoreClient::new(1, 4, 3).unwrap();
     let data = sensitive_data(32 * 1024);
-    owner.upload(&mut servers, "/owner/tax.tar", &data).unwrap();
+    owner.upload(&servers, "/owner/tax.tar", &data).unwrap();
 
     let scheme = CaontRs::new(4, 3).unwrap();
     let chunk_guess = scheme.split(&data[..8192]).unwrap();
@@ -126,7 +126,7 @@ fn knowing_a_fingerprint_does_not_grant_share_ownership() {
 
 #[test]
 fn another_user_cannot_restore_by_guessing_the_pathname() {
-    let mut store = CdStore::new(CdStoreConfig::new(4, 3).unwrap());
+    let store = CdStore::new(CdStoreConfig::new(4, 3).unwrap());
     let data = sensitive_data(100_000);
     store.backup(1, "/hr/reviews.tar", &data).unwrap();
     assert!(store.restore(2, "/hr/reviews.tar").is_err());

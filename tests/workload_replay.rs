@@ -12,7 +12,7 @@ fn replay_and_compare(
     n: usize,
     k: usize,
 ) {
-    let mut store = CdStore::new(CdStoreConfig::new(n, k).unwrap());
+    let store = CdStore::new(CdStoreConfig::new(n, k).unwrap());
     for week in snapshots {
         for snapshot in week {
             store
