@@ -1,0 +1,119 @@
+//! Space reclamation under churn: how many backend bytes the reference-
+//! counted delete path plus the container vacuum (`CdStore::gc`) give back,
+//! and how fast.
+//!
+//! Each round backs up a fleet of per-user files (with a cross-user shared
+//! block so inter-user dedup references interleave), deletes a churn
+//! fraction of them, runs a vacuum, and reports the backend bytes reclaimed
+//! and the reclaim throughput. The final round deletes everything, which
+//! must empty the backends — the paper defers deletion to future work
+//! (§4.7); this measures the subsystem that closes that gap.
+//!
+//! Run with
+//! `cargo run --release -p cdstore_bench --bin fig_space_reclaim \
+//!  [files_per_user] [file_kb] [churn_percent]`.
+
+use std::time::Instant;
+
+use cdstore_bench::random_secrets;
+use cdstore_core::{CdStore, CdStoreConfig};
+
+const USERS: u64 = 4;
+const ROUNDS: usize = 3;
+
+fn backend_mb(store: &CdStore) -> f64 {
+    store.stats().backend_bytes.iter().sum::<u64>() as f64 / (1024.0 * 1024.0)
+}
+
+fn main() {
+    let files_per_user: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(8);
+    let file_kb: usize = std::env::args()
+        .nth(2)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(512);
+    let churn_percent: usize = std::env::args()
+        .nth(3)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(75);
+
+    let store = CdStore::new(CdStoreConfig::new(4, 3).unwrap());
+    println!(
+        "Space reclamation, (n, k) = (4, 3): {USERS} users x {files_per_user} files x {file_kb} KB, \
+         {churn_percent}% churn per round"
+    );
+    println!(
+        "{:<8} {:>12} {:>12} {:>14} {:>12} {:>12} {:>12}",
+        "Round", "Before MB", "After MB", "Reclaimed MB", "MB/s", "Compacted", "Deleted"
+    );
+
+    let mut survivors: Vec<(u64, String, Vec<u8>)> = Vec::new();
+    for round in 0..ROUNDS {
+        // Build this round's fleet: per-user private data plus a block every
+        // user shares, so reclamation has to respect cross-user references.
+        let shared = random_secrets(file_kb * 1024 / 4, 8 * 1024, round as u64).concat();
+        let mut fleet = Vec::new();
+        for user in 1..=USERS {
+            for file in 0..files_per_user {
+                let seed = 1 + round as u64 * 10_000 + user * 100 + file as u64;
+                let mut data = random_secrets(file_kb * 1024, 8 * 1024, seed).concat();
+                data.extend_from_slice(&shared);
+                let path = format!("/u{user}/r{round}/f{file}.tar");
+                store.backup(user, &path, &data).expect("backup succeeds");
+                fleet.push((user, path, data));
+            }
+        }
+        store.flush().expect("flush succeeds");
+        let before = backend_mb(&store);
+
+        // Churn: the last round deletes everything, earlier rounds a slice.
+        let victims = if round == ROUNDS - 1 {
+            fleet.len()
+        } else {
+            fleet.len() * churn_percent / 100
+        };
+        for (user, path, _) in fleet.drain(..victims) {
+            store.delete(user, &path).expect("delete succeeds");
+        }
+        survivors.extend(fleet);
+        if round == ROUNDS - 1 {
+            for (user, path, _) in survivors.drain(..) {
+                store.delete(user, &path).expect("delete succeeds");
+            }
+        }
+
+        let start = Instant::now();
+        let report = store.gc().expect("gc succeeds");
+        let elapsed = start.elapsed().as_secs_f64();
+        let after = backend_mb(&store);
+        let reclaimed_mb = report.reclaimed_bytes as f64 / (1024.0 * 1024.0);
+        println!(
+            "{:<8} {:>12.1} {:>12.1} {:>14.1} {:>12.1} {:>12} {:>12}",
+            round + 1,
+            before,
+            after,
+            reclaimed_mb,
+            reclaimed_mb / elapsed.max(1e-9),
+            report.containers_compacted,
+            report.containers_deleted
+        );
+
+        // Survivors must stay byte-exact through every vacuum.
+        for (user, path, data) in &survivors {
+            assert_eq!(
+                &store.restore(*user, path).expect("survivor restores"),
+                data,
+                "survivor {path} corrupted by reclamation"
+            );
+        }
+    }
+
+    let final_mb = backend_mb(&store);
+    println!();
+    println!(
+        "Final backend footprint after deleting every file and vacuuming: {final_mb:.2} MB \
+         (the acceptance bar is a >= 90% shrink; an empty deployment reports 0.00)"
+    );
+}

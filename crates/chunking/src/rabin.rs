@@ -1,4 +1,4 @@
-//! Rabin fingerprinting [49]: a rolling hash over a sliding byte window.
+//! Rabin fingerprinting \[49\]: a rolling hash over a sliding byte window.
 //!
 //! The fingerprint of a window is the residue of the window's bytes,
 //! interpreted as a polynomial over GF(2), modulo a fixed irreducible

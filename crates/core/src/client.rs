@@ -230,6 +230,10 @@ impl CdStoreClient {
         let mut transferred_per_cloud = vec![0u64; self.n];
         let mut physical_per_cloud = vec![0u64; self.n];
         let mut batches_per_cloud = vec![0u64; self.n];
+        // Which shares this upload physically sent per cloud: put_file needs
+        // them to settle the reference counts (the per-upload references are
+        // swapped for per-recipe-entry references).
+        let mut uploaded_per_cloud: Vec<Vec<Fingerprint>> = vec![Vec::new(); self.n];
 
         for (cloud, server) in servers.iter().enumerate() {
             // Second stage of intra-user dedup: ask the server which of the
@@ -245,9 +249,23 @@ impl CdStoreClient {
             transferred_per_cloud[cloud] = bytes;
             batches_per_cloud[cloud] = bytes.div_ceil(UPLOAD_BATCH_BYTES).max(1);
             dedup.transferred_share_bytes += bytes;
-            let new_bytes = server.store_shares(self.user, &to_upload)?;
-            physical_per_cloud[cloud] = new_bytes;
-            dedup.physical_share_bytes += new_bytes;
+            uploaded_per_cloud[cloud] = to_upload.iter().map(|(m, _)| m.fingerprint).collect();
+            match server.store_shares(self.user, &to_upload) {
+                Ok(new_bytes) => {
+                    physical_per_cloud[cloud] = new_bytes;
+                    dedup.physical_share_bytes += new_bytes;
+                }
+                Err(e) => {
+                    // Abandon the upload without leaking: drop the transient
+                    // per-upload references already taken on this and earlier
+                    // clouds so the shares become reclaimable (release is a
+                    // no-op for shares the failing batch never reached).
+                    for done in 0..=cloud {
+                        servers[done].release_uploads(self.user, &uploaded_per_cloud[done]);
+                    }
+                    return Err(e);
+                }
+            }
         }
 
         // Offload file metadata: each server gets its own recipe, keyed by its
@@ -258,7 +276,23 @@ impl CdStoreClient {
                 file_size,
                 entries: std::mem::take(&mut recipes[cloud]),
             };
-            server.put_file(self.user, &encoded_paths[cloud], &recipe)?;
+            if let Err(e) = server.put_file(
+                self.user,
+                &encoded_paths[cloud],
+                &recipe,
+                &uploaded_per_cloud[cloud],
+            ) {
+                // Abandon the upload without leaking: the failing server
+                // rolled its own references back, but the clouds not yet
+                // reached still hold the transient per-upload references
+                // store_shares took — drop those so the shares become
+                // reclaimable. (Clouds already committed keep their recipes;
+                // a retried backup supersedes them.)
+                for later in cloud + 1..self.n {
+                    servers[later].release_uploads(self.user, &uploaded_per_cloud[later]);
+                }
+                return Err(e);
+            }
         }
 
         Ok(UploadReport {

@@ -65,5 +65,5 @@ pub use dedup::DedupStats;
 pub use error::CdStoreError;
 pub use metadata::{FileRecipe, RecipeEntry, ShareMetadata};
 pub use pipeline::ParallelCoder;
-pub use server::CdStoreServer;
+pub use server::{CdStoreServer, GcConfig, GcReport};
 pub use system::{CdStore, CdStoreConfig, SystemStats};

@@ -17,12 +17,68 @@ use std::sync::Arc;
 
 use cdstore_crypto::Fingerprint;
 use cdstore_index::{
-    FileEntry, FileKey, ShardedFileIndex, ShardedKvStore, ShardedShareIndex, StoreOutcome,
+    FileEntry, FileKey, FilePutOutcome, ShardedFileIndex, ShardedKvStore, ShardedShareIndex,
+    ShareLocation, StoreOutcome,
 };
-use cdstore_storage::{ContainerStore, MemoryBackend, StorageBackend};
+use cdstore_storage::{
+    ContainerKind, ContainerStore, MemoryBackend, StorageBackend, StorageError, StoreUtilisation,
+};
+use parking_lot::Mutex;
 
 use crate::error::CdStoreError;
 use crate::metadata::{FileRecipe, ShareMetadata};
+
+/// Number of times share and recipe reads re-resolve their index entry when
+/// the container they point at vanishes mid-read: an online compaction pass
+/// may delete a container between a reader's index lookup and its container
+/// fetch, in which case the index already points at the relocated copy and
+/// one retry suffices (bounded higher for safety).
+const RELOCATION_RETRIES: usize = 3;
+
+/// Tuning knobs of a garbage-collection pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GcConfig {
+    /// Dead-byte fraction above which a sealed share container is compacted
+    /// (its live shares rewritten into fresh containers). Fully dead
+    /// containers are always deleted outright, whatever the threshold.
+    pub dead_ratio: f64,
+}
+
+impl Default for GcConfig {
+    fn default() -> Self {
+        // Rewrite a container once at least half of it is garbage: below
+        // that, the bytes rewritten per byte reclaimed exceed 1 and the
+        // vacuum does more I/O than it saves.
+        GcConfig { dead_ratio: 0.5 }
+    }
+}
+
+/// What one garbage-collection pass accomplished.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Sealed containers deleted because nothing in them was live.
+    pub containers_deleted: u64,
+    /// Sealed share containers compacted (live shares rewritten, container
+    /// deleted).
+    pub containers_compacted: u64,
+    /// Live shares rewritten into fresh containers during compaction.
+    pub shares_rewritten: u64,
+    /// Dead payload bytes reclaimed from the backend.
+    pub reclaimed_bytes: u64,
+    /// Live payload bytes rewritten into fresh containers.
+    pub rewritten_bytes: u64,
+}
+
+impl GcReport {
+    /// Folds another report into this one (aggregation across servers).
+    pub fn absorb(&mut self, other: &GcReport) {
+        self.containers_deleted += other.containers_deleted;
+        self.containers_compacted += other.containers_compacted;
+        self.shares_rewritten += other.shares_rewritten;
+        self.reclaimed_bytes += other.reclaimed_bytes;
+        self.rewritten_bytes += other.rewritten_bytes;
+    }
+}
 
 /// Traffic and deduplication counters of one server.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -81,6 +137,10 @@ pub struct CdStoreServer {
     containers: ContainerStore,
     stats: AtomicServerStats,
     next_version: AtomicU64,
+    /// Serialises garbage-collection passes: concurrent `gc()` calls would
+    /// otherwise race to copy the same containers. Client traffic never
+    /// takes this lock.
+    gc_lock: Mutex<()>,
 }
 
 impl CdStoreServer {
@@ -101,6 +161,7 @@ impl CdStoreServer {
             containers: ContainerStore::new(backend),
             stats: AtomicServerStats::default(),
             next_version: AtomicU64::new(1),
+            gc_lock: Mutex::new(()),
         }
     }
 
@@ -127,9 +188,17 @@ impl CdStoreServer {
         self.share_index.unique_shares()
     }
 
-    /// Physical bytes stored for unique shares.
+    /// Cumulative physical bytes ever written for unique shares (a traffic
+    /// counter: deletes do not decrease it — see
+    /// [`CdStoreServer::live_share_bytes`] for the current footprint).
     pub fn physical_share_bytes(&self) -> u64 {
         self.stats.physical_share_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Bytes of unique shares currently referenced by at least one file —
+    /// the live footprint deletion shrinks and garbage collection reclaims.
+    pub fn live_share_bytes(&self) -> u64 {
+        self.share_index.physical_bytes()
     }
 
     fn user_share_key(user: u64, fp: &Fingerprint) -> Vec<u8> {
@@ -203,39 +272,180 @@ impl CdStoreServer {
         Ok(new_bytes)
     }
 
-    /// Stores the file recipe and registers the file in the file index.
+    /// Resolves a client-computed fingerprint to the server fingerprint of
+    /// the share, through the user's ownership mapping.
+    fn resolve_server_fp(&self, user: u64, client_fp: &Fingerprint) -> Option<Fingerprint> {
+        let bytes = self
+            .user_shares
+            .get(&Self::user_share_key(user, client_fp))?;
+        bytes.try_into().ok().map(Fingerprint::from_bytes)
+    }
+
+    /// Takes one reference on behalf of `user` for the share the client knows
+    /// by `client_fp`. Fails if the user never uploaded the share (a recipe
+    /// must only reference shares its owner holds).
+    fn add_share_reference(&self, user: u64, client_fp: &Fingerprint) -> Result<(), CdStoreError> {
+        let server_fp = self
+            .resolve_server_fp(user, client_fp)
+            .ok_or_else(|| CdStoreError::MissingShare(client_fp.to_hex()))?;
+        if !self.share_index.add_reference_existing(&server_fp, user) {
+            return Err(CdStoreError::MissingShare(client_fp.to_hex()));
+        }
+        Ok(())
+    }
+
+    /// Drops one of `user`'s references on the share the client knows by
+    /// `client_fp`. When the user's last reference goes, their ownership
+    /// mapping is torn down (the share can no longer be fetched or claimed
+    /// as an intra-user duplicate by this user); when the *global* last
+    /// reference goes, the share's container bytes are released to the
+    /// liveness ledger for the garbage collector. Tolerant of already
+    /// released shares, so delete paths can be replayed.
+    fn release_share_reference(&self, user: u64, client_fp: &Fingerprint) {
+        let Some(server_fp) = self.resolve_server_fp(user, client_fp) else {
+            return;
+        };
+        let Some(report) = self.share_index.remove_reference(&server_fp, user) else {
+            return;
+        };
+        if report.user_refs == 0 {
+            let key = Self::user_share_key(user, client_fp);
+            self.user_shares.delete(&key);
+            // Repair a racing same-user re-upload: if the user re-acquired
+            // references between the stripe-locked decrement above and the
+            // mapping delete (a store_shares on another of their files), the
+            // delete just removed a mapping that is needed again — restore
+            // it. The mapping value is deterministic in the content, so
+            // re-putting can never install a wrong translation.
+            if self
+                .share_index
+                .lookup(&server_fp)
+                .map(|entry| entry.owned_by(user))
+                .unwrap_or(false)
+            {
+                self.user_shares.put(key, server_fp.as_bytes().to_vec());
+            }
+        }
+        if report.total_refs == 0 {
+            self.containers.release(&report.location);
+        }
+    }
+
+    /// Reads and decodes the recipe blob at a container location.
+    fn read_recipe(&self, location: &ShareLocation) -> Result<FileRecipe, CdStoreError> {
+        let bytes = self.containers.fetch(location)?;
+        FileRecipe::from_bytes(&bytes)
+            .ok_or_else(|| CdStoreError::InconsistentMetadata("corrupt file recipe".into()))
+    }
+
+    /// Releases every share reference a recipe holds, plus the recipe blob
+    /// itself (called when a superseded recipe version is retired).
+    fn release_recipe(&self, user: u64, location: &ShareLocation) -> Result<(), CdStoreError> {
+        let recipe = self.read_recipe(location)?;
+        for entry in &recipe.entries {
+            self.release_share_reference(user, &entry.share_fingerprint);
+        }
+        self.containers.release(location);
+        Ok(())
+    }
+
+    /// Stores the file recipe, registers the file in the file index, and
+    /// settles the share reference counts: every recipe entry takes one
+    /// reference (resolved through the user's ownership mappings), and the
+    /// per-upload references [`CdStoreServer::store_shares`] took for the
+    /// shares in `uploaded` are dropped again. The reference count of a share
+    /// therefore equals the number of live recipe entries pointing at it —
+    /// the invariant deletion and garbage collection rely on — while never
+    /// transiently touching zero for a share an upload is still committing.
+    ///
+    /// If this upload supersedes an older version of the file, the old
+    /// version's references and recipe bytes are released; if it loses a
+    /// version race (a strictly newer recipe is already in place), its own
+    /// references and recipe bytes are released instead.
     pub fn put_file(
         &self,
         user: u64,
         encoded_pathname: &[u8],
         recipe: &FileRecipe,
+        uploaded: &[Fingerprint],
     ) -> Result<(), CdStoreError> {
         let key = FileKey::new(user, encoded_pathname);
+        // 1. One reference per recipe entry. On failure (e.g. the recipe
+        // references a share a concurrent delete just released) roll back
+        // completely — the references taken so far *and* the upload's
+        // transient references — so a failed commit leaks nothing: the
+        // upload's shares go dead and the garbage collector reclaims them.
+        for (taken, entry) in recipe.entries.iter().enumerate() {
+            if let Err(e) = self.add_share_reference(user, &entry.share_fingerprint) {
+                for earlier in &recipe.entries[..taken] {
+                    self.release_share_reference(user, &earlier.share_fingerprint);
+                }
+                self.release_uploads(user, uploaded);
+                return Err(e);
+            }
+        }
+        // 2. ...then drop the references the upload itself held. (This order
+        // keeps freshly uploaded shares referenced at all times.)
+        self.release_uploads(user, uploaded);
+        // 3. Persist the recipe blob; a backend failure here also rolls the
+        // per-entry references back so nothing stays live unreclaimed.
         let recipe_bytes = recipe.to_bytes();
         let recipe_fp = Fingerprint::tagged(b"recipe", key.as_bytes());
-        let location = self
-            .containers
-            .store_recipe(user, recipe_fp, &recipe_bytes)?;
+        let location = match self.containers.store_recipe(user, recipe_fp, &recipe_bytes) {
+            Ok(location) => location,
+            Err(e) => {
+                for entry in &recipe.entries {
+                    self.release_share_reference(user, &entry.share_fingerprint);
+                }
+                return Err(CdStoreError::Storage(e));
+            }
+        };
         self.stats
             .recipe_bytes
             .fetch_add(recipe_bytes.len() as u64, Ordering::Relaxed);
-        // Store the location inside the file entry: the container id plus the
-        // offset/size packed into the remaining fields. The version is
-        // allocated before the index stripe lock, so racing re-uploads of the
-        // same file may arrive out of order; put_if_newer keeps the highest
-        // *on this server*. Cross-server consistency of a file's n recipes is
-        // the caller's job: `CdStore` serialises whole-file writes per
-        // (user, pathname), since each server orders versions independently.
-        self.file_index.put_if_newer(
+        // 4. Swap the index entry. The version is allocated before the index
+        // stripe lock, so racing re-uploads of the same file may arrive out
+        // of order; put_if_newer keeps the highest *on this server*.
+        // Cross-server consistency of a file's n recipes is the caller's
+        // job: `CdStore` serialises whole-file writes per (user, pathname),
+        // since each server orders versions independently.
+        let outcome = self.file_index.put_if_newer(
             key,
             FileEntry {
                 recipe_container_id: location.container_id,
-                file_size: ((location.offset as u64) << 32) | location.size as u64,
+                recipe_offset: location.offset,
+                recipe_size: location.size,
+                file_size: recipe.file_size,
                 num_secrets: recipe.num_secrets() as u64,
                 version: self.next_version.fetch_add(1, Ordering::Relaxed),
             },
         );
-        Ok(())
+        match outcome {
+            FilePutOutcome::Written { displaced: None } => Ok(()),
+            FilePutOutcome::Written {
+                displaced: Some(old),
+            } => self.release_recipe(user, &old.recipe_location()),
+            FilePutOutcome::Stale => {
+                // A strictly newer version won the race: this upload's
+                // references and recipe blob are garbage on arrival.
+                for entry in &recipe.entries {
+                    self.release_share_reference(user, &entry.share_fingerprint);
+                }
+                self.containers.release(&location);
+                Ok(())
+            }
+        }
+    }
+
+    /// Drops the transient per-upload references [`CdStoreServer::store_shares`]
+    /// took for the given shares. Called by [`CdStoreServer::put_file`] when a
+    /// commit settles (or rolls back), and by clients abandoning an upload
+    /// whose multi-cloud commit failed part-way — without it the abandoned
+    /// shares would stay referenced, and therefore unreclaimable, forever.
+    pub fn release_uploads(&self, user: u64, client_fps: &[Fingerprint]) {
+        for client_fp in client_fps {
+            self.release_share_reference(user, client_fp);
+        }
     }
 
     /// Whether the server knows the given file of the given user.
@@ -251,24 +461,76 @@ impl CdStoreServer {
         encoded_pathname: &[u8],
     ) -> Result<FileRecipe, CdStoreError> {
         let key = FileKey::new(user, encoded_pathname);
-        let entry = self.file_index.get(&key).ok_or_else(|| {
-            CdStoreError::FileNotFound(format!("user {user} on cloud {}", self.cloud_index))
-        })?;
-        let location = cdstore_index::ShareLocation {
-            container_id: entry.recipe_container_id,
-            offset: (entry.file_size >> 32) as u32,
-            size: (entry.file_size & 0xffff_ffff) as u32,
-        };
-        let bytes = self.containers.fetch(&location)?;
-        FileRecipe::from_bytes(&bytes)
-            .ok_or_else(|| CdStoreError::InconsistentMetadata("corrupt file recipe".into()))
+        // An online compaction pass may delete a recipe container between
+        // reading the index entry and fetching the blob (only once every
+        // recipe in it is dead, i.e. this file was deleted or re-uploaded
+        // concurrently); re-resolve the entry and retry.
+        for _ in 0..RELOCATION_RETRIES {
+            let entry = self.file_index.get(&key).ok_or_else(|| {
+                CdStoreError::FileNotFound(format!("user {user} on cloud {}", self.cloud_index))
+            })?;
+            match self.containers.fetch(&entry.recipe_location()) {
+                Ok(bytes) => {
+                    return FileRecipe::from_bytes(&bytes).ok_or_else(|| {
+                        CdStoreError::InconsistentMetadata("corrupt file recipe".into())
+                    })
+                }
+                Err(StorageError::NotFound(_)) => continue,
+                Err(e) => return Err(CdStoreError::Storage(e)),
+            }
+        }
+        Err(CdStoreError::FileNotFound(format!(
+            "user {user} on cloud {} (recipe vanished mid-read)",
+            self.cloud_index
+        )))
     }
 
-    /// Removes a file from the file index (garbage collection of the shares
-    /// themselves is future work, as in the paper §4.7).
-    pub fn delete_file(&self, user: u64, encoded_pathname: &[u8]) -> bool {
+    /// Deletes a file: removes its index entry and releases every share
+    /// reference its recipe holds, tearing down the user's ownership
+    /// mappings for shares they no longer reference anywhere. Shares whose
+    /// global reference count hits zero become dead bytes for the garbage
+    /// collector ([`CdStoreServer::gc`]) to reclaim. Returns whether the
+    /// file existed.
+    pub fn delete_file(&self, user: u64, encoded_pathname: &[u8]) -> Result<bool, CdStoreError> {
         let key = FileKey::new(user, encoded_pathname);
-        self.file_index.remove(&key).is_some()
+        for _ in 0..RELOCATION_RETRIES {
+            // Read the recipe *before* removing the index entry: if the blob
+            // is unreadable (backend error) the delete fails with the file
+            // intact and retryable, instead of dropping the entry while
+            // leaking every reference the unread recipe held.
+            let Some(peek) = self.file_index.get(&key) else {
+                return Ok(false);
+            };
+            let mut recipe = match self.read_recipe(&peek.recipe_location()) {
+                Ok(recipe) => recipe,
+                // A concurrent re-upload displaced this version and a gc
+                // pass already reclaimed its dead recipe container: the
+                // index now points at the live version, so re-resolve.
+                Err(CdStoreError::Storage(StorageError::NotFound(_))) => continue,
+                Err(e) => return Err(e),
+            };
+            // Commit point: whoever wins the remove owns the release (two
+            // racing deletes must not release the same references twice).
+            let Some(entry) = self.file_index.remove(&key) else {
+                return Ok(false);
+            };
+            if entry.recipe_location() != peek.recipe_location() {
+                // A concurrent re-upload swapped the entry between the read
+                // and the remove: release the version actually removed. (Its
+                // blob is still live — we now hold the only claim to it — so
+                // this read cannot race a reclamation.)
+                recipe = self.read_recipe(&entry.recipe_location())?;
+            }
+            for re in &recipe.entries {
+                self.release_share_reference(user, &re.share_fingerprint);
+            }
+            self.containers.release(&entry.recipe_location());
+            return Ok(true);
+        }
+        Err(CdStoreError::FileNotFound(format!(
+            "user {user} on cloud {} (recipe vanished mid-delete)",
+            self.cloud_index
+        )))
     }
 
     /// Fetches one share owned by `user`, identified by the *client*
@@ -276,23 +538,36 @@ impl CdStoreServer {
     /// who never uploaded the share cannot retrieve it by fingerprint alone
     /// (the proof-of-ownership side channel of §3.3).
     pub fn fetch_share(&self, user: u64, client_fp: &Fingerprint) -> Result<Vec<u8>, CdStoreError> {
-        let server_fp_bytes = self
-            .user_shares
-            .get(&Self::user_share_key(user, client_fp))
-            .ok_or_else(|| CdStoreError::MissingShare(client_fp.to_hex()))?;
-        let server_fp =
-            Fingerprint::from_bytes(server_fp_bytes.try_into().map_err(|_| {
+        // An online compaction pass may relocate the share and delete its old
+        // container between the index lookup and the container fetch; the
+        // index then already points at the fresh copy, so re-resolve.
+        for _ in 0..RELOCATION_RETRIES {
+            let server_fp_bytes = self
+                .user_shares
+                .get(&Self::user_share_key(user, client_fp))
+                .ok_or_else(|| CdStoreError::MissingShare(client_fp.to_hex()))?;
+            let server_fp = Fingerprint::from_bytes(server_fp_bytes.try_into().map_err(|_| {
                 CdStoreError::InconsistentMetadata("bad fingerprint mapping".into())
             })?);
-        let entry = self
-            .share_index
-            .lookup(&server_fp)
-            .ok_or_else(|| CdStoreError::MissingShare(client_fp.to_hex()))?;
-        let data = self.containers.fetch(&entry.location)?;
-        self.stats
-            .served_share_bytes
-            .fetch_add(data.len() as u64, Ordering::Relaxed);
-        Ok(data)
+            let entry = self
+                .share_index
+                .lookup(&server_fp)
+                .ok_or_else(|| CdStoreError::MissingShare(client_fp.to_hex()))?;
+            match self.containers.fetch(&entry.location) {
+                Ok(data) => {
+                    self.stats
+                        .served_share_bytes
+                        .fetch_add(data.len() as u64, Ordering::Relaxed);
+                    return Ok(data);
+                }
+                Err(StorageError::NotFound(_)) => continue,
+                Err(e) => return Err(CdStoreError::Storage(e)),
+            }
+        }
+        Err(CdStoreError::MissingShare(format!(
+            "{} (share vanished mid-read)",
+            client_fp.to_hex()
+        )))
     }
 
     /// Fetches a batch of shares owned by `user`.
@@ -318,6 +593,111 @@ impl CdStoreServer {
     pub fn backend_bytes(&self) -> u64 {
         self.containers.backend_bytes().unwrap_or(0)
     }
+
+    /// Aggregate live/dead payload bytes across this server's containers.
+    pub fn container_utilisation(&self) -> StoreUtilisation {
+        self.containers.utilisation()
+    }
+
+    /// Runs a garbage-collection pass with the default [`GcConfig`].
+    pub fn gc(&self) -> Result<GcReport, CdStoreError> {
+        self.gc_with(GcConfig::default())
+    }
+
+    /// Runs a garbage-collection pass: seals the open containers that carry
+    /// dead bytes (other users' in-progress containers are left open so
+    /// periodic vacuums don't fragment active backup streams), deletes
+    /// sealed containers with no live bytes, and compacts sealed *share*
+    /// containers whose dead ratio crosses `config.dead_ratio` by rewriting
+    /// their live shares into fresh containers and atomically repointing the
+    /// share index under its stripe locks. The pass runs online — concurrent
+    /// backups, restores, and deletes stay correct (readers re-resolve
+    /// relocated shares; writers hold references that keep their shares
+    /// live) — but passes themselves are serialised on an internal lock.
+    ///
+    /// Recipe containers are only ever reclaimed whole: recipes relocate
+    /// poorly (the file index is keyed by hashed pathnames, which cannot be
+    /// recovered from a container scan), so a recipe container is deleted
+    /// once every recipe in it is dead and merely waits otherwise.
+    pub fn gc_with(&self, config: GcConfig) -> Result<GcReport, CdStoreError> {
+        let _vacuum = self.gc_lock.lock();
+        self.containers.flush_dead()?;
+        let mut report = GcReport::default();
+        // Containers the compaction rewrites live shares into: sealed at the
+        // end of the pass so the survivors are durable before it reports.
+        let mut fresh_ids = std::collections::BTreeSet::new();
+        for (id, usage) in self.containers.sealed_usages() {
+            if usage.live_bytes == 0 {
+                self.containers.delete_container(id)?;
+                report.containers_deleted += 1;
+                report.reclaimed_bytes += usage.dead_bytes;
+            } else if usage.kind == ContainerKind::Share && usage.dead_ratio() >= config.dead_ratio
+            {
+                self.compact_container(id, &mut report, &mut fresh_ids)?;
+            }
+        }
+        for id in fresh_ids {
+            self.containers.seal_open_container(id)?;
+        }
+        Ok(report)
+    }
+
+    /// Rewrites the live shares of one sealed container into fresh
+    /// containers, repoints the index, and deletes the container.
+    fn compact_container(
+        &self,
+        id: u64,
+        report: &mut GcReport,
+        fresh_ids: &mut std::collections::BTreeSet<u64>,
+    ) -> Result<(), CdStoreError> {
+        let container = self.containers.fetch_container(id)?;
+        for entry in &container.entries {
+            let old = ShareLocation {
+                container_id: id,
+                offset: entry.offset,
+                size: entry.length,
+            };
+            // Container entries carry the server fingerprint; only copy
+            // blobs the index still points at *in this container* (stale
+            // copies of shares stored again elsewhere are dead).
+            let live = match self.share_index.lookup(&entry.fingerprint) {
+                Some(share) if share.location == old => share,
+                _ => continue,
+            };
+            let data = container
+                .get_at(entry.offset, entry.length)
+                .ok_or_else(|| {
+                    CdStoreError::InconsistentMetadata(format!(
+                        "container {id} misses a live entry"
+                    ))
+                })?;
+            let fresh = self
+                .containers
+                .store_share(container.user, entry.fingerprint, data)?;
+            fresh_ids.insert(fresh.container_id);
+            if self
+                .share_index
+                .relocate(&entry.fingerprint, live.location, fresh)
+            {
+                report.shares_rewritten += 1;
+                report.rewritten_bytes += entry.length as u64;
+            } else {
+                // The share was released while we copied it: the fresh copy
+                // is dead on arrival and the old container loses nothing.
+                self.containers.release(&fresh);
+            }
+        }
+        // Re-read the ledger: releases may have landed while copying.
+        let dead = self
+            .containers
+            .container_usage(id)
+            .map(|usage| usage.dead_bytes)
+            .unwrap_or(0);
+        self.containers.delete_container(id)?;
+        report.containers_compacted += 1;
+        report.reclaimed_bytes += dead;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -338,6 +718,40 @@ mod tests {
             meta(Fingerprint::of(data), data.len() as u32, 0),
             data.to_vec(),
         )
+    }
+
+    /// Uploads `datas` as `user`'s shares and commits a recipe referencing
+    /// each once, mirroring the client's upload protocol (intra-user query,
+    /// store, put_file with the uploaded fingerprints).
+    fn backup_file(
+        server: &CdStoreServer,
+        user: u64,
+        path: &[u8],
+        datas: &[Vec<u8>],
+    ) -> FileRecipe {
+        let shares: Vec<_> = datas.iter().map(|d| share(d)).collect();
+        let fps: Vec<_> = shares.iter().map(|(m, _)| m.fingerprint).collect();
+        let already = server.intra_user_query(user, &fps);
+        let to_upload: Vec<_> = shares
+            .iter()
+            .cloned()
+            .zip(already)
+            .filter_map(|(s, dup)| (!dup).then_some(s))
+            .collect();
+        let uploaded: Vec<_> = to_upload.iter().map(|(m, _)| m.fingerprint).collect();
+        server.store_shares(user, &to_upload).unwrap();
+        let recipe = FileRecipe {
+            file_size: datas.iter().map(|d| d.len() as u64).sum(),
+            entries: shares
+                .iter()
+                .map(|(m, _)| crate::metadata::RecipeEntry {
+                    share_fingerprint: m.fingerprint,
+                    secret_size: m.secret_size,
+                })
+                .collect(),
+        };
+        server.put_file(user, path, &recipe, &uploaded).unwrap();
+        recipe
     }
 
     #[test]
@@ -400,16 +814,10 @@ mod tests {
     #[test]
     fn recipes_round_trip_through_containers() {
         let server = CdStoreServer::new(1);
-        let recipe = FileRecipe {
-            file_size: 999,
-            entries: (0..50u32)
-                .map(|i| crate::metadata::RecipeEntry {
-                    share_fingerprint: Fingerprint::of(&i.to_be_bytes()),
-                    secret_size: 8192,
-                })
-                .collect(),
-        };
-        server.put_file(7, b"/home/u/backup.tar", &recipe).unwrap();
+        let datas: Vec<Vec<u8>> = (0..50u32)
+            .map(|i| format!("secret share {i}").into_bytes())
+            .collect();
+        let recipe = backup_file(&server, 7, b"/home/u/backup.tar", &datas);
         assert!(server.has_file(7, b"/home/u/backup.tar"));
         assert!(!server.has_file(8, b"/home/u/backup.tar"));
         let fetched = server.get_recipe(7, b"/home/u/backup.tar").unwrap();
@@ -421,22 +829,65 @@ mod tests {
     }
 
     #[test]
-    fn newer_recipe_versions_replace_older_ones() {
+    fn recipes_may_only_reference_owned_shares() {
         let server = CdStoreServer::new(0);
-        let old = FileRecipe {
-            file_size: 1,
-            entries: vec![],
-        };
-        let new = FileRecipe {
-            file_size: 2,
+        let recipe = FileRecipe {
+            file_size: 999,
             entries: vec![crate::metadata::RecipeEntry {
-                share_fingerprint: Fingerprint::of(b"x"),
-                secret_size: 1,
+                share_fingerprint: Fingerprint::of(b"never uploaded"),
+                secret_size: 14,
             }],
         };
-        server.put_file(1, b"/f", &old).unwrap();
-        server.put_file(1, b"/f", &new).unwrap();
+        assert!(matches!(
+            server.put_file(7, b"/f", &recipe, &[]),
+            Err(CdStoreError::MissingShare(_))
+        ));
+    }
+
+    #[test]
+    fn failed_put_file_rolls_back_every_reference() {
+        let server = CdStoreServer::new(0);
+        let good = share(b"uploaded fine");
+        server.store_shares(1, std::slice::from_ref(&good)).unwrap();
+        // The recipe references the uploaded share and one the user never
+        // uploaded: the commit must fail without leaking the upload's
+        // transient reference (the share goes dead and reclaimable).
+        let recipe = FileRecipe {
+            file_size: 2,
+            entries: vec![
+                crate::metadata::RecipeEntry {
+                    share_fingerprint: good.0.fingerprint,
+                    secret_size: 13,
+                },
+                crate::metadata::RecipeEntry {
+                    share_fingerprint: Fingerprint::of(b"never uploaded"),
+                    secret_size: 14,
+                },
+            ],
+        };
+        assert!(matches!(
+            server.put_file(1, b"/f", &recipe, &[good.0.fingerprint]),
+            Err(CdStoreError::MissingShare(_))
+        ));
+        assert!(!server.has_file(1, b"/f"));
+        assert_eq!(server.unique_shares(), 0, "rolled back to zero references");
+        assert!(server.fetch_share(1, &good.0.fingerprint).is_err());
+        server.gc().unwrap();
+        assert_eq!(server.backend_bytes(), 0);
+    }
+
+    #[test]
+    fn newer_recipe_versions_replace_older_ones() {
+        let server = CdStoreServer::new(0);
+        backup_file(&server, 1, b"/f", &[b"old content".to_vec()]);
+        let new = backup_file(&server, 1, b"/f", &[b"new content".to_vec()]);
         assert_eq!(server.get_recipe(1, b"/f").unwrap(), new);
+        // The superseded version's share lost its only reference.
+        assert!(matches!(
+            server.fetch_share(1, &Fingerprint::of(b"old content")),
+            Err(CdStoreError::MissingShare(_))
+        ));
+        assert_eq!(server.unique_shares(), 1);
     }
 
     #[test]
@@ -446,13 +897,172 @@ mod tests {
             file_size: 5,
             entries: vec![],
         };
-        server.put_file(1, b"/f", &recipe).unwrap();
-        assert!(server.delete_file(1, b"/f"));
-        assert!(!server.delete_file(1, b"/f"));
+        server.put_file(1, b"/f", &recipe, &[]).unwrap();
+        assert!(server.delete_file(1, b"/f").unwrap());
+        assert!(!server.delete_file(1, b"/f").unwrap());
         assert!(matches!(
             server.get_recipe(1, b"/f"),
             Err(CdStoreError::FileNotFound(_))
         ));
+    }
+
+    #[test]
+    fn delete_releases_references_and_ownership() {
+        let server = CdStoreServer::new(0);
+        let datas = vec![b"shared A".to_vec(), b"shared B".to_vec()];
+        backup_file(&server, 1, b"/u1", &datas);
+        backup_file(&server, 2, b"/u2", &datas);
+        assert_eq!(server.unique_shares(), 2);
+        let live = server.live_share_bytes();
+        assert!(live > 0);
+
+        // User 1 deletes: the shares survive on user 2's references, and
+        // user 1 can no longer fetch them.
+        assert!(server.delete_file(1, b"/u1").unwrap());
+        assert_eq!(server.unique_shares(), 2);
+        assert_eq!(server.live_share_bytes(), live);
+        assert!(matches!(
+            server.fetch_share(1, &Fingerprint::of(b"shared A")),
+            Err(CdStoreError::MissingShare(_))
+        ));
+        assert_eq!(
+            server
+                .fetch_share(2, &Fingerprint::of(b"shared A"))
+                .unwrap(),
+            b"shared A"
+        );
+
+        // User 2 deletes too: the last references go and the shares die.
+        assert!(server.delete_file(2, b"/u2").unwrap());
+        assert_eq!(server.unique_shares(), 0);
+        assert_eq!(server.live_share_bytes(), 0);
+        // The cumulative traffic counter is untouched by deletion.
+        assert_eq!(server.physical_share_bytes(), live);
+        assert!(matches!(
+            server.fetch_share(2, &Fingerprint::of(b"shared A")),
+            Err(CdStoreError::MissingShare(_))
+        ));
+    }
+
+    #[test]
+    fn same_user_files_sharing_a_chunk_survive_one_delete() {
+        let server = CdStoreServer::new(0);
+        let common = b"chunk both files contain".to_vec();
+        backup_file(&server, 1, b"/a", &[common.clone(), b"only in a".to_vec()]);
+        backup_file(&server, 1, b"/b", &[common.clone(), b"only in b".to_vec()]);
+        assert!(server.delete_file(1, b"/a").unwrap());
+        // /b still owns the common chunk.
+        assert_eq!(
+            server.fetch_share(1, &Fingerprint::of(&common)).unwrap(),
+            common
+        );
+        // "only in a" lost its last reference.
+        assert!(matches!(
+            server.fetch_share(1, &Fingerprint::of(b"only in a")),
+            Err(CdStoreError::MissingShare(_))
+        ));
+        assert!(server.delete_file(1, b"/b").unwrap());
+        assert_eq!(server.unique_shares(), 0);
+    }
+
+    #[test]
+    fn gc_reclaims_fully_dead_containers() {
+        let server = CdStoreServer::new(0);
+        let datas: Vec<Vec<u8>> = (0..20u32).map(|i| vec![i as u8; 10_000]).collect();
+        backup_file(&server, 1, b"/doomed", &datas);
+        server.flush().unwrap();
+        assert!(server.backend_bytes() > 0);
+
+        assert!(server.delete_file(1, b"/doomed").unwrap());
+        let report = server.gc().unwrap();
+        assert!(report.containers_deleted >= 2, "share + recipe containers");
+        assert_eq!(report.containers_compacted, 0);
+        assert!(report.reclaimed_bytes >= 200_000);
+        assert_eq!(server.backend_bytes(), 0);
+        assert_eq!(server.container_utilisation(), StoreUtilisation::default());
+    }
+
+    #[test]
+    fn gc_compacts_mostly_dead_share_containers() {
+        let server = CdStoreServer::new(0);
+        // Two files whose shares land in the same container; deleting the
+        // big one leaves the container mostly dead but still live.
+        let big: Vec<Vec<u8>> = (0..30u32).map(|i| vec![i as u8; 10_000]).collect();
+        let small = vec![b"survivor share".to_vec()];
+        backup_file(&server, 1, b"/big", &big);
+        backup_file(&server, 1, b"/small", &small);
+        server.flush().unwrap();
+        let before = server.backend_bytes();
+
+        assert!(server.delete_file(1, b"/big").unwrap());
+        let report = server.gc().unwrap();
+        assert!(report.containers_compacted >= 1);
+        assert_eq!(report.shares_rewritten, 1);
+        assert_eq!(report.rewritten_bytes, small[0].len() as u64);
+        assert!(server.backend_bytes() < before / 4);
+
+        // The survivor relocated but stays byte-exact.
+        assert_eq!(
+            server
+                .fetch_share(1, &Fingerprint::of(b"survivor share"))
+                .unwrap(),
+            b"survivor share"
+        );
+        assert_eq!(server.get_recipe(1, b"/small").unwrap().num_secrets(), 1);
+
+        // A second pass finds nothing to do.
+        let idle = server.gc().unwrap();
+        assert_eq!(idle.containers_compacted, 0);
+        assert_eq!(idle.shares_rewritten, 0);
+    }
+
+    #[test]
+    fn gc_runs_online_with_concurrent_backups_and_restores() {
+        let server = CdStoreServer::new(0);
+        let keep: Vec<Vec<u8>> = (0..8u32)
+            .map(|i| format!("kept share {i}").into_bytes())
+            .collect();
+        backup_file(&server, 9, b"/kept", &keep);
+        server.flush().unwrap();
+        std::thread::scope(|scope| {
+            for user in 1..=4u64 {
+                let server = &server;
+                scope.spawn(move || {
+                    for round in 0..10u32 {
+                        let datas: Vec<Vec<u8>> = (0..6u32)
+                            .map(|i| vec![user as u8 + i as u8; 5_000])
+                            .collect();
+                        let path = format!("/u{user}/r{round}").into_bytes();
+                        backup_file(server, user, &path, &datas);
+                        assert!(server.delete_file(user, &path).unwrap());
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let server = &server;
+                let keep = &keep;
+                scope.spawn(move || {
+                    for _ in 0..10 {
+                        server.gc().unwrap();
+                        for (i, data) in keep.iter().enumerate() {
+                            let fetched = server
+                                .fetch_share(9, &Fingerprint::of(data))
+                                .unwrap_or_else(|e| panic!("kept share {i} lost: {e}"));
+                            assert_eq!(&fetched, data);
+                        }
+                    }
+                });
+            }
+        });
+        // Everything but the kept file is reclaimable.
+        server.gc().unwrap();
+        assert_eq!(server.unique_shares(), keep.len());
+        for data in &keep {
+            assert_eq!(
+                &server.fetch_share(9, &Fingerprint::of(data)).unwrap(),
+                data
+            );
+        }
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! the multi-client experiments of §5.4 (Figure 8) drive real concurrent
 //! traffic.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
 use cdstore_chunking::ChunkerConfig;
@@ -17,7 +17,7 @@ use parking_lot::{Mutex, RwLock};
 use crate::client::{CdStoreClient, UploadReport};
 use crate::dedup::DedupStats;
 use crate::error::CdStoreError;
-use crate::server::{CdStoreServer, ServerStats};
+use crate::server::{CdStoreServer, GcConfig, GcReport, ServerStats};
 
 /// System-wide configuration.
 #[derive(Debug, Clone, Copy)]
@@ -67,6 +67,10 @@ pub struct SystemStats {
     pub files: usize,
 }
 
+/// Deletes a cloud missed while unavailable: `(user, encoded pathname)` per
+/// cloud index, replayed on recovery.
+type PendingDeletes = HashMap<usize, Vec<(u64, Vec<u8>)>>;
+
 /// The state shared by every clone of a [`CdStore`] handle.
 struct Shared {
     config: CdStoreConfig,
@@ -90,6 +94,11 @@ struct Shared {
     /// restores the read side; traffic on different files stays fully
     /// concurrent.
     path_locks: Vec<RwLock<()>>,
+    /// Deletes that could not reach an unavailable cloud, per cloud index:
+    /// `(user, that cloud's encoded pathname)`. Replayed when the cloud
+    /// recovers, so a failed cloud does not come back holding orphaned
+    /// index entries and share references for files deleted in its absence.
+    pending_deletes: Mutex<PendingDeletes>,
 }
 
 /// Number of path-lock stripes (distinct files rarely collide at 64).
@@ -115,6 +124,7 @@ impl CdStore {
                 dedup: Mutex::new(DedupStats::new()),
                 catalog: Mutex::new(BTreeSet::new()),
                 path_locks: (0..PATH_LOCK_STRIPES).map(|_| RwLock::new(())).collect(),
+                pending_deletes: Mutex::new(HashMap::new()),
                 config,
             }),
         }
@@ -194,8 +204,12 @@ impl CdStore {
         client.download(&servers, &availability, pathname)
     }
 
-    /// Deletes a file's index entries on all available servers (share
-    /// garbage collection is future work, §4.7).
+    /// Deletes a file on all available servers, releasing its share
+    /// references so the garbage collector ([`CdStore::gc`]) can reclaim the
+    /// freed container space. Deletes aimed at unavailable clouds are
+    /// recorded and replayed when the cloud recovers
+    /// ([`CdStore::recover_cloud`]), so no orphaned index entries survive a
+    /// failover.
     pub fn delete(&self, user: u64, pathname: &str) -> Result<bool, CdStoreError> {
         let client = self.client(user)?;
         let encoded = client.encode_pathname(pathname)?;
@@ -203,10 +217,40 @@ impl CdStore {
         let availability = self.shared.available.read().clone();
         let servers = self.shared.servers.read();
         let mut any = false;
+        let mut first_err = None;
         for (i, server) in servers.iter().enumerate() {
             if availability[i] {
-                any |= server.delete_file(user, &encoded[i]);
+                // Best-effort across clouds: a failure on one cloud must not
+                // leave later clouds untouched with nothing recorded. The
+                // server-side delete fails *before* mutating anything, so the
+                // caller can simply retry. Report the first error after every
+                // cloud was attempted.
+                match server.delete_file(user, &encoded[i]) {
+                    Ok(deleted) => any |= deleted,
+                    Err(e) => first_err = first_err.or(Some(e)),
+                }
+            } else {
+                // Enqueue under the pending-deletes lock and re-check the
+                // availability flag beneath it: `recover_cloud` replays and
+                // flips the flag under the same lock, so either this delete
+                // lands in the queue before the drain, or it observes the
+                // recovery and executes directly — never a stranded orphan.
+                let mut pending = self.shared.pending_deletes.lock();
+                if self.shared.available.read()[i] {
+                    match server.delete_file(user, &encoded[i]) {
+                        Ok(deleted) => any |= deleted,
+                        Err(e) => first_err = first_err.or(Some(e)),
+                    }
+                } else {
+                    pending
+                        .entry(i)
+                        .or_default()
+                        .push((user, encoded[i].clone()));
+                }
             }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
         }
         self.shared
             .catalog
@@ -220,8 +264,38 @@ impl CdStore {
         self.shared.available.write()[i] = false;
     }
 
-    /// Marks cloud `i` reachable again.
+    /// Marks cloud `i` reachable again, after replaying the deletes it
+    /// missed while unavailable.
+    ///
+    /// The replay runs *before* the availability flip, both under the
+    /// pending-deletes lock: new backups therefore only see the cloud as
+    /// available once every stale delete has executed (a replayed delete can
+    /// never destroy a file re-created after recovery), and a concurrent
+    /// `delete` either enqueues before the drain or observes the flipped
+    /// flag and deletes directly. (As in the paper's prototype, recovery is
+    /// an administrative action: quiesce backups that were already mid-
+    /// commit when the cloud originally failed.)
     pub fn recover_cloud(&self, i: usize) {
+        // Lock order servers → pending → available, matching `delete`'s
+        // in-loop order, so a writer queued on the servers lock can never
+        // wedge the two against each other.
+        let servers = self.shared.servers.read();
+        let mut pending_map = self.shared.pending_deletes.lock();
+        let pending = pending_map.remove(&i).unwrap_or_default();
+        let mut failed = Vec::new();
+        for (user, encoded_pathname) in pending {
+            // A replayed delete finding nothing is fine (the file was
+            // re-uploaded and re-deleted, or never reached this cloud), but
+            // one that *errors* (delete_file fails before mutating anything)
+            // must stay queued — dropping it would orphan the entry forever.
+            // Calling recover_cloud again retries the stragglers.
+            if servers[i].delete_file(user, &encoded_pathname).is_err() {
+                failed.push((user, encoded_pathname));
+            }
+        }
+        if !failed.is_empty() {
+            pending_map.entry(i).or_default().extend(failed);
+        }
         self.shared.available.write()[i] = true;
     }
 
@@ -240,6 +314,10 @@ impl CdStore {
     pub fn replace_and_repair_cloud(&self, i: usize) -> Result<usize, CdStoreError> {
         self.shared.servers.write()[i] = CdStoreServer::new(i);
         self.shared.available.write()[i] = true;
+        // The replacement server starts empty: deletes that were pending for
+        // the lost cloud have nothing left to delete (repair re-uploads only
+        // catalogued — i.e. not deleted — files).
+        self.shared.pending_deletes.lock().remove(&i);
         let catalog: Vec<(u64, String)> = self.shared.catalog.lock().iter().cloned().collect();
         let mut repaired = 0usize;
         for (user, pathname) in catalog {
@@ -264,6 +342,29 @@ impl CdStore {
             server.flush()?;
         }
         Ok(())
+    }
+
+    /// Runs a garbage-collection pass on every *available* server with the
+    /// default [`GcConfig`], returning the aggregated report. See
+    /// [`CdStoreServer::gc_with`] for what a pass does; it is safe to call
+    /// concurrently with backups, restores, and deletes.
+    pub fn gc(&self) -> Result<GcReport, CdStoreError> {
+        self.gc_with(GcConfig::default())
+    }
+
+    /// Runs a garbage-collection pass on every available server with an
+    /// explicit configuration. Unavailable clouds are skipped (their space
+    /// is reclaimed by the first pass after they recover).
+    pub fn gc_with(&self, config: GcConfig) -> Result<GcReport, CdStoreError> {
+        let availability = self.shared.available.read().clone();
+        let servers = self.shared.servers.read();
+        let mut total = GcReport::default();
+        for (i, server) in servers.iter().enumerate() {
+            if availability[i] {
+                total.absorb(&server.gc_with(config)?);
+            }
+        }
+        Ok(total)
     }
 
     /// Aggregated system statistics.
@@ -423,6 +524,64 @@ mod tests {
             }
         });
         assert_eq!(store.stats().files, 8);
+    }
+
+    #[test]
+    fn gc_reclaims_deleted_files_across_servers() {
+        let store = CdStore::new(CdStoreConfig::new(4, 3).unwrap());
+        let doomed = sample(400_000, 11);
+        let kept = sample(150_000, 12);
+        store.backup(1, "/doomed", &doomed).unwrap();
+        store.backup(1, "/kept", &kept).unwrap();
+        store.flush().unwrap();
+        let before: u64 = store.stats().backend_bytes.iter().sum();
+        assert!(before > 0);
+
+        assert!(store.delete(1, "/doomed").unwrap());
+        let report = store.gc().unwrap();
+        assert!(report.reclaimed_bytes > 0);
+        let after: u64 = store.stats().backend_bytes.iter().sum();
+        assert!(after < before, "gc must shrink the backends");
+        // The survivor is still byte-exact, even where compaction moved it.
+        assert_eq!(store.restore(1, "/kept").unwrap(), kept);
+
+        // Deleting the survivor too empties the backends entirely.
+        assert!(store.delete(1, "/kept").unwrap());
+        store.gc().unwrap();
+        assert_eq!(store.stats().backend_bytes.iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn pending_deletes_replay_when_a_cloud_recovers() {
+        let store = CdStore::new(CdStoreConfig::new(4, 3).unwrap());
+        let data = sample(120_000, 13);
+        store.backup(5, "/ephemeral", &data).unwrap();
+        store.flush().unwrap();
+
+        // Cloud 0 is down when the delete happens.
+        store.fail_cloud(0);
+        assert!(store.delete(5, "/ephemeral").unwrap());
+        assert!(store.restore(5, "/ephemeral").is_err());
+
+        // Before recovery, server 0 still holds the orphaned file.
+        let encoded = store
+            .client(5)
+            .unwrap()
+            .encode_pathname("/ephemeral")
+            .unwrap();
+        store.with_servers(|servers| {
+            assert!(servers[0].has_file(5, &encoded[0]));
+        });
+
+        // Recovery replays the delete: the orphan is gone and gc can now
+        // reclaim every backend, including cloud 0's.
+        store.recover_cloud(0);
+        store.with_servers(|servers| {
+            assert!(!servers[0].has_file(5, &encoded[0]));
+            assert_eq!(servers[0].unique_shares(), 0);
+        });
+        store.gc().unwrap();
+        assert_eq!(store.stats().backend_bytes.iter().sum::<u64>(), 0);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Embedded S3 tiered storage pricing and EC2 reserved-instance catalogue.
 //!
-//! The paper's tool uses the Amazon EC2 [1] and S3 [2] price lists of
+//! The paper's tool uses the Amazon EC2 \[1\] and S3 \[2\] price lists of
 //! September 2014. Those exact lists are no longer served, so this module
 //! embeds a static snapshot with the same structure: S3 charges roughly
 //! US$30 per TB-month with volume discounts in six tiers, and

@@ -10,6 +10,7 @@
 use cdstore_crypto::{sha256, Fingerprint};
 
 use crate::kvstore::{KvStore, KvStoreConfig};
+use crate::share_index::ShareLocation;
 
 /// The hashed lookup key of a file-index entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -40,6 +41,10 @@ impl FileKey {
 pub struct FileEntry {
     /// Identifier of the recipe container holding the file recipe.
     pub recipe_container_id: u64,
+    /// Byte offset of the recipe blob within its container.
+    pub recipe_offset: u32,
+    /// Size of the serialised recipe blob in bytes.
+    pub recipe_size: u32,
     /// Logical size of the file in bytes.
     pub file_size: u64,
     /// Number of secrets (chunks) the file was divided into.
@@ -49,9 +54,20 @@ pub struct FileEntry {
 }
 
 impl FileEntry {
+    /// The container location of the file recipe blob.
+    pub fn recipe_location(&self) -> ShareLocation {
+        ShareLocation {
+            container_id: self.recipe_container_id,
+            offset: self.recipe_offset,
+            size: self.recipe_size,
+        }
+    }
+
     fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(32);
+        let mut out = Vec::with_capacity(40);
         out.extend_from_slice(&self.recipe_container_id.to_be_bytes());
+        out.extend_from_slice(&self.recipe_offset.to_be_bytes());
+        out.extend_from_slice(&self.recipe_size.to_be_bytes());
         out.extend_from_slice(&self.file_size.to_be_bytes());
         out.extend_from_slice(&self.num_secrets.to_be_bytes());
         out.extend_from_slice(&self.version.to_be_bytes());
@@ -59,14 +75,16 @@ impl FileEntry {
     }
 
     fn decode(bytes: &[u8]) -> Option<FileEntry> {
-        if bytes.len() != 32 {
+        if bytes.len() != 40 {
             return None;
         }
         Some(FileEntry {
             recipe_container_id: u64::from_be_bytes(bytes[0..8].try_into().ok()?),
-            file_size: u64::from_be_bytes(bytes[8..16].try_into().ok()?),
-            num_secrets: u64::from_be_bytes(bytes[16..24].try_into().ok()?),
-            version: u64::from_be_bytes(bytes[24..32].try_into().ok()?),
+            recipe_offset: u32::from_be_bytes(bytes[8..12].try_into().ok()?),
+            recipe_size: u32::from_be_bytes(bytes[12..16].try_into().ok()?),
+            file_size: u64::from_be_bytes(bytes[16..24].try_into().ok()?),
+            num_secrets: u64::from_be_bytes(bytes[24..32].try_into().ok()?),
+            version: u64::from_be_bytes(bytes[32..40].try_into().ok()?),
         })
     }
 }
@@ -141,6 +159,8 @@ mod tests {
     fn entry(version: u64) -> FileEntry {
         FileEntry {
             recipe_container_id: 77,
+            recipe_offset: 4096,
+            recipe_size: 512,
             file_size: 1 << 30,
             num_secrets: 131072,
             version,
@@ -193,12 +213,23 @@ mod tests {
     fn entry_encoding_round_trips() {
         let e = FileEntry {
             recipe_container_id: u64::MAX,
+            recipe_offset: u32::MAX,
+            recipe_size: 77,
             file_size: 123,
             num_secrets: 456,
             version: 789,
         };
-        assert_eq!(FileEntry::decode(&e.encode()), Some(e));
-        assert_eq!(FileEntry::decode(&[0u8; 31]), None);
+        assert_eq!(FileEntry::decode(&e.encode()), Some(e.clone()));
+        assert_eq!(FileEntry::decode(&[0u8; 39]), None);
+        assert_eq!(FileEntry::decode(&[0u8; 32]), None);
+        assert_eq!(
+            e.recipe_location(),
+            ShareLocation {
+                container_id: u64::MAX,
+                offset: u32::MAX,
+                size: 77,
+            }
+        );
     }
 
     #[test]

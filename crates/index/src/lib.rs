@@ -39,5 +39,7 @@ pub mod share_index;
 pub use bloom::BloomFilter;
 pub use file_index::{FileEntry, FileIndex, FileKey};
 pub use kvstore::{KvStore, KvStoreConfig, KvStoreStats};
-pub use sharded::{ShardedFileIndex, ShardedKvStore, ShardedShareIndex, StoreOutcome};
-pub use share_index::{ShareAddOutcome, ShareEntry, ShareIndex, ShareLocation};
+pub use sharded::{
+    FilePutOutcome, ShardedFileIndex, ShardedKvStore, ShardedShareIndex, StoreOutcome,
+};
+pub use share_index::{ReleaseReport, ShareAddOutcome, ShareEntry, ShareIndex, ShareLocation};

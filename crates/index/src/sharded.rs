@@ -23,7 +23,7 @@ use parking_lot::Mutex;
 
 use crate::file_index::{FileEntry, FileIndex, FileKey};
 use crate::kvstore::{KvStore, KvStoreConfig};
-use crate::share_index::{ShareEntry, ShareIndex, ShareLocation};
+use crate::share_index::{ReleaseReport, ShareEntry, ShareIndex, ShareLocation};
 
 /// Default number of lock stripes per index.
 pub const DEFAULT_SHARDS: usize = 16;
@@ -42,6 +42,22 @@ pub enum StoreOutcome {
     /// This user had already stored the share — e.g. two of their own
     /// uploads racing past the intra-user query stage.
     DedupIntraUser,
+}
+
+/// Outcome of [`ShardedFileIndex::put_if_newer`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FilePutOutcome {
+    /// The entry was written. `displaced` holds the older entry it replaced,
+    /// if any, so the caller can release the resources (recipe blob, share
+    /// references) the superseded version held.
+    Written {
+        /// The strictly older entry the write replaced, if the key existed.
+        displaced: Option<FileEntry>,
+    },
+    /// The index already held an entry at least as new; nothing was written
+    /// and the caller must release the resources of the entry it tried to
+    /// insert.
+    Stale,
 }
 
 /// FNV-1a over a byte key, for striping keys without a uniform distribution.
@@ -185,10 +201,25 @@ impl ShardedShareIndex {
         }
     }
 
-    /// Drops one reference held by `user`. Returns the location if the share
-    /// no longer has any references (it can then be garbage-collected).
-    pub fn remove_reference(&self, fp: &Fingerprint, user: u64) -> Option<ShareLocation> {
+    /// Adds one reference for `user` to a share that must already be stored.
+    /// Returns `false` (and changes nothing) if the fingerprint is unknown.
+    pub fn add_reference_existing(&self, fp: &Fingerprint, user: u64) -> bool {
+        self.shard(fp).lock().add_reference_existing(fp, user)
+    }
+
+    /// Drops one reference held by `user`, deleting the entry when the last
+    /// reference across all users goes. Returns `None` — a no-op — if the
+    /// share is unknown or `user` holds no reference.
+    pub fn remove_reference(&self, fp: &Fingerprint, user: u64) -> Option<ReleaseReport> {
         self.shard(fp).lock().remove_reference(fp, user)
+    }
+
+    /// Atomically repoints the share's location from `from` to `to` under the
+    /// fingerprint's stripe lock — the index half of container compaction.
+    /// Fails (returning `false`, changing nothing) if the share is gone or
+    /// was moved concurrently; the caller must then discard the copy at `to`.
+    pub fn relocate(&self, fp: &Fingerprint, from: ShareLocation, to: ShareLocation) -> bool {
+        self.shard(fp).lock().relocate(fp, from, to)
     }
 
     /// Number of unique shares tracked (sums over all stripes).
@@ -242,19 +273,21 @@ impl ShardedFileIndex {
     }
 
     /// Inserts the entry unless the index already holds a strictly newer
-    /// version for the key. Returns whether the entry was written.
+    /// version for the key, reporting the displaced older entry (if any) so
+    /// the caller can release the resources it held.
     ///
     /// Version numbers are allocated before the stripe lock is taken, so
     /// concurrent backups of the same file may arrive out of order; this
     /// compare-under-lock makes them converge on the highest version
     /// instead of last-writer-wins.
-    pub fn put_if_newer(&self, key: FileKey, entry: FileEntry) -> bool {
+    pub fn put_if_newer(&self, key: FileKey, entry: FileEntry) -> FilePutOutcome {
         let mut shard = self.shard(&key).lock();
-        match shard.get(&key) {
-            Some(existing) if existing.version > entry.version => false,
-            _ => {
+        let existing = shard.get(&key);
+        match existing {
+            Some(existing) if existing.version > entry.version => FilePutOutcome::Stale,
+            displaced => {
                 shard.put(key, entry);
-                true
+                FilePutOutcome::Written { displaced }
             }
         }
     }
@@ -400,8 +433,37 @@ mod tests {
             index.filter_user_duplicates(0, &[fp(0), fp(1), fp(7)]),
             vec![true, false, true]
         );
-        assert_eq!(index.remove_reference(&fp(0), 0), Some(loc(0, 100)));
+        let release = index.remove_reference(&fp(0), 0).unwrap();
+        assert_eq!(release.location, loc(0, 100));
+        assert_eq!(release.total_refs, 0);
         assert!(!index.is_stored(&fp(0)));
+    }
+
+    #[test]
+    fn relocate_races_resolve_under_the_stripe_lock() {
+        let index = ShardedShareIndex::new();
+        index
+            .add_reference_or_store::<()>(&fp(1), 1, || Ok(loc(10, 8)))
+            .unwrap();
+        // Two compactors race to move the same share: exactly one wins.
+        let winners = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4u64)
+                .map(|t| {
+                    let index = &index;
+                    scope.spawn(move || index.relocate(&fp(1), loc(10, 8), loc(100 + t, 8)))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .filter(|&won| won)
+                .count()
+        });
+        assert_eq!(winners, 1);
+        let moved = index.lookup(&fp(1)).unwrap().location;
+        assert!(moved.container_id >= 100 && moved.container_id < 104);
+        assert!(index.add_reference_existing(&fp(1), 2));
+        assert!(!index.add_reference_existing(&fp(99), 2));
     }
 
     #[test]
@@ -470,17 +532,26 @@ mod tests {
         let key = FileKey::new(1, b"/racy");
         let entry = |version: u64| FileEntry {
             recipe_container_id: version,
+            recipe_offset: 0,
+            recipe_size: 8,
             file_size: 1,
             num_secrets: 1,
             version,
         };
-        assert!(index.put_if_newer(key, entry(5)));
+        assert_eq!(
+            index.put_if_newer(key, entry(5)),
+            FilePutOutcome::Written { displaced: None }
+        );
         // An out-of-order older version loses...
-        assert!(!index.put_if_newer(key, entry(4)));
+        assert_eq!(index.put_if_newer(key, entry(4)), FilePutOutcome::Stale);
         assert_eq!(index.get(&key).unwrap().version, 5);
-        // ...a newer one (and an equal re-put) wins.
-        assert!(index.put_if_newer(key, entry(6)));
-        assert!(index.put_if_newer(key, entry(6)));
+        // ...while a newer one wins and reports the entry it displaced.
+        assert_eq!(
+            index.put_if_newer(key, entry(6)),
+            FilePutOutcome::Written {
+                displaced: Some(entry(5))
+            }
+        );
         assert_eq!(index.get(&key).unwrap().version, 6);
     }
 
@@ -502,6 +573,8 @@ mod tests {
         let index = ShardedFileIndex::with_shards(4);
         let entry = FileEntry {
             recipe_container_id: 3,
+            recipe_offset: 16,
+            recipe_size: 52,
             file_size: 100,
             num_secrets: 4,
             version: 1,

@@ -94,6 +94,22 @@ pub enum ShareAddOutcome {
     Duplicate,
 }
 
+/// The result of dropping one reference with
+/// [`ShareIndex::remove_reference`]: where the unique copy lives and how many
+/// references remain, so the caller can drive the rest of the reclamation
+/// protocol (tear down per-user ownership mappings when `user_refs` hits
+/// zero, release the container bytes when `total_refs` hits zero).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReleaseReport {
+    /// Physical location of the share's unique copy.
+    pub location: ShareLocation,
+    /// References the releasing user still holds after the decrement.
+    pub user_refs: u32,
+    /// References remaining across all users after the decrement. Zero means
+    /// the entry was removed from the index and the share is now dead.
+    pub total_refs: u64,
+}
+
 /// The per-server share index backed by the LSM store.
 pub struct ShareIndex {
     store: KvStore,
@@ -189,23 +205,60 @@ impl ShareIndex {
         self.store.put(fp.as_bytes().to_vec(), entry.encode());
     }
 
-    /// Drops one reference held by `user`. Returns the location if the share
-    /// no longer has any references (it can then be garbage-collected).
-    pub fn remove_reference(&mut self, fp: &Fingerprint, user: u64) -> Option<ShareLocation> {
-        let mut entry = self.lookup(fp)?;
-        if let Some(pos) = entry.owners.iter().position(|(u, c)| *u == user && *c > 0) {
-            entry.owners[pos].1 -= 1;
-            if entry.owners[pos].1 == 0 {
-                entry.owners.remove(pos);
+    /// Adds one reference for `user` to a share that must already be stored.
+    /// Returns `false` (and changes nothing) if the fingerprint is unknown.
+    pub fn add_reference_existing(&mut self, fp: &Fingerprint, user: u64) -> bool {
+        match self.lookup(fp) {
+            Some(mut entry) => {
+                self.add_reference_to_entry(fp, &mut entry, user);
+                true
             }
+            None => false,
         }
-        if entry.owners.is_empty() {
+    }
+
+    /// Drops one reference held by `user`, deleting the entry when the last
+    /// reference across all users goes. Returns `None` — a no-op — if the
+    /// share is unknown or `user` holds no reference.
+    pub fn remove_reference(&mut self, fp: &Fingerprint, user: u64) -> Option<ReleaseReport> {
+        let mut entry = self.lookup(fp)?;
+        let pos = entry
+            .owners
+            .iter()
+            .position(|(u, c)| *u == user && *c > 0)?;
+        entry.owners[pos].1 -= 1;
+        let user_refs = entry.owners[pos].1;
+        if user_refs == 0 {
+            entry.owners.remove(pos);
+        }
+        let total_refs = entry.total_refs();
+        if total_refs == 0 {
             self.store.delete(fp.as_bytes());
-            Some(entry.location)
         } else {
             self.store.put(fp.as_bytes().to_vec(), entry.encode());
-            None
         }
+        Some(ReleaseReport {
+            location: entry.location,
+            user_refs,
+            total_refs,
+        })
+    }
+
+    /// Atomically repoints the share's location from `from` to `to` — the
+    /// index half of container compaction. Fails (returning `false`, changing
+    /// nothing) if the share is gone or its location no longer equals `from`
+    /// (someone else moved or deleted it first); the caller must then discard
+    /// the copy it made at `to`.
+    pub fn relocate(&mut self, fp: &Fingerprint, from: ShareLocation, to: ShareLocation) -> bool {
+        let Some(mut entry) = self.lookup(fp) else {
+            return false;
+        };
+        if entry.location != from {
+            return false;
+        }
+        entry.location = to;
+        self.store.put(fp.as_bytes().to_vec(), entry.encode());
+        true
     }
 
     /// Number of unique shares tracked.
@@ -290,13 +343,48 @@ mod tests {
         index.add_reference(&fp(5), loc(3, 42), 1);
         index.add_reference(&fp(5), loc(3, 42), 2);
         // Two references from user 1, one from user 2.
-        assert_eq!(index.remove_reference(&fp(5), 1), None);
-        assert_eq!(index.remove_reference(&fp(5), 1), None);
+        let first = index.remove_reference(&fp(5), 1).unwrap();
+        assert_eq!((first.user_refs, first.total_refs), (1, 2));
+        let second = index.remove_reference(&fp(5), 1).unwrap();
+        assert_eq!((second.user_refs, second.total_refs), (0, 1));
         assert!(index.is_stored(&fp(5)));
-        // Last reference gone: the location is returned for GC.
-        assert_eq!(index.remove_reference(&fp(5), 2), Some(loc(3, 42)));
+        // User 1 holds nothing any more: further removals are no-ops.
+        assert_eq!(index.remove_reference(&fp(5), 1), None);
+        // Last reference gone: the entry is deleted and the location reported
+        // for garbage collection.
+        let last = index.remove_reference(&fp(5), 2).unwrap();
+        assert_eq!(last.location, loc(3, 42));
+        assert_eq!((last.user_refs, last.total_refs), (0, 0));
         assert!(!index.is_stored(&fp(5)));
         assert_eq!(index.remove_reference(&fp(5), 2), None);
+    }
+
+    #[test]
+    fn add_reference_existing_requires_a_stored_share() {
+        let mut index = ShareIndex::new();
+        assert!(!index.add_reference_existing(&fp(1), 7));
+        index.add_reference(&fp(1), loc(1, 10), 7);
+        assert!(index.add_reference_existing(&fp(1), 7));
+        assert!(index.add_reference_existing(&fp(1), 8));
+        let entry = index.lookup(&fp(1)).unwrap();
+        assert_eq!(entry.total_refs(), 3);
+        assert!(entry.owned_by(8));
+    }
+
+    #[test]
+    fn relocate_repoints_only_the_expected_location() {
+        let mut index = ShareIndex::new();
+        index.add_reference(&fp(9), loc(1, 64), 1);
+        // A stale `from` (e.g. a compactor racing a newer move) fails.
+        assert!(!index.relocate(&fp(9), loc(2, 64), loc(3, 64)));
+        assert_eq!(index.lookup(&fp(9)).unwrap().location, loc(1, 64));
+        // The expected `from` succeeds and preserves the owners.
+        assert!(index.relocate(&fp(9), loc(1, 64), loc(3, 64)));
+        let entry = index.lookup(&fp(9)).unwrap();
+        assert_eq!(entry.location, loc(3, 64));
+        assert!(entry.owned_by(1));
+        // Unknown fingerprints fail.
+        assert!(!index.relocate(&fp(10), loc(1, 64), loc(3, 64)));
     }
 
     #[test]

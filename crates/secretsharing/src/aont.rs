@@ -1,4 +1,4 @@
-//! Rivest's all-or-nothing transform (AONT) [53] package construction.
+//! Rivest's all-or-nothing transform (AONT) \[53\] package construction.
 //!
 //! The transform turns a secret into a *package* such that nothing about the
 //! secret can be inferred unless the whole package is available. AONT-RS and

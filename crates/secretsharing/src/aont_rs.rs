@@ -1,4 +1,4 @@
-//! AONT-RS [52] and the prior convergent variant CAONT-RS-Rivest [37].
+//! AONT-RS \[52\] and the prior convergent variant CAONT-RS-Rivest \[37\].
 //!
 //! Both schemes build a Rivest AONT package and encode it into `n` shares
 //! with a systematic `(n, k)` Reed-Solomon code. They differ only in the

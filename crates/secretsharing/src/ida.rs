@@ -1,4 +1,4 @@
-//! Rabin's information dispersal algorithm (IDA) [50].
+//! Rabin's information dispersal algorithm (IDA) \[50\].
 //!
 //! The secret is split into `k` pieces and transformed into `n` shares by an
 //! `n x k` dispersal matrix whose every `k x k` submatrix is invertible.

@@ -1,4 +1,4 @@
-//! Ramp secret sharing scheme (RSSS) [16].
+//! Ramp secret sharing scheme (RSSS) \[16\].
 //!
 //! RSSS generalises SSSS and IDA: the secret is divided into `k − r` pieces,
 //! `r` random pieces of the same size are appended, and the `k` pieces are

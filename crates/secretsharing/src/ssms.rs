@@ -1,4 +1,4 @@
-//! Secret sharing made short (SSMS) [34].
+//! Secret sharing made short (SSMS) \[34\].
 //!
 //! Krawczyk's construction combines key-based encryption with both IDA and
 //! SSSS: the secret is encrypted under a fresh random key, the *ciphertext*

@@ -1,4 +1,4 @@
-//! Shamir's secret sharing scheme (SSSS) [54].
+//! Shamir's secret sharing scheme (SSSS) \[54\].
 //!
 //! Every byte of the secret is shared independently: a random polynomial of
 //! degree `k−1` with the secret byte as constant term is evaluated at `n`

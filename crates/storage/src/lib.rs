@@ -23,4 +23,4 @@ pub mod store;
 pub use backend::{DirBackend, MemoryBackend, StorageBackend, StorageError};
 pub use cache::LruCache;
 pub use container::{Container, ContainerBuilder, ContainerKind, CONTAINER_CAPACITY};
-pub use store::{ContainerStore, StoreStats};
+pub use store::{ContainerStore, ContainerUsage, StoreStats, StoreUtilisation};

@@ -7,6 +7,13 @@
 //! container ids come from an atomic counter, the read cache has its own
 //! mutex, and the I/O counters are atomics. Two users appending shares at the
 //! same time never contend on a common lock.
+//!
+//! The store also keeps a *liveness ledger* ([`ContainerUsage`]) per
+//! container: every appended blob starts live, and [`ContainerStore::release`]
+//! moves its bytes to the dead column when the last reference to the blob is
+//! dropped. The ledger is what the garbage collector consults to decide which
+//! sealed containers can be deleted outright (no live bytes left) and which
+//! are worth compacting (dead ratio above a threshold).
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -61,6 +68,64 @@ impl AtomicStoreStats {
     }
 }
 
+/// Liveness accounting for one container: how many of its payload bytes are
+/// still referenced (live) and how many have been released (dead).
+///
+/// Live bytes are added when blobs are appended; [`ContainerStore::release`]
+/// moves a blob's bytes from live to dead when its last reference goes. Only
+/// *sealed* containers are eligible for reclamation: a fully dead sealed
+/// container can be deleted outright, and a sealed share container whose
+/// [`ContainerUsage::dead_ratio`] crosses the compaction threshold can have
+/// its live blobs rewritten into fresh containers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ContainerUsage {
+    /// Whether this is a share or a recipe container.
+    pub kind: ContainerKind,
+    /// Payload bytes still referenced.
+    pub live_bytes: u64,
+    /// Payload bytes whose last reference has been released.
+    pub dead_bytes: u64,
+    /// Whether the container has been sealed and written to the backend.
+    pub sealed: bool,
+}
+
+impl ContainerUsage {
+    fn new(kind: ContainerKind) -> Self {
+        ContainerUsage {
+            kind,
+            live_bytes: 0,
+            dead_bytes: 0,
+            sealed: false,
+        }
+    }
+
+    /// Total payload bytes the ledger has accounted for this container.
+    pub fn payload_bytes(&self) -> u64 {
+        self.live_bytes + self.dead_bytes
+    }
+
+    /// Fraction of the payload that is dead (0.0 for an empty container).
+    pub fn dead_ratio(&self) -> f64 {
+        let total = self.payload_bytes();
+        if total == 0 {
+            0.0
+        } else {
+            self.dead_bytes as f64 / total as f64
+        }
+    }
+}
+
+/// Aggregate liveness across every container the ledger tracks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreUtilisation {
+    /// Live payload bytes across all containers.
+    pub live_bytes: u64,
+    /// Dead payload bytes across all containers.
+    pub dead_bytes: u64,
+    /// Number of containers tracked (open and sealed).
+    pub containers: u64,
+}
+
 /// One user's open (unsealed) containers: at most one share container and
 /// one recipe container at a time (§4.5).
 #[derive(Default)]
@@ -98,6 +163,10 @@ pub struct ContainerStore {
     /// scanning all users. Maintained on builder creation and sealing.
     open_by_id: Mutex<HashMap<u64, Arc<Mutex<OpenContainers>>>>,
     cache: Mutex<LruCache<u64, Container>>,
+    /// Per-container liveness accounting (see [`ContainerUsage`]). Entries
+    /// are created on the first append, flipped to `sealed` when the
+    /// container is written out, and removed when it is deleted.
+    ledger: Mutex<HashMap<u64, ContainerUsage>>,
     stats: AtomicStoreStats,
 }
 
@@ -116,6 +185,7 @@ impl ContainerStore {
             open: RwLock::new(HashMap::new()),
             open_by_id: Mutex::new(HashMap::new()),
             cache: Mutex::new(LruCache::new(cache_bytes)),
+            ledger: Mutex::new(HashMap::new()),
             stats: AtomicStoreStats::default(),
         }
     }
@@ -179,8 +249,14 @@ impl ContainerStore {
             ContainerBuilder::new(id, user, kind)
         });
         let offset = builder.append(fingerprint, data);
+        let id = builder.id();
+        self.ledger
+            .lock()
+            .entry(id)
+            .or_insert_with(|| ContainerUsage::new(kind))
+            .live_bytes += data.len() as u64;
         Ok(ShareLocation {
-            container_id: builder.id(),
+            container_id: id,
             offset,
             size: data.len() as u32,
         })
@@ -198,6 +274,7 @@ impl ContainerStore {
         let id = builder.id();
         if builder.is_empty() {
             self.open_by_id.lock().remove(&id);
+            self.ledger.lock().remove(&id);
             return Ok(());
         }
         let container = builder.seal();
@@ -214,6 +291,9 @@ impl ContainerStore {
             .fetch_add(bytes.len() as u64, Ordering::Relaxed);
         let size = container.payload_size();
         self.cache.lock().put(id, container, size);
+        if let Some(usage) = self.ledger.lock().get_mut(&id) {
+            usage.sealed = true;
+        }
         // Deregister only after the write landed: a reader racing the seal
         // still resolves the id through `open_by_id`, blocks on the user's
         // entry lock, misses the builder, and falls through to the cache
@@ -238,6 +318,63 @@ impl ContainerStore {
         self.open
             .write()
             .retain(|_, entry| Arc::strong_count(entry) > 1 || entry.lock().builders().count() > 0);
+        Ok(())
+    }
+
+    /// Seals only the open containers that already carry *dead* bytes — the
+    /// ones a garbage-collection pass could go on to reclaim. Unlike
+    /// [`ContainerStore::flush`], this leaves other users' in-progress
+    /// containers open, so periodic vacuums do not fragment active backup
+    /// streams into under-filled containers.
+    pub fn flush_dead(&self) -> Result<(), StorageError> {
+        let entries: Vec<Arc<Mutex<OpenContainers>>> = self.open.read().values().cloned().collect();
+        for entry in entries {
+            let mut open = entry.lock();
+            for kind in [ContainerKind::Share, ContainerKind::Recipe] {
+                let slot = open.slot(kind);
+                let Some(builder) = slot.as_ref() else {
+                    continue;
+                };
+                let id = builder.id();
+                let Some(usage) = self.ledger.lock().get(&id).copied() else {
+                    continue;
+                };
+                if usage.dead_bytes == 0 {
+                    continue;
+                }
+                if usage.live_bytes == 0 {
+                    // Every blob is already dead: discard the buffer without
+                    // ever writing it to the backend (nothing references it).
+                    self.open_by_id.lock().remove(&id);
+                    self.ledger.lock().remove(&id);
+                    *slot = None;
+                } else {
+                    self.seal_slot(slot)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Seals the open container with the given id, if it is still open (a
+    /// no-op otherwise). Used by compaction to make the fresh containers it
+    /// rewrote live shares into durable without disturbing unrelated users'
+    /// open containers.
+    pub fn seal_open_container(&self, container_id: u64) -> Result<(), StorageError> {
+        let Some(entry) = self.open_by_id.lock().get(&container_id).cloned() else {
+            return Ok(());
+        };
+        let mut open = entry.lock();
+        for kind in [ContainerKind::Share, ContainerKind::Recipe] {
+            let slot = open.slot(kind);
+            if slot
+                .as_ref()
+                .map(|b| b.id() == container_id)
+                .unwrap_or(false)
+            {
+                return self.seal_slot(slot);
+            }
+        }
         Ok(())
     }
 
@@ -316,10 +453,52 @@ impl ContainerStore {
         Container::from_bytes(&bytes).ok_or(StorageError::Corrupt(key))
     }
 
-    /// Deletes a sealed container from the backend (garbage collection).
+    /// Deletes a sealed container from the backend (garbage collection) and
+    /// drops its ledger entry.
     pub fn delete_container(&self, container_id: u64) -> Result<(), StorageError> {
         self.cache.lock().remove(&container_id);
+        self.ledger.lock().remove(&container_id);
         self.backend.delete(&Self::object_key(container_id))
+    }
+
+    /// Marks the blob at `location` dead: its last reference was dropped, so
+    /// its bytes move from the container's live column to its dead column.
+    /// Tolerant of unknown container ids (the container may already have been
+    /// reclaimed by a concurrent vacuum).
+    pub fn release(&self, location: &ShareLocation) {
+        if let Some(usage) = self.ledger.lock().get_mut(&location.container_id) {
+            let bytes = location.size as u64;
+            usage.live_bytes = usage.live_bytes.saturating_sub(bytes);
+            usage.dead_bytes += bytes;
+        }
+    }
+
+    /// The liveness ledger entry of one container, if tracked.
+    pub fn container_usage(&self, container_id: u64) -> Option<ContainerUsage> {
+        self.ledger.lock().get(&container_id).copied()
+    }
+
+    /// Snapshot of every *sealed* container's liveness accounting — the
+    /// candidate set a garbage-collection pass works from.
+    pub fn sealed_usages(&self) -> Vec<(u64, ContainerUsage)> {
+        self.ledger
+            .lock()
+            .iter()
+            .filter(|(_, usage)| usage.sealed)
+            .map(|(&id, &usage)| (id, usage))
+            .collect()
+    }
+
+    /// Aggregate live/dead byte counts across all tracked containers.
+    pub fn utilisation(&self) -> StoreUtilisation {
+        let ledger = self.ledger.lock();
+        let mut total = StoreUtilisation::default();
+        for usage in ledger.values() {
+            total.live_bytes += usage.live_bytes;
+            total.dead_bytes += usage.dead_bytes;
+            total.containers += 1;
+        }
+        total
     }
 
     /// Returns the I/O counters.
@@ -566,6 +745,109 @@ mod tests {
         for (loc, _) in &locations {
             assert!(seen.insert((loc.container_id, loc.offset)));
         }
+    }
+
+    #[test]
+    fn ledger_tracks_live_dead_and_sealed_state() {
+        let (store, _) = new_store();
+        let loc_a = store.store_share(1, fp(1), &vec![1u8; 600]).unwrap();
+        let loc_b = store.store_share(1, fp(2), &vec![2u8; 400]).unwrap();
+        assert_eq!(loc_a.container_id, loc_b.container_id);
+        let usage = store.container_usage(loc_a.container_id).unwrap();
+        assert_eq!(usage.kind, ContainerKind::Share);
+        assert_eq!(usage.live_bytes, 1000);
+        assert_eq!(usage.dead_bytes, 0);
+        assert!(!usage.sealed);
+        // Not sealed yet, so not a reclamation candidate.
+        assert!(store.sealed_usages().is_empty());
+
+        store.flush().unwrap();
+        let usage = store.container_usage(loc_a.container_id).unwrap();
+        assert!(usage.sealed);
+        assert_eq!(store.sealed_usages(), vec![(loc_a.container_id, usage)]);
+
+        // Releasing one blob moves its bytes to the dead column.
+        store.release(&loc_a);
+        let usage = store.container_usage(loc_a.container_id).unwrap();
+        assert_eq!(usage.live_bytes, 400);
+        assert_eq!(usage.dead_bytes, 600);
+        assert!((usage.dead_ratio() - 0.6).abs() < 1e-9);
+
+        // Releasing the rest makes it fully dead.
+        store.release(&loc_b);
+        let usage = store.container_usage(loc_a.container_id).unwrap();
+        assert_eq!(usage.live_bytes, 0);
+        assert!((usage.dead_ratio() - 1.0).abs() < 1e-9);
+
+        // Deleting the container drops the ledger entry; further releases on
+        // the dead id are no-ops.
+        store.delete_container(loc_a.container_id).unwrap();
+        assert!(store.container_usage(loc_a.container_id).is_none());
+        store.release(&loc_a);
+        assert_eq!(store.utilisation(), StoreUtilisation::default());
+    }
+
+    #[test]
+    fn ledger_separates_share_and_recipe_containers() {
+        let (store, _) = new_store();
+        let share = store.store_share(1, fp(1), &[0u8; 100]).unwrap();
+        let recipe = store.store_recipe(1, fp(2), &[0u8; 50]).unwrap();
+        assert_eq!(
+            store.container_usage(share.container_id).unwrap().kind,
+            ContainerKind::Share
+        );
+        assert_eq!(
+            store.container_usage(recipe.container_id).unwrap().kind,
+            ContainerKind::Recipe
+        );
+        let total = store.utilisation();
+        assert_eq!(total.live_bytes, 150);
+        assert_eq!(total.dead_bytes, 0);
+        assert_eq!(total.containers, 2);
+    }
+
+    #[test]
+    fn flush_dead_seals_only_containers_with_dead_bytes() {
+        let (store, backend) = new_store();
+        let dying = store.store_share(1, fp(1), &[1u8; 100]).unwrap();
+        let surviving = store.store_share(1, fp(2), &[2u8; 50]).unwrap();
+        assert_eq!(dying.container_id, surviving.container_id);
+        let clean = store.store_share(2, fp(3), &[3u8; 70]).unwrap();
+        store.release(&dying);
+
+        store.flush_dead().unwrap();
+        // User 1's container carried dead bytes (and a live blob): sealed.
+        assert!(store.container_usage(dying.container_id).unwrap().sealed);
+        assert_eq!(store.fetch(&surviving).unwrap(), vec![2u8; 50]);
+        // User 2's clean in-progress container stayed open and unwritten.
+        assert!(!store.container_usage(clean.container_id).unwrap().sealed);
+        assert_eq!(backend.object_count(), 1);
+
+        // A fully dead open container is discarded without a backend write.
+        let doomed = store.store_share(3, fp(4), &[4u8; 40]).unwrap();
+        store.release(&doomed);
+        store.flush_dead().unwrap();
+        assert!(store.container_usage(doomed.container_id).is_none());
+        assert_eq!(backend.object_count(), 1);
+        assert!(store.fetch(&doomed).is_err());
+
+        // seal_open_container seals exactly the requested container.
+        store.seal_open_container(clean.container_id).unwrap();
+        assert!(store.container_usage(clean.container_id).unwrap().sealed);
+        assert_eq!(store.fetch(&clean).unwrap(), vec![3u8; 70]);
+        // Sealing an id that is no longer open is a no-op.
+        store.seal_open_container(clean.container_id).unwrap();
+        store.seal_open_container(9999).unwrap();
+    }
+
+    #[test]
+    fn discarded_empty_builders_leave_no_ledger_entry() {
+        let (store, _) = new_store();
+        store.store_share(1, fp(1), b"x").unwrap();
+        store.flush().unwrap();
+        // Flush again: no open builders, ledger must not grow.
+        store.flush().unwrap();
+        assert_eq!(store.utilisation().containers, 1);
     }
 
     #[test]

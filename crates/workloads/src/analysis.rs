@@ -5,7 +5,7 @@
 //! *accounting*, because convergent dispersal maps each unique chunk to a
 //! fixed set of `n` unique shares deterministically. This module performs
 //! exactly the bookkeeping the two deduplication stages would perform —
-//! per-user and global unique-share tracking — directly on [`ChunkSpec`]s,
+//! per-user and global unique-share tracking — directly on [`ChunkSpec`](crate::spec::ChunkSpec)s,
 //! which lets the experiment harness analyse arbitrarily large synthetic
 //! workloads in memory.
 //!
