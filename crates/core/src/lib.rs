@@ -59,11 +59,13 @@ pub mod metadata;
 pub mod pipeline;
 pub mod server;
 pub mod system;
+pub mod wal;
 
 pub use client::{CdStoreClient, PreparedUpload, UploadReport};
 pub use dedup::DedupStats;
 pub use error::CdStoreError;
 pub use metadata::{FileRecipe, RecipeEntry, ShareMetadata};
 pub use pipeline::ParallelCoder;
-pub use server::{CdStoreServer, GcConfig, GcReport};
+pub use server::{CdStoreServer, GcConfig, GcReport, RecoveryReport};
 pub use system::{CdStore, CdStoreConfig, SystemStats};
+pub use wal::{MetaRecord, Snapshot};

@@ -12,21 +12,24 @@
 //! [`ShardedShareIndex::add_reference_or_store`], which holds the
 //! fingerprint's stripe lock across the dedup test and the container append.
 
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use cdstore_crypto::Fingerprint;
 use cdstore_index::{
-    FileEntry, FileKey, FilePutOutcome, ShardedFileIndex, ShardedKvStore, ShardedShareIndex,
-    ShareLocation, StoreOutcome,
+    sharded::infallible, FileEntry, FileKey, FilePutOutcome, ShardedFileIndex, ShardedKvStore,
+    ShardedShareIndex, ShareEntry, ShareLocation, StoreOutcome,
 };
 use cdstore_storage::{
-    ContainerKind, ContainerStore, MemoryBackend, StorageBackend, StorageError, StoreUtilisation,
+    ContainerKind, ContainerStore, ContainerUsage, Journal, MemoryBackend, StorageBackend,
+    StorageError, StoreUtilisation,
 };
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use crate::error::CdStoreError;
 use crate::metadata::{FileRecipe, ShareMetadata};
+use crate::wal::{MetaRecord, Snapshot};
 
 /// Number of times share and recipe reads re-resolve their index entry when
 /// the container they point at vanishes mid-read: an online compaction pass
@@ -34,6 +37,58 @@ use crate::metadata::{FileRecipe, ShareMetadata};
 /// fetch, in which case the index already points at the relocated copy and
 /// one retry suffices (bounded higher for safety).
 const RELOCATION_RETRIES: usize = 3;
+
+/// Floor on the journal records between automatic checkpoints (checked at
+/// the end of `put_file`, `delete_file`, `flush`, and `gc`). A checkpoint
+/// costs a full snapshot of the indices, so the effective cadence also
+/// scales with them: the trigger additionally waits for at least a quarter
+/// of the last snapshot's entry count in new records. Write amplification
+/// therefore stays bounded (≈ 4× in steady state) instead of growing with
+/// index size, while recovery replay stays bounded by
+/// `max(this floor, index entries / 4)` records.
+pub const CHECKPOINT_INTERVAL_RECORDS: u64 = 8192;
+
+/// What [`CdStoreServer::open`] found and did while rebuilding a server from
+/// backend-only state.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Whether a valid checkpoint was found (replay then covered only the
+    /// journal suffix written since it).
+    pub used_checkpoint: bool,
+    /// Journal records replayed on top of the checkpoint.
+    pub records_replayed: usize,
+    /// Whether the journal ended in a torn (truncated or checksum-failing)
+    /// record, discarded along with everything after it.
+    pub torn_tail: bool,
+    /// Sealed containers found on the backend and scanned by the
+    /// verification pass.
+    pub containers_scanned: usize,
+    /// Share-index entries pruned because they pointed into containers that
+    /// never reached the backend (open at the crash).
+    pub share_entries_pruned: usize,
+    /// File-index entries pruned because their recipe was unreadable or
+    /// referenced a pruned share.
+    pub file_entries_pruned: usize,
+    /// User-share ownership mappings pruned because their share was pruned.
+    pub mappings_pruned: usize,
+    /// Share-index entries whose reference counts were rewritten (or whose
+    /// entry was dropped outright) by the recount against surviving recipes:
+    /// the journaled counts included references from operations in flight at
+    /// the crash (transient upload refs, half-finished puts or deletes).
+    pub share_refs_reconciled: usize,
+}
+
+impl RecoveryReport {
+    /// Whether recovery had to discard or repair anything (a crash
+    /// mid-traffic); a graceful restart (flush before shutdown) recovers
+    /// with no pruning and no reconciliation.
+    pub fn pruned_anything(&self) -> bool {
+        self.share_entries_pruned > 0
+            || self.file_entries_pruned > 0
+            || self.mappings_pruned > 0
+            || self.share_refs_reconciled > 0
+    }
+}
 
 /// Tuning knobs of a garbage-collection pass.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -135,6 +190,27 @@ pub struct CdStoreServer {
     /// key embeds the user id, a user can only ever resolve shares they own.
     user_shares: ShardedKvStore,
     containers: ContainerStore,
+    /// The durable metadata journal, persisted through the same backend as
+    /// the containers. Every index mutation appends one state-level record
+    /// (under the mutated key's stripe lock, so per-key order is exact)
+    /// before the operation returns to the client.
+    journal: Journal,
+    /// Excludes index mutations while [`CdStoreServer::checkpoint`] exports
+    /// and commits: without it, a record could land in the journal epoch the
+    /// checkpoint is about to sweep without being captured by its snapshot.
+    /// Mutations take the read side (cheap, fully concurrent with each
+    /// other); the checkpoint takes the write side.
+    ckpt_lock: RwLock<()>,
+    /// Journal appends that failed (a backend hiccup): the in-memory indices
+    /// are the source of truth and were already updated, so an append
+    /// failure never fails the client operation — it is counted here, and
+    /// the next checkpoint trigger fires eagerly to re-baseline durability
+    /// from the full in-memory state.
+    journal_lapses: AtomicU64,
+    /// Entry count of the last committed checkpoint snapshot: the adaptive
+    /// checkpoint cadence waits for new records proportional to it, so the
+    /// O(index) snapshot cost amortises over O(index) mutations.
+    last_snapshot_entries: AtomicU64,
     stats: AtomicServerStats,
     next_version: AtomicU64,
     /// Serialises garbage-collection passes: concurrent `gc()` calls would
@@ -150,8 +226,15 @@ impl CdStoreServer {
     }
 
     /// Creates a server over an explicit storage backend (e.g. a directory,
-    /// or the backend of a simulated cloud).
+    /// or the backend of a simulated cloud), starting from empty state. Any
+    /// journal state a previous incarnation left on the backend is cleared;
+    /// to *recover* that state instead, use [`CdStoreServer::open`].
     pub fn with_backend(cloud_index: usize, backend: Arc<dyn StorageBackend>) -> Self {
+        let journal = Journal::fresh(backend.clone());
+        Self::assemble(cloud_index, backend, journal)
+    }
+
+    fn assemble(cloud_index: usize, backend: Arc<dyn StorageBackend>, journal: Journal) -> Self {
         CdStoreServer {
             cloud_index,
             tag: format!("cdstore-server-{cloud_index}").into_bytes(),
@@ -159,10 +242,352 @@ impl CdStoreServer {
             file_index: ShardedFileIndex::new(),
             user_shares: ShardedKvStore::new(),
             containers: ContainerStore::new(backend),
+            journal,
+            ckpt_lock: RwLock::new(()),
+            journal_lapses: AtomicU64::new(0),
+            last_snapshot_entries: AtomicU64::new(0),
             stats: AtomicServerStats::default(),
             next_version: AtomicU64::new(1),
             gc_lock: Mutex::new(()),
         }
+    }
+
+    /// Rebuilds a server from backend-only state: loads the newest valid
+    /// checkpoint, replays the journal suffix written since (tolerating a
+    /// torn final record), cross-checks the rebuilt indices against the
+    /// sealed container headers actually present on the backend — pruning
+    /// anything that points at data lost with the crash — and commits a
+    /// fresh checkpoint of the recovered state before returning.
+    ///
+    /// Traffic counters ([`CdStoreServer::stats`]) are per-process and start
+    /// at zero; the dedup state itself (unique shares, reference counts,
+    /// ownership) is recovered exactly for everything that was sealed and
+    /// journaled.
+    pub fn open(
+        cloud_index: usize,
+        backend: Arc<dyn StorageBackend>,
+    ) -> Result<(Self, RecoveryReport), CdStoreError> {
+        let loaded = Journal::load(&*backend).map_err(CdStoreError::Storage)?;
+        let journal = Journal::resume(backend.clone(), &loaded);
+        let server = Self::assemble(cloud_index, backend, journal);
+        let mut report = RecoveryReport {
+            used_checkpoint: loaded.checkpoint.is_some(),
+            records_replayed: loaded.records.len(),
+            torn_tail: loaded.torn,
+            ..RecoveryReport::default()
+        };
+        if let Some(blob) = &loaded.checkpoint {
+            let snapshot = Snapshot::decode(blob).ok_or_else(|| {
+                CdStoreError::InconsistentMetadata("unreadable checkpoint snapshot".into())
+            })?;
+            for (fp, entry) in &snapshot.shares {
+                server.share_index.insert_entry(fp, entry);
+            }
+            for (key, entry) in snapshot.files {
+                server.file_index.put(key, entry);
+            }
+            for (key, value) in snapshot.mappings {
+                server.user_shares.put(key, value);
+            }
+        }
+        for payload in &loaded.records {
+            // Unknown tags (a rolled-back binary opening a newer journal)
+            // are skipped rather than fatal; the verification pass below
+            // prunes whatever inconsistency that leaves.
+            if let Some(record) = MetaRecord::decode(payload) {
+                server.apply_record(record);
+            }
+        }
+        server.verify_recovered_state(&mut report)?;
+        // Re-baseline: the recovered state becomes the new checkpoint, which
+        // also retires the replayed epoch (and any torn tail) for good.
+        server.checkpoint()?;
+        Ok((server, report))
+    }
+
+    /// Applies one replayed journal record verbatim (no re-journaling, no
+    /// reference bookkeeping: records carry absolute post-states).
+    fn apply_record(&self, record: MetaRecord) {
+        match record {
+            MetaRecord::ShareUpsert { fp, entry } => self.share_index.insert_entry(&fp, &entry),
+            MetaRecord::ShareDelete { fp } => self.share_index.remove_entry(&fp),
+            MetaRecord::FileUpsert { key, entry } => self.file_index.put(key, entry),
+            MetaRecord::FileDelete { key } => {
+                self.file_index.remove(&key);
+            }
+            MetaRecord::MapPut { key, value } => self.user_shares.put(key, value),
+            MetaRecord::MapDelete { key } => self.user_shares.delete(&key),
+        }
+    }
+
+    /// The container-scan verification pass of recovery: cross-checks the
+    /// replayed indices against what is actually on the backend, prunes
+    /// entries pointing at data lost with the crash (open containers never
+    /// sealed), recomputes every share's reference counts from the recipes
+    /// that actually survived, rebuilds the liveness ledger from the sealed
+    /// container headers, and raises the id/version allocators past
+    /// everything seen.
+    ///
+    /// The pass is deterministic in its inputs and mutates the indices only
+    /// through the verbatim (non-journaling) primitives: nothing is appended
+    /// to the journal until the final recovery checkpoint commits, so a
+    /// crash *during* recovery finds the previous epoch untouched and simply
+    /// re-runs the identical pass — recovery is idempotent.
+    fn verify_recovered_state(&self, report: &mut RecoveryReport) -> Result<(), CdStoreError> {
+        let ids = self
+            .containers
+            .backend_container_ids()
+            .map_err(CdStoreError::Storage)?;
+        let id_set: HashSet<u64> = ids.iter().copied().collect();
+        report.containers_scanned = ids.len();
+        let mut max_id = ids.iter().copied().max().unwrap_or(0);
+
+        // Working copy of the share index: exported once and kept in
+        // lockstep with the verbatim index mutations below, so the pass
+        // pays a single O(index) decode per structure rather than one per
+        // step (recovery is single-threaded; nothing else mutates).
+        let mut shares: std::collections::HashMap<[u8; 32], ShareEntry> = self
+            .share_index
+            .export()
+            .into_iter()
+            .map(|(fp, entry)| (*fp.as_bytes(), entry))
+            .collect();
+
+        // 1. Share entries pointing into containers that never reached the
+        // backend are unrecoverable: prune them wholesale.
+        shares.retain(|fp_bytes, entry| {
+            max_id = max_id.max(entry.location.container_id);
+            if id_set.contains(&entry.location.container_id) {
+                true
+            } else {
+                self.share_index
+                    .remove_entry(&Fingerprint::from_bytes(*fp_bytes));
+                report.share_entries_pruned += 1;
+                false
+            }
+        });
+
+        // 2. File entries: the recipe must be present and every recipe
+        // entry must resolve through the owner's mappings to a surviving
+        // share; files that fail are pruned. Only *durable* absence prunes
+        // — a recipe object that is gone or fails its container checksum is
+        // lost for good, but a transient backend error fails recovery
+        // instead (the caller retries `open`), so a one-off read hiccup
+        // can never be laundered into a permanent prune by the checkpoint
+        // that recovery commits on success.
+        let mut max_version = 0u64;
+        let mut surviving: Vec<(FileEntry, FileRecipe)> = Vec::new();
+        for (key, entry) in self.file_index.export() {
+            max_version = max_version.max(entry.version);
+            max_id = max_id.max(entry.recipe_container_id);
+            let recipe = if id_set.contains(&entry.recipe_container_id) {
+                match self.containers.fetch(&entry.recipe_location()) {
+                    Ok(bytes) => FileRecipe::from_bytes(&bytes),
+                    Err(StorageError::NotFound(_)) | Err(StorageError::Corrupt(_)) => None,
+                    Err(e) => return Err(CdStoreError::Storage(e)),
+                }
+            } else {
+                None
+            };
+            let complete = recipe
+                .as_ref()
+                .map(|recipe| {
+                    recipe.entries.iter().all(|re| {
+                        self.resolve_server_fp(entry.user, &re.share_fingerprint)
+                            .map(|server_fp| shares.contains_key(server_fp.as_bytes()))
+                            .unwrap_or(false)
+                    })
+                })
+                .unwrap_or(false);
+            if complete {
+                surviving.push((entry, recipe.expect("complete implies readable")));
+            } else {
+                self.file_index.remove(&key);
+                report.file_entries_pruned += 1;
+            }
+        }
+
+        // 3. Recount: a share's reference count must equal the number of
+        // surviving recipe entries pointing at it (the reclamation
+        // invariant). The journaled counts can disagree — they include
+        // references taken by operations still in flight at the crash
+        // (transient upload refs, half-finished puts, deletes whose releases
+        // were cut off) and miss releases owed by files pruned above — so
+        // they are recomputed wholesale rather than patched incrementally.
+        // Shares the recount leaves with no owners are dropped; their
+        // container bytes go dead in the ledger rebuild below and gc
+        // reclaims them, so nothing in-flight leaks space.
+        let mut recount: std::collections::HashMap<[u8; 32], std::collections::BTreeMap<u64, u32>> =
+            std::collections::HashMap::new();
+        for (entry, recipe) in &surviving {
+            for re in &recipe.entries {
+                let Some(server_fp) = self.resolve_server_fp(entry.user, &re.share_fingerprint)
+                else {
+                    continue; // unreachable: step 2 checked resolvability
+                };
+                *recount
+                    .entry(*server_fp.as_bytes())
+                    .or_default()
+                    .entry(entry.user)
+                    .or_insert(0) += 1;
+            }
+        }
+        shares.retain(|fp_bytes, entry| match recount.get(fp_bytes) {
+            Some(owners) => {
+                let owners: Vec<(u64, u32)> = owners.iter().map(|(&u, &c)| (u, c)).collect();
+                let mut current = entry.owners.clone();
+                current.sort_unstable();
+                if current != owners {
+                    entry.owners = owners;
+                    self.share_index
+                        .insert_entry(&Fingerprint::from_bytes(*fp_bytes), entry);
+                    report.share_refs_reconciled += 1;
+                }
+                true
+            }
+            None => {
+                self.share_index
+                    .remove_entry(&Fingerprint::from_bytes(*fp_bytes));
+                report.share_refs_reconciled += 1;
+                false
+            }
+        });
+
+        // 4. Ownership mappings must resolve to a surviving share the
+        // mapping's user still owns (with the recounted ownership).
+        for (key, value) in self.user_shares.export() {
+            let valid = key.len() == 40 && value.len() == 32 && {
+                let user = u64::from_be_bytes(key[0..8].try_into().expect("8 bytes"));
+                let fp_bytes: [u8; 32] = value.as_slice().try_into().expect("32 bytes");
+                shares
+                    .get(&fp_bytes)
+                    .map(|entry| entry.owned_by(user))
+                    .unwrap_or(false)
+            };
+            if !valid {
+                self.user_shares.delete(&key);
+                report.mappings_pruned += 1;
+            }
+        }
+
+        // 5. Rebuild the liveness ledger — from the recovered indices and
+        // the backend object *sizes*, never the payloads: a blob is live iff
+        // an index entry points at it, and steps 1–4 made index ↔ backend
+        // consistent, so live bytes (and each live container's kind) are
+        // exactly derivable without downloading a single container. Dead
+        // bytes are the remainder of the object size, which over-counts by
+        // the container's header framing — harmless: outright deletion
+        // triggers on live == 0 (exact), and compaction re-reads the real
+        // container anyway. This keeps `open` O(index + container count)
+        // instead of O(stored bytes).
+        let mut live_share: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        for entry in shares.values() {
+            *live_share.entry(entry.location.container_id).or_insert(0) +=
+                entry.location.size as u64;
+        }
+        let mut live_recipe: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        for (entry, _) in &surviving {
+            *live_recipe.entry(entry.recipe_container_id).or_insert(0) += entry.recipe_size as u64;
+        }
+        let mut ledger = Vec::with_capacity(ids.len());
+        for &id in &ids {
+            // Containers are single-kind, so whichever index references one
+            // names its kind; unreferenced containers are fully dead and
+            // their kind is irrelevant (deletion does not consult it).
+            let (kind, live) = if let Some(&live) = live_share.get(&id) {
+                (ContainerKind::Share, live)
+            } else if let Some(&live) = live_recipe.get(&id) {
+                (ContainerKind::Recipe, live)
+            } else {
+                (ContainerKind::Share, 0)
+            };
+            let object_bytes = self
+                .containers
+                .backend_container_size(id)
+                .map_err(CdStoreError::Storage)?;
+            ledger.push((
+                id,
+                ContainerUsage {
+                    kind,
+                    live_bytes: live,
+                    dead_bytes: object_bytes.saturating_sub(live),
+                    sealed: true,
+                },
+            ));
+        }
+        self.containers.restore_ledger(ledger);
+        self.containers.bump_next_container_id(max_id + 1);
+        self.next_version.store(max_version + 1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Appends one record to the write-ahead journal. Best-effort by design:
+    /// the in-memory indices were already updated under the same stripe
+    /// lock, so an append failure counts a lapse instead of failing the
+    /// client operation, and the next checkpoint trigger fires eagerly to
+    /// re-baseline durability from the full in-memory state. The residual
+    /// window is explicit: if the host crashes after a lapse but before
+    /// that checkpoint lands, the lapsed (acknowledged) mutations are lost
+    /// with the process — the trade accepted for keeping the intricate
+    /// multi-step mutation paths free of partial-journal rollback logic.
+    fn journal_record(&self, record: &MetaRecord) {
+        if self.journal.append(&record.encode()).is_err() {
+            self.journal_lapses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Commits a checkpoint: a full snapshot of the three metadata
+    /// structures, superseding the journal so recovery replays only records
+    /// written after this call. Runs with index mutations excluded (they
+    /// block for the duration); triggered automatically past the adaptive
+    /// cadence bound (see [`CHECKPOINT_INTERVAL_RECORDS`]), or explicitly.
+    pub fn checkpoint(&self) -> Result<(), CdStoreError> {
+        let _excl = self.ckpt_lock.write();
+        self.checkpoint_locked()
+    }
+
+    /// The body of [`CdStoreServer::checkpoint`]; the caller must hold the
+    /// write side of `ckpt_lock`.
+    fn checkpoint_locked(&self) -> Result<(), CdStoreError> {
+        let snapshot = Snapshot {
+            shares: self.share_index.export(),
+            files: self.file_index.export(),
+            mappings: self.user_shares.export(),
+        };
+        let entries = snapshot.shares.len() + snapshot.files.len() + snapshot.mappings.len();
+        self.journal
+            .commit_checkpoint(&snapshot.encode())
+            .map_err(CdStoreError::Storage)?;
+        self.last_snapshot_entries
+            .store(entries as u64, Ordering::Relaxed);
+        self.journal_lapses.store(0, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Whether the journal has outgrown the adaptive cadence bound (or a
+    /// journal append ever failed — only a checkpoint restores full
+    /// durability after a lapse).
+    fn checkpoint_due(&self) -> bool {
+        let bound =
+            CHECKPOINT_INTERVAL_RECORDS.max(self.last_snapshot_entries.load(Ordering::Relaxed) / 4);
+        self.journal.records_since_checkpoint() >= bound
+            || self.journal_lapses.load(Ordering::Relaxed) > 0
+    }
+
+    /// Commits a checkpoint if one is due. The trigger is re-checked under
+    /// the write lock, so a herd of threads crossing the cadence bound
+    /// together commits one snapshot, not one each. Best-effort: a failed
+    /// checkpoint leaves the journal as the (longer) recovery source and is
+    /// retried at the next trigger.
+    fn maybe_checkpoint(&self) {
+        if !self.checkpoint_due() {
+            return;
+        }
+        let _excl = self.ckpt_lock.write();
+        if !self.checkpoint_due() {
+            return; // another thread committed while we queued
+        }
+        let _ = self.checkpoint_locked();
     }
 
     /// The index of the cloud this server runs in.
@@ -241,11 +666,21 @@ impl CdStoreServer {
                 .fetch_add(data.len() as u64, Ordering::Relaxed);
             // Server-side fingerprint: never reuse the client's.
             let server_fp = Fingerprint::tagged(&self.tag, data);
+            let _ckpt = self.ckpt_lock.read();
             let (_, outcome) = self
                 .share_index
-                .add_reference_or_store(&server_fp, user, || {
-                    self.containers.store_share(user, server_fp, data)
-                })
+                .add_reference_or_store_with(
+                    &server_fp,
+                    user,
+                    || self.containers.store_share(user, server_fp, data),
+                    |post| {
+                        self.journal_record(&MetaRecord::ShareUpsert {
+                            fp: server_fp,
+                            entry: post.clone(),
+                        });
+                        Ok(())
+                    },
+                )
                 .map_err(CdStoreError::Storage)?;
             match outcome {
                 StoreOutcome::DedupInterUser => {
@@ -264,10 +699,23 @@ impl CdStoreServer {
                 }
             }
             // Record the user's client-fingerprint → server-fingerprint link.
-            self.user_shares.put(
-                Self::user_share_key(user, &meta.fingerprint),
-                server_fp.as_bytes().to_vec(),
+            let map_key = Self::user_share_key(user, &meta.fingerprint);
+            let map_value = server_fp.as_bytes().to_vec();
+            infallible(
+                self.user_shares
+                    .put_with(map_key.clone(), map_value.clone(), || {
+                        self.journal_record(&MetaRecord::MapPut {
+                            key: map_key,
+                            value: map_value,
+                        });
+                        Ok(())
+                    }),
             );
+        }
+        // Re-baseline promptly if any journal append lapsed above: until a
+        // checkpoint lands, the lapsed records exist only in memory.
+        if self.journal_lapses.load(Ordering::Relaxed) > 0 {
+            self.maybe_checkpoint();
         }
         Ok(new_bytes)
     }
@@ -288,7 +736,19 @@ impl CdStoreServer {
         let server_fp = self
             .resolve_server_fp(user, client_fp)
             .ok_or_else(|| CdStoreError::MissingShare(client_fp.to_hex()))?;
-        if !self.share_index.add_reference_existing(&server_fp, user) {
+        let _ckpt = self.ckpt_lock.read();
+        let added = infallible(self.share_index.add_reference_existing_with(
+            &server_fp,
+            user,
+            |post| {
+                self.journal_record(&MetaRecord::ShareUpsert {
+                    fp: server_fp,
+                    entry: post.clone(),
+                });
+                Ok(())
+            },
+        ));
+        if !added {
             return Err(CdStoreError::MissingShare(client_fp.to_hex()));
         }
         Ok(())
@@ -305,12 +765,34 @@ impl CdStoreServer {
         let Some(server_fp) = self.resolve_server_fp(user, client_fp) else {
             return;
         };
-        let Some(report) = self.share_index.remove_reference(&server_fp, user) else {
+        let report = {
+            let _ckpt = self.ckpt_lock.read();
+            infallible(
+                self.share_index
+                    .remove_reference_with(&server_fp, user, |post| {
+                        self.journal_record(&match post {
+                            Some(entry) => MetaRecord::ShareUpsert {
+                                fp: server_fp,
+                                entry: entry.clone(),
+                            },
+                            None => MetaRecord::ShareDelete { fp: server_fp },
+                        });
+                        Ok(())
+                    }),
+            )
+        };
+        let Some(report) = report else {
             return;
         };
         if report.user_refs == 0 {
             let key = Self::user_share_key(user, client_fp);
-            self.user_shares.delete(&key);
+            {
+                let _ckpt = self.ckpt_lock.read();
+                infallible(self.user_shares.delete_with(&key, || {
+                    self.journal_record(&MetaRecord::MapDelete { key: key.clone() });
+                    Ok(())
+                }));
+            }
             // Repair a racing same-user re-upload: if the user re-acquired
             // references between the stripe-locked decrement above and the
             // mapping delete (a store_shares on another of their files), the
@@ -323,7 +805,12 @@ impl CdStoreServer {
                 .map(|entry| entry.owned_by(user))
                 .unwrap_or(false)
             {
-                self.user_shares.put(key, server_fp.as_bytes().to_vec());
+                let value = server_fp.as_bytes().to_vec();
+                let _ckpt = self.ckpt_lock.read();
+                infallible(self.user_shares.put_with(key.clone(), value.clone(), || {
+                    self.journal_record(&MetaRecord::MapPut { key, value });
+                    Ok(())
+                }));
             }
         }
         if report.total_refs == 0 {
@@ -409,18 +896,29 @@ impl CdStoreServer {
         // Cross-server consistency of a file's n recipes is the caller's
         // job: `CdStore` serialises whole-file writes per (user, pathname),
         // since each server orders versions independently.
-        let outcome = self.file_index.put_if_newer(
-            key,
-            FileEntry {
-                recipe_container_id: location.container_id,
-                recipe_offset: location.offset,
-                recipe_size: location.size,
-                file_size: recipe.file_size,
-                num_secrets: recipe.num_secrets() as u64,
-                version: self.next_version.fetch_add(1, Ordering::Relaxed),
-            },
-        );
-        match outcome {
+        let outcome = {
+            let _ckpt = self.ckpt_lock.read();
+            infallible(self.file_index.put_if_newer_with(
+                key,
+                FileEntry {
+                    user,
+                    recipe_container_id: location.container_id,
+                    recipe_offset: location.offset,
+                    recipe_size: location.size,
+                    file_size: recipe.file_size,
+                    num_secrets: recipe.num_secrets() as u64,
+                    version: self.next_version.fetch_add(1, Ordering::Relaxed),
+                },
+                |entry| {
+                    self.journal_record(&MetaRecord::FileUpsert {
+                        key,
+                        entry: entry.clone(),
+                    });
+                    Ok(())
+                },
+            ))
+        };
+        let result = match outcome {
             FilePutOutcome::Written { displaced: None } => Ok(()),
             FilePutOutcome::Written {
                 displaced: Some(old),
@@ -434,7 +932,9 @@ impl CdStoreServer {
                 self.containers.release(&location);
                 Ok(())
             }
-        }
+        };
+        self.maybe_checkpoint();
+        result
     }
 
     /// Drops the transient per-upload references [`CdStoreServer::store_shares`]
@@ -511,7 +1011,14 @@ impl CdStoreServer {
             };
             // Commit point: whoever wins the remove owns the release (two
             // racing deletes must not release the same references twice).
-            let Some(entry) = self.file_index.remove(&key) else {
+            let removed = {
+                let _ckpt = self.ckpt_lock.read();
+                infallible(self.file_index.remove_with(&key, |_| {
+                    self.journal_record(&MetaRecord::FileDelete { key });
+                    Ok(())
+                }))
+            };
+            let Some(entry) = removed else {
                 return Ok(false);
             };
             if entry.recipe_location() != peek.recipe_location() {
@@ -525,6 +1032,7 @@ impl CdStoreServer {
                 self.release_share_reference(user, &re.share_fingerprint);
             }
             self.containers.release(&entry.recipe_location());
+            self.maybe_checkpoint();
             return Ok(true);
         }
         Err(CdStoreError::FileNotFound(format!(
@@ -583,15 +1091,25 @@ impl CdStoreServer {
     }
 
     /// Seals and persists all open containers (called at the end of a backup
-    /// job and before shutting down).
+    /// job and before shutting down). A flushed server recovers completely:
+    /// every journaled index entry then points at a sealed container, so
+    /// [`CdStoreServer::open`] prunes nothing.
     pub fn flush(&self) -> Result<(), CdStoreError> {
         self.containers.flush()?;
+        self.maybe_checkpoint();
         Ok(())
     }
 
-    /// Bytes currently stored at this server's cloud backend.
+    /// Container bytes currently stored at this server's cloud backend
+    /// (journal bookkeeping excluded).
     pub fn backend_bytes(&self) -> u64 {
         self.containers.backend_bytes().unwrap_or(0)
+    }
+
+    /// The storage backend this server persists to — the handle a restart
+    /// recovers the server from ([`CdStoreServer::open`]).
+    pub fn backend(&self) -> Arc<dyn StorageBackend> {
+        self.containers.backend()
     }
 
     /// Aggregate live/dead payload bytes across this server's containers.
@@ -623,9 +1141,6 @@ impl CdStoreServer {
         let _vacuum = self.gc_lock.lock();
         self.containers.flush_dead()?;
         let mut report = GcReport::default();
-        // Containers the compaction rewrites live shares into: sealed at the
-        // end of the pass so the survivors are durable before it reports.
-        let mut fresh_ids = std::collections::BTreeSet::new();
         for (id, usage) in self.containers.sealed_usages() {
             if usage.live_bytes == 0 {
                 self.containers.delete_container(id)?;
@@ -633,24 +1148,27 @@ impl CdStoreServer {
                 report.reclaimed_bytes += usage.dead_bytes;
             } else if usage.kind == ContainerKind::Share && usage.dead_ratio() >= config.dead_ratio
             {
-                self.compact_container(id, &mut report, &mut fresh_ids)?;
+                self.compact_container(id, &mut report)?;
             }
         }
-        for id in fresh_ids {
-            self.containers.seal_open_container(id)?;
-        }
+        self.maybe_checkpoint();
         Ok(report)
     }
 
     /// Rewrites the live shares of one sealed container into fresh
     /// containers, repoints the index, and deletes the container.
-    fn compact_container(
-        &self,
-        id: u64,
-        report: &mut GcReport,
-        fresh_ids: &mut std::collections::BTreeSet<u64>,
-    ) -> Result<(), CdStoreError> {
+    ///
+    /// Crash-ordering: the fresh containers are sealed to the backend
+    /// *before* any relocation is journaled, and the old container is
+    /// deleted only *after* every relocation — so at every instant each
+    /// share's index location points at a container that is durably on the
+    /// backend, and a crash anywhere in the pass loses nothing (leftover
+    /// copies are dead bytes a later pass reclaims).
+    fn compact_container(&self, id: u64, report: &mut GcReport) -> Result<(), CdStoreError> {
         let container = self.containers.fetch_container(id)?;
+        // 1. Copy every live blob into fresh (open) containers.
+        let mut copies: Vec<(Fingerprint, ShareLocation, ShareLocation)> = Vec::new();
+        let mut fresh_ids = std::collections::BTreeSet::new();
         for entry in &container.entries {
             let old = ShareLocation {
                 container_id: id,
@@ -660,10 +1178,10 @@ impl CdStoreServer {
             // Container entries carry the server fingerprint; only copy
             // blobs the index still points at *in this container* (stale
             // copies of shares stored again elsewhere are dead).
-            let live = match self.share_index.lookup(&entry.fingerprint) {
-                Some(share) if share.location == old => share,
+            match self.share_index.lookup(&entry.fingerprint) {
+                Some(share) if share.location == old => {}
                 _ => continue,
-            };
+            }
             let data = container
                 .get_at(entry.offset, entry.length)
                 .ok_or_else(|| {
@@ -675,12 +1193,33 @@ impl CdStoreServer {
                 .containers
                 .store_share(container.user, entry.fingerprint, data)?;
             fresh_ids.insert(fresh.container_id);
-            if self
-                .share_index
-                .relocate(&entry.fingerprint, live.location, fresh)
-            {
+            copies.push((entry.fingerprint, old, fresh));
+        }
+        // 2. Make the fresh copies durable before repointing anything at
+        // them: recovery prunes index entries whose container is missing
+        // from the backend, so journaling a relocation to an unsealed
+        // container would turn a crash into data loss even though the old
+        // container still held the bytes.
+        for &fresh_id in &fresh_ids {
+            self.containers.seal_open_container(fresh_id)?;
+        }
+        // 3. Repoint the index, journaling each relocation. Concurrent
+        // readers resolve the old location until the swap and the fresh one
+        // after it — both sealed, so neither read can miss.
+        for (fp, old, fresh) in copies {
+            let relocated = {
+                let _ckpt = self.ckpt_lock.read();
+                infallible(self.share_index.relocate_with(&fp, old, fresh, |post| {
+                    self.journal_record(&MetaRecord::ShareUpsert {
+                        fp,
+                        entry: post.clone(),
+                    });
+                    Ok(())
+                }))
+            };
+            if relocated {
                 report.shares_rewritten += 1;
-                report.rewritten_bytes += entry.length as u64;
+                report.rewritten_bytes += old.size as u64;
             } else {
                 // The share was released while we copied it: the fresh copy
                 // is dead on arrival and the old container loses nothing.
@@ -1146,6 +1685,224 @@ mod tests {
         });
         assert_eq!(server.unique_shares(), 8 * 20);
         assert_eq!(server.stats().inter_user_duplicates, 0);
+    }
+
+    #[test]
+    fn open_recovers_flushed_state_exactly() {
+        let backend: Arc<MemoryBackend> = Arc::new(MemoryBackend::new());
+        let server = CdStoreServer::with_backend(0, backend.clone());
+        let shared = vec![b"common block".to_vec(), b"other block".to_vec()];
+        backup_file(&server, 1, b"/u1/f", &shared);
+        backup_file(&server, 2, b"/u2/f", &shared);
+        backup_file(&server, 1, b"/u1/g", &[b"private".to_vec()]);
+        assert!(server.delete_file(1, b"/u1/g").unwrap());
+        server.flush().unwrap();
+        let unique = server.unique_shares();
+        let live = server.live_share_bytes();
+        drop(server);
+
+        let (revived, report) = CdStoreServer::open(0, backend).unwrap();
+        assert!(!report.used_checkpoint, "no checkpoint was ever committed");
+        assert!(report.records_replayed > 0);
+        assert!(!report.torn_tail);
+        assert!(!report.pruned_anything(), "a flushed server loses nothing");
+        assert!(report.containers_scanned > 0);
+
+        // Dedup state is byte-for-byte intact: refcounts, ownership, data.
+        assert_eq!(revived.unique_shares(), unique);
+        assert_eq!(revived.live_share_bytes(), live);
+        for data in &shared {
+            assert_eq!(
+                &revived.fetch_share(1, &Fingerprint::of(data)).unwrap(),
+                data
+            );
+            assert_eq!(
+                &revived.fetch_share(2, &Fingerprint::of(data)).unwrap(),
+                data
+            );
+        }
+        assert!(revived.get_recipe(1, b"/u1/f").is_ok());
+        assert!(matches!(
+            revived.get_recipe(1, b"/u1/g"),
+            Err(CdStoreError::FileNotFound(_))
+        ));
+        // Deletion + gc keep working on the recovered instance: one owner
+        // deleting leaves the other's references intact, then the last
+        // delete makes everything reclaimable.
+        assert!(revived.delete_file(1, b"/u1/f").unwrap());
+        assert_eq!(
+            &revived
+                .fetch_share(2, &Fingerprint::of(&shared[0]))
+                .unwrap(),
+            &shared[0]
+        );
+        assert!(revived.delete_file(2, b"/u2/f").unwrap());
+        revived.gc().unwrap();
+        assert_eq!(revived.backend_bytes(), 0);
+    }
+
+    #[test]
+    fn recovery_after_checkpoint_replays_only_the_suffix() {
+        let backend: Arc<MemoryBackend> = Arc::new(MemoryBackend::new());
+        let server = CdStoreServer::with_backend(0, backend.clone());
+        for i in 0..10u32 {
+            backup_file(
+                &server,
+                1,
+                format!("/pre/{i}").as_bytes(),
+                &[format!("pre share {i}").into_bytes()],
+            );
+        }
+        server.flush().unwrap();
+        server.checkpoint().unwrap();
+        backup_file(&server, 1, b"/post", &[b"post share".to_vec()]);
+        server.flush().unwrap();
+        drop(server);
+
+        let (revived, report) = CdStoreServer::open(0, backend).unwrap();
+        assert!(report.used_checkpoint);
+        assert!(!report.pruned_anything());
+        // Only the single post-checkpoint backup's records were replayed —
+        // far fewer than the 10 pre-checkpoint backups would have produced.
+        assert!(
+            report.records_replayed < 10,
+            "replayed {} records, expected only the post-checkpoint suffix",
+            report.records_replayed
+        );
+        assert!(revived.get_recipe(1, b"/pre/7").is_ok());
+        assert_eq!(
+            revived
+                .fetch_share(1, &Fingerprint::of(b"post share"))
+                .unwrap(),
+            b"post share"
+        );
+        assert_eq!(revived.unique_shares(), 11);
+    }
+
+    #[test]
+    fn recovery_prunes_state_that_never_reached_the_backend() {
+        let backend: Arc<MemoryBackend> = Arc::new(MemoryBackend::new());
+        let server = CdStoreServer::with_backend(0, backend.clone());
+        backup_file(&server, 1, b"/durable", &[b"durable share".to_vec()]);
+        server.flush().unwrap();
+        // This file's shares and recipe stay in open containers: the journal
+        // knows about them, but the container bytes die with the process.
+        backup_file(&server, 1, b"/buffered", &[b"buffered share".to_vec()]);
+        drop(server);
+
+        let (revived, report) = CdStoreServer::open(0, backend).unwrap();
+        assert!(report.pruned_anything());
+        assert!(report.file_entries_pruned >= 1);
+        // The unflushed file is cleanly gone — no dangling references...
+        assert!(matches!(
+            revived.get_recipe(1, b"/buffered"),
+            Err(CdStoreError::FileNotFound(_))
+        ));
+        assert!(revived
+            .fetch_share(1, &Fingerprint::of(b"buffered share"))
+            .is_err());
+        // ...while the flushed file is fully intact, and new traffic works.
+        assert_eq!(
+            revived
+                .fetch_share(1, &Fingerprint::of(b"durable share"))
+                .unwrap(),
+            b"durable share"
+        );
+        assert_eq!(revived.unique_shares(), 1);
+        backup_file(&revived, 1, b"/buffered", &[b"buffered share".to_vec()]);
+        assert_eq!(
+            revived
+                .fetch_share(1, &Fingerprint::of(b"buffered share"))
+                .unwrap(),
+            b"buffered share"
+        );
+    }
+
+    #[test]
+    fn recovery_drops_references_of_uploads_in_flight_at_the_crash() {
+        let backend: Arc<MemoryBackend> = Arc::new(MemoryBackend::new());
+        let server = CdStoreServer::with_backend(0, backend.clone());
+        backup_file(&server, 1, b"/committed", &[b"committed share".to_vec()]);
+        // An upload crashes between store_shares and put_file: its share is
+        // sealed and journaled, holding only the transient per-upload
+        // reference, with no recipe anywhere to settle or release it.
+        let orphan = share(b"orphaned upload");
+        server
+            .store_shares(2, std::slice::from_ref(&orphan))
+            .unwrap();
+        server.flush().unwrap();
+        drop(server);
+
+        let (revived, report) = CdStoreServer::open(0, backend).unwrap();
+        // The recount against surviving recipes drops the orphan wholesale:
+        // no refcount leak keeps its bytes unreclaimable forever.
+        assert!(report.share_refs_reconciled >= 1, "{report:?}");
+        assert_eq!(revived.unique_shares(), 1);
+        assert!(revived.fetch_share(2, &orphan.0.fingerprint).is_err());
+        revived.gc().unwrap();
+        // Only the committed file's containers remain.
+        assert_eq!(
+            revived
+                .fetch_share(1, &Fingerprint::of(b"committed share"))
+                .unwrap(),
+            b"committed share"
+        );
+        assert!(revived.delete_file(1, b"/committed").unwrap());
+        revived.gc().unwrap();
+        assert_eq!(revived.backend_bytes(), 0, "orphan bytes were reclaimed");
+    }
+
+    #[test]
+    fn recovered_servers_allocate_fresh_container_ids_and_versions() {
+        let backend: Arc<MemoryBackend> = Arc::new(MemoryBackend::new());
+        let server = CdStoreServer::with_backend(0, backend.clone());
+        let v1 = backup_file(&server, 1, b"/f", &[b"version one".to_vec()]);
+        server.flush().unwrap();
+        drop(server);
+        let (revived, _) = CdStoreServer::open(0, backend).unwrap();
+        // A re-upload after recovery must supersede the recovered version
+        // (the version allocator restarted past the recovered maximum) and
+        // land in a container id that cannot collide with recovered ones.
+        let v2 = backup_file(&revived, 1, b"/f", &[b"version two".to_vec()]);
+        assert_ne!(v1, v2);
+        assert_eq!(revived.get_recipe(1, b"/f").unwrap(), v2);
+        assert!(matches!(
+            revived.fetch_share(1, &Fingerprint::of(b"version one")),
+            Err(CdStoreError::MissingShare(_))
+        ));
+        revived.flush().unwrap();
+        assert_eq!(
+            revived
+                .fetch_share(1, &Fingerprint::of(b"version two"))
+                .unwrap(),
+            b"version two"
+        );
+    }
+
+    #[test]
+    fn gc_compaction_survives_a_restart() {
+        let backend: Arc<MemoryBackend> = Arc::new(MemoryBackend::new());
+        let server = CdStoreServer::with_backend(0, backend.clone());
+        let big: Vec<Vec<u8>> = (0..30u32).map(|i| vec![i as u8; 10_000]).collect();
+        let small = vec![b"survivor share".to_vec()];
+        backup_file(&server, 1, b"/big", &big);
+        backup_file(&server, 1, b"/small", &small);
+        server.flush().unwrap();
+        assert!(server.delete_file(1, b"/big").unwrap());
+        let report = server.gc().unwrap();
+        assert!(report.containers_compacted >= 1);
+        drop(server);
+
+        // The relocated survivor is durable: recovery finds it sealed.
+        let (revived, report) = CdStoreServer::open(0, backend).unwrap();
+        assert!(!report.pruned_anything());
+        assert_eq!(
+            revived
+                .fetch_share(1, &Fingerprint::of(b"survivor share"))
+                .unwrap(),
+            b"survivor share"
+        );
+        assert_eq!(revived.get_recipe(1, b"/small").unwrap().num_secrets(), 1);
     }
 
     #[test]

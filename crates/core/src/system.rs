@@ -12,12 +12,13 @@ use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
 use cdstore_chunking::ChunkerConfig;
+use cdstore_storage::StorageBackend;
 use parking_lot::{Mutex, RwLock};
 
 use crate::client::{CdStoreClient, UploadReport};
 use crate::dedup::DedupStats;
 use crate::error::CdStoreError;
-use crate::server::{CdStoreServer, GcConfig, GcReport, ServerStats};
+use crate::server::{CdStoreServer, GcConfig, GcReport, RecoveryReport, ServerStats};
 
 /// System-wide configuration.
 #[derive(Debug, Clone, Copy)]
@@ -117,9 +118,75 @@ pub struct CdStore {
 impl CdStore {
     /// Creates a CDStore deployment with `n` in-memory servers.
     pub fn new(config: CdStoreConfig) -> Self {
+        Self::from_servers(config, (0..config.n).map(CdStoreServer::new).collect())
+    }
+
+    /// Creates a CDStore deployment over explicit per-cloud storage backends
+    /// (one per cloud), starting from empty state. To *recover* a deployment
+    /// from backends holding a previous incarnation's state, use
+    /// [`CdStore::open`] instead.
+    pub fn with_backends(
+        config: CdStoreConfig,
+        backends: Vec<Arc<dyn StorageBackend>>,
+    ) -> Result<Self, CdStoreError> {
+        Self::check_backend_count(&config, &backends)?;
+        let servers = backends
+            .into_iter()
+            .enumerate()
+            .map(|(i, backend)| CdStoreServer::with_backend(i, backend))
+            .collect();
+        Ok(Self::from_servers(config, servers))
+    }
+
+    /// Recovers a whole deployment from backend-only state: every server is
+    /// rebuilt through [`CdStoreServer::open`] (checkpoint load, journal
+    /// replay, container-scan verification), and every previously backed-up
+    /// file restores byte-identically afterwards. Returns the per-server
+    /// recovery reports alongside the deployment.
+    ///
+    /// The façade's own conveniences are *not* recoverable and start empty:
+    /// the `(user, pathname)` catalog behind [`CdStore::stats`]'s file count
+    /// and [`CdStore::replace_and_repair_cloud`] caches plaintext pathnames,
+    /// which the servers only ever see hashed, and the pending-delete queue
+    /// for unavailable clouds is in-memory only — a delete that could not
+    /// reach a failed cloud before the crash leaves that cloud's entry
+    /// orphaned until the delete is re-issued (deletes are replay-tolerant,
+    /// so simply re-deleting the pathname clears the orphan). Restores,
+    /// deletes, and new backups are otherwise unaffected (clients re-derive
+    /// every key from the pathname).
+    pub fn open(
+        config: CdStoreConfig,
+        backends: Vec<Arc<dyn StorageBackend>>,
+    ) -> Result<(Self, Vec<RecoveryReport>), CdStoreError> {
+        Self::check_backend_count(&config, &backends)?;
+        let mut servers = Vec::with_capacity(config.n);
+        let mut reports = Vec::with_capacity(config.n);
+        for (i, backend) in backends.into_iter().enumerate() {
+            let (server, report) = CdStoreServer::open(i, backend)?;
+            servers.push(server);
+            reports.push(report);
+        }
+        Ok((Self::from_servers(config, servers), reports))
+    }
+
+    fn check_backend_count(
+        config: &CdStoreConfig,
+        backends: &[Arc<dyn StorageBackend>],
+    ) -> Result<(), CdStoreError> {
+        if backends.len() != config.n {
+            return Err(CdStoreError::InvalidConfig(format!(
+                "expected {} backends (one per cloud), got {}",
+                config.n,
+                backends.len()
+            )));
+        }
+        Ok(())
+    }
+
+    fn from_servers(config: CdStoreConfig, servers: Vec<CdStoreServer>) -> Self {
         CdStore {
             shared: Arc::new(Shared {
-                servers: RwLock::new((0..config.n).map(CdStoreServer::new).collect()),
+                servers: RwLock::new(servers),
                 available: RwLock::new(vec![true; config.n]),
                 dedup: Mutex::new(DedupStats::new()),
                 catalog: Mutex::new(BTreeSet::new()),
@@ -128,6 +195,26 @@ impl CdStore {
                 config,
             }),
         }
+    }
+
+    /// Restarts server `i` in place: seals its open containers, discards the
+    /// in-memory instance wholesale, and rebuilds it from backend-only state
+    /// through the full recovery path ([`CdStoreServer::open`]: checkpoint
+    /// load, journal-suffix replay, container-scan verification). Client
+    /// traffic blocks for the duration and resumes against the recovered
+    /// instance.
+    ///
+    /// The seal step makes this a *graceful* restart — no buffered data is
+    /// lost. Crash-style recovery, where unflushed buffers are torn away, is
+    /// exercised by dropping the deployment and [`CdStore::open`]ing a new
+    /// one from the same backends.
+    pub fn restart_server(&self, i: usize) -> Result<RecoveryReport, CdStoreError> {
+        let mut servers = self.shared.servers.write();
+        servers[i].flush()?;
+        let backend = servers[i].backend();
+        let (server, report) = CdStoreServer::open(i, backend)?;
+        servers[i] = server;
+        Ok(report)
     }
 
     /// The configuration in use.

@@ -34,11 +34,23 @@ impl FileKey {
     pub fn as_bytes(&self) -> &[u8; 32] {
         self.0.as_bytes()
     }
+
+    /// Reconstructs a key from its raw hash bytes (journal replay and
+    /// checkpoint restore; the pathname itself is not recoverable from the
+    /// hash, nor needed).
+    pub fn from_bytes(bytes: [u8; 32]) -> Self {
+        FileKey(Fingerprint::from_bytes(bytes))
+    }
 }
 
 /// One file-index entry: where to find the file recipe and summary metadata.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FileEntry {
+    /// The user who owns the file. The lookup key is a one-way hash of
+    /// `(user, pathname)`, so the entry records the user explicitly: crash
+    /// recovery needs it to resolve the recipe's client fingerprints through
+    /// the user's ownership mappings when verifying recovered state.
+    pub user: u64,
     /// Identifier of the recipe container holding the file recipe.
     pub recipe_container_id: u64,
     /// Byte offset of the recipe blob within its container.
@@ -63,8 +75,20 @@ impl FileEntry {
         }
     }
 
+    /// Serialises the entry (the journal/checkpoint wire format — identical
+    /// to the in-store representation).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.encode()
+    }
+
+    /// Parses an entry serialised by [`FileEntry::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Option<FileEntry> {
+        Self::decode(bytes)
+    }
+
     fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(40);
+        let mut out = Vec::with_capacity(48);
+        out.extend_from_slice(&self.user.to_be_bytes());
         out.extend_from_slice(&self.recipe_container_id.to_be_bytes());
         out.extend_from_slice(&self.recipe_offset.to_be_bytes());
         out.extend_from_slice(&self.recipe_size.to_be_bytes());
@@ -75,16 +99,17 @@ impl FileEntry {
     }
 
     fn decode(bytes: &[u8]) -> Option<FileEntry> {
-        if bytes.len() != 40 {
+        if bytes.len() != 48 {
             return None;
         }
         Some(FileEntry {
-            recipe_container_id: u64::from_be_bytes(bytes[0..8].try_into().ok()?),
-            recipe_offset: u32::from_be_bytes(bytes[8..12].try_into().ok()?),
-            recipe_size: u32::from_be_bytes(bytes[12..16].try_into().ok()?),
-            file_size: u64::from_be_bytes(bytes[16..24].try_into().ok()?),
-            num_secrets: u64::from_be_bytes(bytes[24..32].try_into().ok()?),
-            version: u64::from_be_bytes(bytes[32..40].try_into().ok()?),
+            user: u64::from_be_bytes(bytes[0..8].try_into().ok()?),
+            recipe_container_id: u64::from_be_bytes(bytes[8..16].try_into().ok()?),
+            recipe_offset: u32::from_be_bytes(bytes[16..20].try_into().ok()?),
+            recipe_size: u32::from_be_bytes(bytes[20..24].try_into().ok()?),
+            file_size: u64::from_be_bytes(bytes[24..32].try_into().ok()?),
+            num_secrets: u64::from_be_bytes(bytes[32..40].try_into().ok()?),
+            version: u64::from_be_bytes(bytes[40..48].try_into().ok()?),
         })
     }
 }
@@ -136,6 +161,19 @@ impl FileIndex {
         entry
     }
 
+    /// Every `(key, entry)` pair currently indexed — the snapshot half of
+    /// checkpointing.
+    pub fn export(&self) -> Vec<(FileKey, FileEntry)> {
+        self.store
+            .snapshot()
+            .iter()
+            .filter_map(|(k, v)| {
+                let key: [u8; 32] = k.as_slice().try_into().ok()?;
+                Some((FileKey::from_bytes(key), FileEntry::decode(v)?))
+            })
+            .collect()
+    }
+
     /// Number of files indexed.
     pub fn len(&self) -> usize {
         self.store.len()
@@ -158,6 +196,7 @@ mod tests {
 
     fn entry(version: u64) -> FileEntry {
         FileEntry {
+            user: 1,
             recipe_container_id: 77,
             recipe_offset: 4096,
             recipe_size: 512,
@@ -212,6 +251,7 @@ mod tests {
     #[test]
     fn entry_encoding_round_trips() {
         let e = FileEntry {
+            user: 42,
             recipe_container_id: u64::MAX,
             recipe_offset: u32::MAX,
             recipe_size: 77,
@@ -220,8 +260,8 @@ mod tests {
             version: 789,
         };
         assert_eq!(FileEntry::decode(&e.encode()), Some(e.clone()));
-        assert_eq!(FileEntry::decode(&[0u8; 39]), None);
-        assert_eq!(FileEntry::decode(&[0u8; 32]), None);
+        assert_eq!(FileEntry::decode(&[0u8; 47]), None);
+        assert_eq!(FileEntry::decode(&[0u8; 40]), None);
         assert_eq!(
             e.recipe_location(),
             ShareLocation {

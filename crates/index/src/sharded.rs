@@ -78,6 +78,16 @@ fn fingerprint_hash(bytes: &[u8; 32]) -> u64 {
     u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes"))
 }
 
+/// Unwraps the result of a `_with` hook variant invoked with an infallible
+/// hook (the plain methods here delegate through this, and callers passing
+/// their own infallible hooks can too).
+pub fn infallible<T>(result: Result<T, std::convert::Infallible>) -> T {
+    match result {
+        Ok(value) => value,
+        Err(never) => match never {},
+    }
+}
+
 /// The shared striping mechanics: a power-of-two number of mutex-guarded
 /// shards selected by a key hash. Each wrapper below layers its domain
 /// methods over one of these.
@@ -183,6 +193,20 @@ impl ShardedShareIndex {
         user: u64,
         store: impl FnOnce() -> Result<ShareLocation, E>,
     ) -> Result<(ShareLocation, StoreOutcome), E> {
+        self.add_reference_or_store_with(fp, user, store, |_| Ok(()))
+    }
+
+    /// [`ShardedShareIndex::add_reference_or_store`] with a journaling hook:
+    /// `observe` runs under the same stripe lock, after the mutation, with
+    /// the entry's post-state, so a write-ahead journal records mutations of
+    /// one fingerprint in exactly the order they were applied.
+    pub fn add_reference_or_store_with<E>(
+        &self,
+        fp: &Fingerprint,
+        user: u64,
+        store: impl FnOnce() -> Result<ShareLocation, E>,
+        observe: impl FnOnce(&ShareEntry) -> Result<(), E>,
+    ) -> Result<(ShareLocation, StoreOutcome), E> {
         let mut shard = self.shard(fp).lock();
         if let Some(mut entry) = shard.lookup(fp) {
             let outcome = if entry.owned_by(user) {
@@ -193,10 +217,15 @@ impl ShardedShareIndex {
             // Write back through the already-decoded entry: duplicates (the
             // dominant case in dedup-heavy workloads) cost one index read.
             shard.add_reference_to_entry(fp, &mut entry, user);
+            observe(&entry)?;
             Ok((entry.location, outcome))
         } else {
             let location = store()?;
             shard.insert_new(fp, location, user);
+            observe(&ShareEntry {
+                location,
+                owners: vec![(user, 1)],
+            })?;
             Ok((location, StoreOutcome::Stored))
         }
     }
@@ -204,14 +233,53 @@ impl ShardedShareIndex {
     /// Adds one reference for `user` to a share that must already be stored.
     /// Returns `false` (and changes nothing) if the fingerprint is unknown.
     pub fn add_reference_existing(&self, fp: &Fingerprint, user: u64) -> bool {
-        self.shard(fp).lock().add_reference_existing(fp, user)
+        infallible(self.add_reference_existing_with(fp, user, |_| Ok(())))
+    }
+
+    /// [`ShardedShareIndex::add_reference_existing`] with a journaling hook
+    /// that observes the entry's post-state under the stripe lock (only
+    /// invoked when the reference was actually added).
+    pub fn add_reference_existing_with<E>(
+        &self,
+        fp: &Fingerprint,
+        user: u64,
+        observe: impl FnOnce(&ShareEntry) -> Result<(), E>,
+    ) -> Result<bool, E> {
+        let mut shard = self.shard(fp).lock();
+        match shard.lookup(fp) {
+            Some(mut entry) => {
+                shard.add_reference_to_entry(fp, &mut entry, user);
+                observe(&entry)?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
     }
 
     /// Drops one reference held by `user`, deleting the entry when the last
     /// reference across all users goes. Returns `None` — a no-op — if the
     /// share is unknown or `user` holds no reference.
     pub fn remove_reference(&self, fp: &Fingerprint, user: u64) -> Option<ReleaseReport> {
-        self.shard(fp).lock().remove_reference(fp, user)
+        infallible(self.remove_reference_with(fp, user, |_| Ok(())))
+    }
+
+    /// [`ShardedShareIndex::remove_reference`] with a journaling hook that
+    /// observes the entry's post-state under the stripe lock: `Some` with the
+    /// surviving entry, or `None` when the last reference went and the entry
+    /// was deleted. Only invoked when a reference was actually dropped.
+    pub fn remove_reference_with<E>(
+        &self,
+        fp: &Fingerprint,
+        user: u64,
+        observe: impl FnOnce(Option<&ShareEntry>) -> Result<(), E>,
+    ) -> Result<Option<ReleaseReport>, E> {
+        let mut shard = self.shard(fp).lock();
+        let Some(report) = shard.remove_reference(fp, user) else {
+            return Ok(None);
+        };
+        let post = shard.lookup(fp);
+        observe(post.as_ref())?;
+        Ok(Some(report))
     }
 
     /// Atomically repoints the share's location from `from` to `to` under the
@@ -219,7 +287,52 @@ impl ShardedShareIndex {
     /// Fails (returning `false`, changing nothing) if the share is gone or
     /// was moved concurrently; the caller must then discard the copy at `to`.
     pub fn relocate(&self, fp: &Fingerprint, from: ShareLocation, to: ShareLocation) -> bool {
-        self.shard(fp).lock().relocate(fp, from, to)
+        infallible(self.relocate_with(fp, from, to, |_| Ok(())))
+    }
+
+    /// [`ShardedShareIndex::relocate`] with a journaling hook that observes
+    /// the repointed entry under the stripe lock (only invoked when the
+    /// relocation succeeded).
+    pub fn relocate_with<E>(
+        &self,
+        fp: &Fingerprint,
+        from: ShareLocation,
+        to: ShareLocation,
+        observe: impl FnOnce(&ShareEntry) -> Result<(), E>,
+    ) -> Result<bool, E> {
+        let mut shard = self.shard(fp).lock();
+        if !shard.relocate(fp, from, to) {
+            return Ok(false);
+        }
+        if let Some(entry) = shard.lookup(fp) {
+            observe(&entry)?;
+        }
+        Ok(true)
+    }
+
+    /// Installs an entry verbatim, overwriting any existing one — checkpoint
+    /// restore and journal replay. No reference bookkeeping of its own.
+    pub fn insert_entry(&self, fp: &Fingerprint, entry: &ShareEntry) {
+        self.shard(fp).lock().insert_entry(fp, entry);
+    }
+
+    /// Removes an entry verbatim, whatever references it holds — journal
+    /// replay of a share deletion and recovery's pruning of entries that
+    /// point into containers lost with the crash.
+    pub fn remove_entry(&self, fp: &Fingerprint) {
+        self.shard(fp).lock().remove_entry(fp);
+    }
+
+    /// Every `(fingerprint, entry)` pair across all stripes — the snapshot
+    /// half of checkpointing. Per-stripe locking only: concurrent mutations
+    /// may land between stripes, so callers needing a true point-in-time
+    /// snapshot must exclude writers for the duration.
+    pub fn export(&self) -> Vec<(Fingerprint, ShareEntry)> {
+        let mut all = Vec::new();
+        for stripe in &self.stripes.shards {
+            all.extend(stripe.lock().export());
+        }
+        all
     }
 
     /// Number of unique shares tracked (sums over all stripes).
@@ -281,13 +394,26 @@ impl ShardedFileIndex {
     /// compare-under-lock makes them converge on the highest version
     /// instead of last-writer-wins.
     pub fn put_if_newer(&self, key: FileKey, entry: FileEntry) -> FilePutOutcome {
+        infallible(self.put_if_newer_with(key, entry, |_| Ok(())))
+    }
+
+    /// [`ShardedFileIndex::put_if_newer`] with a journaling hook that
+    /// observes the written entry under the stripe lock (only invoked when
+    /// the entry was actually written, i.e. not on [`FilePutOutcome::Stale`]).
+    pub fn put_if_newer_with<E>(
+        &self,
+        key: FileKey,
+        entry: FileEntry,
+        observe: impl FnOnce(&FileEntry) -> Result<(), E>,
+    ) -> Result<FilePutOutcome, E> {
         let mut shard = self.shard(&key).lock();
         let existing = shard.get(&key);
         match existing {
-            Some(existing) if existing.version > entry.version => FilePutOutcome::Stale,
+            Some(existing) if existing.version > entry.version => Ok(FilePutOutcome::Stale),
             displaced => {
+                observe(&entry)?;
                 shard.put(key, entry);
-                FilePutOutcome::Written { displaced }
+                Ok(FilePutOutcome::Written { displaced })
             }
         }
     }
@@ -299,7 +425,34 @@ impl ShardedFileIndex {
 
     /// Removes the entry for a file, returning it if present.
     pub fn remove(&self, key: &FileKey) -> Option<FileEntry> {
-        self.shard(key).lock().remove(key)
+        infallible(self.remove_with(key, |_| Ok(())))
+    }
+
+    /// [`ShardedFileIndex::remove`] with a journaling hook that runs under
+    /// the stripe lock (only invoked when an entry was actually removed,
+    /// receiving it).
+    pub fn remove_with<E>(
+        &self,
+        key: &FileKey,
+        observe: impl FnOnce(&FileEntry) -> Result<(), E>,
+    ) -> Result<Option<FileEntry>, E> {
+        let mut shard = self.shard(key).lock();
+        let Some(entry) = shard.remove(key) else {
+            return Ok(None);
+        };
+        observe(&entry)?;
+        Ok(Some(entry))
+    }
+
+    /// Every `(key, entry)` pair across all stripes — the snapshot half of
+    /// checkpointing. Per-stripe locking only (see
+    /// [`ShardedShareIndex::export`] for the point-in-time caveat).
+    pub fn export(&self) -> Vec<(FileKey, FileEntry)> {
+        let mut all = Vec::new();
+        for stripe in &self.stripes.shards {
+            all.extend(stripe.lock().export());
+        }
+        all
     }
 
     /// Number of files indexed.
@@ -355,7 +508,21 @@ impl ShardedKvStore {
 
     /// Inserts or overwrites a key.
     pub fn put(&self, key: Vec<u8>, value: Vec<u8>) {
-        self.shard(&key).lock().put(key, value);
+        infallible(self.put_with(key, value, || Ok(())));
+    }
+
+    /// [`ShardedKvStore::put`] with a journaling hook that runs under the
+    /// stripe lock, so mutations of one key journal in apply order.
+    pub fn put_with<E>(
+        &self,
+        key: Vec<u8>,
+        value: Vec<u8>,
+        observe: impl FnOnce() -> Result<(), E>,
+    ) -> Result<(), E> {
+        let mut shard = self.shard(&key).lock();
+        observe()?;
+        shard.put(key, value);
+        Ok(())
     }
 
     /// Looks up a key.
@@ -365,7 +532,31 @@ impl ShardedKvStore {
 
     /// Deletes a key (no-op if absent).
     pub fn delete(&self, key: &[u8]) {
-        self.shard(key).lock().delete(key);
+        infallible(self.delete_with(key, || Ok(())));
+    }
+
+    /// [`ShardedKvStore::delete`] with a journaling hook that runs under the
+    /// stripe lock.
+    pub fn delete_with<E>(
+        &self,
+        key: &[u8],
+        observe: impl FnOnce() -> Result<(), E>,
+    ) -> Result<(), E> {
+        let mut shard = self.shard(key).lock();
+        observe()?;
+        shard.delete(key);
+        Ok(())
+    }
+
+    /// Every live `(key, value)` pair across all stripes — the snapshot half
+    /// of checkpointing. Per-stripe locking only (see
+    /// [`ShardedShareIndex::export`] for the point-in-time caveat).
+    pub fn export(&self) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let mut all = Vec::new();
+        for stripe in &self.stripes.shards {
+            all.extend(stripe.lock().snapshot());
+        }
+        all
     }
 
     /// Returns whether the key is present (not deleted).
@@ -531,6 +722,7 @@ mod tests {
         let index = ShardedFileIndex::new();
         let key = FileKey::new(1, b"/racy");
         let entry = |version: u64| FileEntry {
+            user: 1,
             recipe_container_id: version,
             recipe_offset: 0,
             recipe_size: 8,
@@ -572,6 +764,7 @@ mod tests {
     fn file_index_round_trip_through_stripes() {
         let index = ShardedFileIndex::with_shards(4);
         let entry = FileEntry {
+            user: 3,
             recipe_container_id: 3,
             recipe_offset: 16,
             recipe_size: 52,

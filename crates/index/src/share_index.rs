@@ -42,6 +42,17 @@ impl ShareEntry {
         self.owners.iter().any(|(u, c)| *u == user && *c > 0)
     }
 
+    /// Serialises the entry (the journal/checkpoint wire format — identical
+    /// to the in-store representation).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.encode()
+    }
+
+    /// Parses an entry serialised by [`ShareEntry::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Option<ShareEntry> {
+        Self::decode(bytes)
+    }
+
     fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(16 + 12 * self.owners.len());
         out.extend_from_slice(&self.location.container_id.to_be_bytes());
@@ -259,6 +270,34 @@ impl ShareIndex {
         entry.location = to;
         self.store.put(fp.as_bytes().to_vec(), entry.encode());
         true
+    }
+
+    /// Installs an entry verbatim, overwriting any existing one — the
+    /// restore half of checkpoint recovery. Unlike the reference-taking
+    /// mutators, this performs no bookkeeping of its own.
+    pub fn insert_entry(&mut self, fp: &Fingerprint, entry: &ShareEntry) {
+        self.store.put(fp.as_bytes().to_vec(), entry.encode());
+    }
+
+    /// Removes an entry verbatim, whatever references it holds — journal
+    /// replay of a share deletion and recovery's pruning of entries that
+    /// point into containers lost with the crash.
+    pub fn remove_entry(&mut self, fp: &Fingerprint) {
+        self.store.delete(fp.as_bytes());
+    }
+
+    /// Every `(fingerprint, entry)` pair currently tracked — the snapshot
+    /// half of checkpointing (and the iteration recovery's verification
+    /// pass cross-checks against container headers).
+    pub fn export(&self) -> Vec<(Fingerprint, ShareEntry)> {
+        self.store
+            .snapshot()
+            .iter()
+            .filter_map(|(k, v)| {
+                let fp: [u8; 32] = k.as_slice().try_into().ok()?;
+                Some((Fingerprint::from_bytes(fp), ShareEntry::decode(v)?))
+            })
+            .collect()
     }
 
     /// Number of unique shares tracked.

@@ -60,11 +60,30 @@ pub trait StorageBackend: Send + Sync {
     /// Lists all object keys (sorted).
     fn list(&self) -> Result<Vec<String>, StorageError>;
 
+    /// Appends bytes to an object, creating it if absent. The durability
+    /// primitive behind the metadata journal ([`crate::journal`]): backends
+    /// with a native append (local files, in-memory buffers) override this;
+    /// pure put/get object stores fall back to read-modify-write.
+    fn append(&self, key: &str, data: &[u8]) -> Result<(), StorageError> {
+        let mut existing = match self.get(key) {
+            Ok(bytes) => bytes,
+            Err(StorageError::NotFound(_)) => Vec::new(),
+            Err(e) => return Err(e),
+        };
+        existing.extend_from_slice(data);
+        self.put(key, &existing)
+    }
+
+    /// Size of one object in bytes.
+    fn object_size(&self, key: &str) -> Result<u64, StorageError> {
+        Ok(self.get(key)?.len() as u64)
+    }
+
     /// Total bytes stored across all objects.
     fn total_bytes(&self) -> Result<u64, StorageError> {
         let mut total = 0u64;
         for key in self.list()? {
-            total += self.get(&key)?.len() as u64;
+            total += self.object_size(&key)?;
         }
         Ok(total)
     }
@@ -128,6 +147,23 @@ impl StorageBackend for MemoryBackend {
         Ok(self.objects.read().keys().cloned().collect())
     }
 
+    fn append(&self, key: &str, data: &[u8]) -> Result<(), StorageError> {
+        self.objects
+            .write()
+            .entry(key.to_string())
+            .or_default()
+            .extend_from_slice(data);
+        Ok(())
+    }
+
+    fn object_size(&self, key: &str) -> Result<u64, StorageError> {
+        self.objects
+            .read()
+            .get(key)
+            .map(|v| v.len() as u64)
+            .ok_or_else(|| StorageError::NotFound(key.to_string()))
+    }
+
     fn total_bytes(&self) -> Result<u64, StorageError> {
         Ok(self.objects.read().values().map(|v| v.len() as u64).sum())
     }
@@ -160,6 +196,16 @@ impl DirBackend {
             .collect();
         self.root.join(safe)
     }
+
+    /// Best-effort fsync of the backing directory, making renames and file
+    /// creations durable against a host crash. Errors are swallowed: some
+    /// filesystems (and platforms) reject directory fsync, and the data
+    /// itself was already synced.
+    fn sync_root(&self) {
+        if let Ok(dir) = fs::File::open(&self.root) {
+            let _ = dir.sync_all();
+        }
+    }
 }
 
 impl StorageBackend for DirBackend {
@@ -169,9 +215,16 @@ impl StorageBackend for DirBackend {
         {
             let mut file = fs::File::create(&tmp)?;
             file.write_all(data)?;
+            // The temp file's content must be on disk *before* the rename:
+            // otherwise a crash can leave the final name pointing at an
+            // empty (or partial) container even though the rename itself
+            // was atomic.
             file.sync_all()?;
         }
         fs::rename(&tmp, &path)?;
+        // ...and the rename must be durable too, which requires syncing the
+        // parent directory's entries.
+        self.sync_root();
         Ok(())
     }
 
@@ -187,8 +240,40 @@ impl StorageBackend for DirBackend {
     fn delete(&self, key: &str) -> Result<(), StorageError> {
         let path = self.path_for(key);
         match fs::remove_file(path) {
-            Ok(()) => Ok(()),
+            Ok(()) => {
+                self.sync_root();
+                Ok(())
+            }
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn append(&self, key: &str, data: &[u8]) -> Result<(), StorageError> {
+        let path = self.path_for(key);
+        let created = !path.exists();
+        let mut file = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        file.write_all(data)?;
+        // Journal appends are write-ahead durability points: fsync every
+        // append so a crash can tear at most the final record, never
+        // reorder them.
+        file.sync_all()?;
+        if created {
+            self.sync_root();
+        }
+        Ok(())
+    }
+
+    fn object_size(&self, key: &str) -> Result<u64, StorageError> {
+        let path = self.path_for(key);
+        match fs::metadata(&path) {
+            Ok(meta) => Ok(meta.len()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                Err(StorageError::NotFound(key.to_string()))
+            }
             Err(e) => Err(e.into()),
         }
     }
@@ -268,6 +353,40 @@ mod tests {
         let backend = DirBackend::new(&dir).unwrap();
         backend.put("shares/container:1", b"x").unwrap();
         assert_eq!(backend.get("shares/container:1").unwrap(), b"x");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    fn exercise_append(backend: &dyn StorageBackend) {
+        // Appending to a missing object creates it.
+        backend.append("log", b"one").unwrap();
+        backend.append("log", b"-two").unwrap();
+        assert_eq!(backend.get("log").unwrap(), b"one-two");
+        assert_eq!(backend.object_size("log").unwrap(), 7);
+        // Appending to an object written with put extends it.
+        backend.put("log", b"reset").unwrap();
+        backend.append("log", b"!").unwrap();
+        assert_eq!(backend.get("log").unwrap(), b"reset!");
+        assert!(matches!(
+            backend.object_size("missing"),
+            Err(StorageError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn memory_backend_append_semantics() {
+        exercise_append(&MemoryBackend::new());
+    }
+
+    #[test]
+    fn dir_backend_append_semantics() {
+        let dir =
+            std::env::temp_dir().join(format!("cdstore-backend-append-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let backend = DirBackend::new(&dir).unwrap();
+        exercise_append(&backend);
+        // Appended data survives re-opening the directory.
+        let reopened = DirBackend::new(&dir).unwrap();
+        assert_eq!(reopened.get("log").unwrap(), b"reset!");
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -11,6 +11,9 @@
 //! * [`cache`] — a byte-bounded LRU cache of recently accessed containers.
 //! * [`store`] — [`ContainerStore`], which ties the three together and is the
 //!   component CDStore servers use to persist and fetch shares and recipes.
+//! * [`journal`] — the durable metadata journal: a checksummed write-ahead
+//!   log plus periodic checkpoints, persisted through the same backend, from
+//!   which a server rebuilds its in-memory indices after a crash.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -18,9 +21,11 @@
 pub mod backend;
 pub mod cache;
 pub mod container;
+pub mod journal;
 pub mod store;
 
 pub use backend::{DirBackend, MemoryBackend, StorageBackend, StorageError};
 pub use cache::LruCache;
 pub use container::{Container, ContainerBuilder, ContainerKind, CONTAINER_CAPACITY};
+pub use journal::{Journal, LoadedJournal};
 pub use store::{ContainerStore, ContainerUsage, StoreStats, StoreUtilisation};

@@ -31,6 +31,22 @@ use crate::container::{Container, ContainerBuilder, ContainerKind};
 /// containers).
 pub const DEFAULT_CACHE_BYTES: usize = 64 * 1024 * 1024;
 
+/// Key prefix of container objects on the backend. Containers share their
+/// backend with the metadata journal ([`crate::journal`]); the prefix is
+/// what separates the two key families.
+pub const CONTAINER_KEY_PREFIX: &str = "container-";
+
+/// The backend object key of a container.
+pub fn container_key(container_id: u64) -> String {
+    format!("{CONTAINER_KEY_PREFIX}{container_id:016x}")
+}
+
+/// Parses a backend object key back into a container id (`None` for
+/// non-container objects, e.g. journal segments).
+pub fn parse_container_key(key: &str) -> Option<u64> {
+    u64::from_str_radix(key.strip_prefix(CONTAINER_KEY_PREFIX)?, 16).ok()
+}
+
 /// Counters describing the I/O behaviour of a container store.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StoreStats {
@@ -191,7 +207,7 @@ impl ContainerStore {
     }
 
     fn object_key(container_id: u64) -> String {
-        format!("container-{container_id:016x}")
+        container_key(container_id)
     }
 
     /// Returns the user's open-container entry, creating it if needed.
@@ -506,9 +522,58 @@ impl ContainerStore {
         self.stats.snapshot()
     }
 
-    /// Total bytes currently stored at the backend.
+    /// Container bytes currently stored at the backend. Journal objects
+    /// (checkpoints, WAL segments) share the backend but are bookkeeping,
+    /// not payload, so they are excluded here.
     pub fn backend_bytes(&self) -> Result<u64, StorageError> {
-        self.backend.total_bytes()
+        let mut total = 0u64;
+        for key in self.backend.list()? {
+            if parse_container_key(&key).is_some() {
+                total += self.backend.object_size(&key)?;
+            }
+        }
+        Ok(total)
+    }
+
+    /// The storage backend this store writes to (shared with the metadata
+    /// journal, and the handle recovery re-opens a server from).
+    pub fn backend(&self) -> Arc<dyn StorageBackend> {
+        self.backend.clone()
+    }
+
+    /// Size in bytes of a sealed container's backend object (header framing
+    /// included). Recovery's ledger rebuild uses it to bound a container's
+    /// dead bytes without downloading its payload.
+    pub fn backend_container_size(&self, container_id: u64) -> Result<u64, StorageError> {
+        self.backend.object_size(&Self::object_key(container_id))
+    }
+
+    /// The ids of every container object present on the backend — the
+    /// starting point of the recovery container scan. All of them are
+    /// sealed: open containers live only in memory.
+    pub fn backend_container_ids(&self) -> Result<Vec<u64>, StorageError> {
+        Ok(self
+            .backend
+            .list()?
+            .iter()
+            .filter_map(|k| parse_container_key(k))
+            .collect())
+    }
+
+    /// Replaces the liveness ledger with recovered accounting (used by
+    /// server recovery after it has cross-checked the rebuilt indices
+    /// against the sealed container headers).
+    pub fn restore_ledger(&self, entries: impl IntoIterator<Item = (u64, ContainerUsage)>) {
+        let mut ledger = self.ledger.lock();
+        ledger.clear();
+        ledger.extend(entries);
+    }
+
+    /// Raises the container-id allocator to at least `floor`, so containers
+    /// created after a recovery never collide with ids already present on
+    /// the backend or referenced by the recovered indices.
+    pub fn bump_next_container_id(&self, floor: u64) {
+        self.next_container_id.fetch_max(floor, Ordering::Relaxed);
     }
 }
 
