@@ -1,0 +1,92 @@
+//! Perf trajectory for the network layer: runs the fig7a/fig8 wire
+//! measurements with fixed seeds and writes `BENCH_net.json`, so this and
+//! future PRs leave a comparable curve (ROADMAP item 6).
+//!
+//! ```text
+//! cargo run --release -p cdstore_bench --bin bench_net [-- out_path] [per_client_mb]
+//! ```
+//!
+//! Defaults: `BENCH_net.json` in the current directory, 4 MB per client.
+//! All data generation is seeded; run-to-run variance comes only from the
+//! machine, never the workload.
+
+use serde::Serialize;
+
+use cdstore_bench::netbench::{rpc_batching, wire_aggregate_upload, wire_single_speeds};
+
+/// One fig8-style point: concurrent clients against 4 loopback servers.
+#[derive(Serialize)]
+struct AggregatePoint {
+    clients: usize,
+    unique_mbps: f64,
+    duplicate_mbps: f64,
+}
+
+/// The whole snapshot written to `BENCH_net.json`.
+#[derive(Serialize)]
+struct BenchNet {
+    schema_version: u32,
+    n: usize,
+    k: usize,
+    per_client_mb: usize,
+    /// fig7a over the wire: one client, loopback TCP.
+    single_upload_unique_mbps: f64,
+    single_upload_duplicate_mbps: f64,
+    single_download_mbps: f64,
+    /// fig8 over the wire at 1/4/8 clients.
+    aggregate: Vec<AggregatePoint>,
+    /// Raw share-upload RPC, one batch vs one-share-per-request.
+    rpc_batched_mbps: f64,
+    rpc_unbatched_mbps: f64,
+    rpc_batching_speedup: f64,
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_net.json");
+    let mut per_client_mb: usize = 4;
+    for arg in std::env::args().skip(1) {
+        if let Ok(mb) = arg.parse() {
+            per_client_mb = mb;
+        } else {
+            out_path = arg;
+        }
+    }
+    let per_client = per_client_mb * 1024 * 1024;
+
+    eprintln!("bench_net: single-client loopback speeds ({per_client_mb} MB)...");
+    let single = wire_single_speeds(per_client);
+
+    let mut aggregate = Vec::new();
+    for clients in [1usize, 4, 8] {
+        eprintln!("bench_net: aggregate at {clients} client(s)...");
+        aggregate.push(AggregatePoint {
+            clients,
+            unique_mbps: wire_aggregate_upload(clients, per_client, false),
+            duplicate_mbps: wire_aggregate_upload(clients, per_client, true),
+        });
+    }
+
+    eprintln!("bench_net: rpc batching ratio...");
+    // ~3 KB is what a CAONT-RS share of an 8 KB average chunk actually
+    // weighs at k = 3, so the ratio reflects the real protocol traffic.
+    let rpc = rpc_batching(512, 3 * 1024);
+
+    let snapshot = BenchNet {
+        schema_version: 1,
+        n: 4,
+        k: 3,
+        per_client_mb,
+        single_upload_unique_mbps: single.upload_unique,
+        single_upload_duplicate_mbps: single.upload_duplicate,
+        single_download_mbps: single.download,
+        aggregate,
+        rpc_batched_mbps: rpc.batched_mbps,
+        rpc_unbatched_mbps: rpc.unbatched_mbps,
+        rpc_batching_speedup: rpc.speedup,
+    };
+
+    let json = serde_json::to_string_pretty(&snapshot).expect("serialize snapshot");
+    std::fs::write(&out_path, format!("{json}\n")).expect("write snapshot");
+    println!("{json}");
+    eprintln!("bench_net: wrote {out_path}");
+}

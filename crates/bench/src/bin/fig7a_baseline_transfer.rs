@@ -2,12 +2,15 @@
 //! data, upload of duplicate data, and download — on the LAN and cloud
 //! testbeds with (n, k) = (4, 3).
 //!
-//! The client-side computation speed is measured on this machine; the
-//! network is simulated from the Table 2 profiles (see
-//! `cdstore_bench::transfer` for the model).
+//! The client-side computation speed is measured on this machine; the LAN
+//! and cloud rows are simulated from the Table 2 profiles (see
+//! `cdstore_bench::transfer` for the model). A third, fully *measured* row
+//! drives the same client against four real `cdstore_net` servers over
+//! loopback TCP — no model at all, every share crossing a socket.
 //!
 //! Run with `cargo run --release -p cdstore-bench --bin fig7a_baseline_transfer [data_mb]`.
 
+use cdstore_bench::netbench::wire_single_speeds;
 use cdstore_bench::transfer::SingleClientModel;
 use cdstore_bench::{chunk_and_encode_speed, decoding_speed, random_secrets};
 use cdstore_secretsharing::CaontRs;
@@ -51,7 +54,15 @@ fn main() {
         let down = model.download_speed(logical_mb, decode_mbps);
         println!("{name:<10} {up_uniq:>16.1} {up_dup:>16.1} {down:>12.1}");
     }
+    // The measured row: real sockets on loopback, no flow model.
+    let wire = wire_single_speeds(data_mb * 1024 * 1024);
+    println!(
+        "{:<10} {:>16.1} {:>16.1} {:>12.1}",
+        "Loopback*", wire.upload_unique, wire.upload_duplicate, wire.download
+    );
     println!();
+    println!("(* measured end to end over real loopback TCP against 4 cdstore_net servers;");
+    println!("   loopback has no NIC ceiling, so it sits between the LAN model and pure compute)");
     println!("Paper: LAN 77.5 / 149.9 / 99.2 MB/s; Cloud 6.2 / 57.1 / 12.3 MB/s.");
     println!(
         "Shape to verify: LAN upload(uniq) ~ k/n of the effective network speed; upload(dup) is"

@@ -2,73 +2,70 @@
 //! (1–8) with four servers and (n, k) = (4, 3), for both unique and
 //! duplicate data.
 //!
-//! Unlike the earlier analytical-only version, this drives *real* concurrent
-//! traffic: each round builds a live [`CdStore`] deployment, spawns 1–8
-//! client threads (each with its own cloned handle and user id), releases
-//! them through a barrier, and measures the wall-clock aggregate MB/s of
-//! logical data through the full chunk → CAONT-RS → two-stage-dedup →
-//! container pipeline. The LAN flow model of the paper's testbed is printed
-//! alongside for comparison (in-process servers have neither NICs nor
-//! disks, so the two columns answer different questions).
+//! Each round builds a live deployment, spawns 1–8 client threads (each with
+//! its own cloned handle and user id), releases them through a barrier, and
+//! measures the wall-clock aggregate MB/s of logical data through the full
+//! chunk → CAONT-RS → two-stage-dedup → container pipeline. Two measured
+//! deployments run side by side: **in-process** servers (no sockets — the
+//! computation ceiling) and **over-the-wire** servers behind real loopback
+//! TCP via `cdstore_net` (serialization, syscalls, and flow control
+//! included). The LAN flow model of the paper's testbed is printed alongside
+//! for comparison.
 //!
 //! Run with
-//! `cargo run --release -p cdstore_bench --bin fig8_multi_client [per_client_mb]`.
+//! `cargo run --release -p cdstore_bench --bin fig8_multi_client [per_client_mb] [--wire]`.
+//!
+//! `--wire` restricts the run to the over-the-wire columns (the CI smoke
+//! configuration: a quick end-to-end proof that concurrent clients saturate
+//! real sockets).
 
-use std::sync::Barrier;
-use std::time::Instant;
-
+use cdstore_bench::netbench::{aggregate_upload, wire_store};
 use cdstore_bench::transfer::MultiClientModel;
 use cdstore_bench::{chunk_and_encode_speed, random_secrets};
 use cdstore_core::{CdStore, CdStoreConfig};
 use cdstore_secretsharing::CaontRs;
 
-/// One measured round: `clients` threads each backing up `per_client` bytes
-/// against a fresh deployment. With `duplicate`, the timed run re-uploads
-/// data each user already backed up (the paper's duplicate-data scenario:
-/// intra-user dedup eliminates the share transfer); without it, each
-/// client's data is unique and unseen. Returns aggregate logical MB/s.
-fn measure_aggregate(clients: usize, per_client: usize, duplicate: bool) -> f64 {
+fn measure_in_process(clients: usize, per_client: usize, duplicate: bool) -> f64 {
     let store = CdStore::new(CdStoreConfig::new(4, 3).unwrap());
-    // Materialise each client's payload before starting the clock.
-    let payloads: Vec<Vec<u8>> = (0..clients)
-        .map(|c| random_secrets(per_client, 8 * 1024, 100 + c as u64).concat())
-        .collect();
-    if duplicate {
-        // Seed every user's data outside the timed region, so the measured
-        // backups hit the intra-user dedup path for all of their shares.
-        for (c, payload) in payloads.iter().enumerate() {
-            store
-                .backup(c as u64 + 1, &format!("/client-{c}/seed.tar"), payload)
-                .expect("seed backup succeeds");
-        }
-    }
-    let barrier = Barrier::new(clients);
-    let start = Instant::now();
-    std::thread::scope(|scope| {
-        for (c, payload) in payloads.iter().enumerate() {
-            let store = store.clone();
-            let barrier = &barrier;
-            scope.spawn(move || {
-                barrier.wait();
-                let user = c as u64 + 1;
-                store
-                    .backup(user, &format!("/client-{c}/backup.tar"), payload)
-                    .expect("backup succeeds");
-            });
-        }
-    });
-    store.flush().expect("flush succeeds");
-    let elapsed = start.elapsed().as_secs_f64();
-    let logical_mb: f64 = payloads.iter().map(|p| p.len() as f64).sum::<f64>() / (1024.0 * 1024.0);
-    logical_mb / elapsed
+    aggregate_upload(&store, clients, per_client, duplicate)
+}
+
+fn measure_wire(clients: usize, per_client: usize, duplicate: bool) -> f64 {
+    let (_cluster, store) = wire_store(4, 3);
+    aggregate_upload(&store, clients, per_client, duplicate)
 }
 
 fn main() {
-    let per_client_mb: usize = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(8);
+    let mut per_client_mb: usize = 8;
+    let mut wire_only = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--wire" {
+            wire_only = true;
+        } else if let Ok(mb) = arg.parse() {
+            per_client_mb = mb;
+        }
+    }
+    let per_client = per_client_mb * 1024 * 1024;
     let (n, k) = (4usize, 3usize);
+
+    if wire_only {
+        println!(
+            "Figure 8 (wire smoke): aggregate upload over loopback TCP (MB/s), (n, k) = ({n}, {k})"
+        );
+        println!("({per_client_mb} MB per client through 4 cdstore_net servers)");
+        println!(
+            "{:<10} {:>15} {:>15}",
+            "Clients", "Wire (uniq)", "Wire (dup)"
+        );
+        for clients in 1..=8usize {
+            let uniq = measure_wire(clients, per_client, false);
+            let dup = measure_wire(clients, per_client, true);
+            println!("{clients:<10} {uniq:>15.1} {dup:>15.1}");
+            assert!(uniq > 0.0 && dup > 0.0, "wire deployment moved no data");
+        }
+        return;
+    }
+
     let scheme = CaontRs::new(n, k).unwrap();
     let threads = std::thread::available_parallelism()
         .map(|p| p.get())
@@ -81,18 +78,27 @@ fn main() {
 
     println!("Figure 8: aggregate upload speeds (MB/s) vs number of clients, (n, k) = ({n}, {k})");
     println!("(per-client chunk+encode speed: {compute_mbps:.1} MB/s; measured columns drive");
-    println!(" {per_client_mb} MB per client through live in-process servers)");
+    println!(" {per_client_mb} MB per client through live servers, in-process vs loopback TCP)");
     println!(
-        "{:<10} {:>15} {:>15} {:>17} {:>17}",
-        "Clients", "Meas. (uniq)", "Meas. (dup)", "LAN model (uniq)", "LAN model (dup)"
+        "{:<8} {:>14} {:>13} {:>12} {:>11} {:>17} {:>16}",
+        "Clients",
+        "InProc (uniq)",
+        "InProc (dup)",
+        "Wire (uniq)",
+        "Wire (dup)",
+        "LAN model (uniq)",
+        "LAN model (dup)"
     );
     for clients in 1..=8usize {
-        let measured_uniq = measure_aggregate(clients, per_client_mb * 1024 * 1024, false);
-        let measured_dup = measure_aggregate(clients, per_client_mb * 1024 * 1024, true);
+        let inproc_uniq = measure_in_process(clients, per_client, false);
+        let inproc_dup = measure_in_process(clients, per_client, true);
+        let wire_uniq = measure_wire(clients, per_client, false);
+        let wire_dup = measure_wire(clients, per_client, true);
         let model_uniq = model.aggregate_unique_upload(clients, model_per_client_mb);
         let model_dup = model.aggregate_duplicate_upload(clients, model_per_client_mb);
         println!(
-            "{clients:<10} {measured_uniq:>15.1} {measured_dup:>15.1} {model_uniq:>17.1} {model_dup:>17.1}"
+            "{clients:<8} {inproc_uniq:>14.1} {inproc_dup:>13.1} {wire_uniq:>12.1} \
+             {wire_dup:>11.1} {model_uniq:>17.1} {model_dup:>16.1}"
         );
     }
     println!();
@@ -101,7 +107,10 @@ fn main() {
     );
     println!("i.e. about the aggregate Ethernet speed of k = 3 servers); duplicate-data aggregate reaches");
     println!(
-        "572 MB/s with a knee at 4 clients where server CPU saturates. The measured columns are"
+        "572 MB/s with a knee at 4 clients where server CPU saturates. The in-process columns are"
     );
-    println!("CPU-bound (no real network), so they scale with available cores rather than NICs.");
+    println!(
+        "CPU-bound (no network at all); the wire columns add real TCP serialization and syscalls"
+    );
+    println!("over loopback, so the gap between the two is the protocol overhead.");
 }

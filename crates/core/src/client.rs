@@ -8,7 +8,7 @@ use cdstore_secretsharing::{CaontRs, SecretSharing};
 use crate::dedup::DedupStats;
 use crate::error::CdStoreError;
 use crate::metadata::{FileRecipe, RecipeEntry, ShareMetadata};
-use crate::server::CdStoreServer;
+use crate::transport::ServerTransport;
 
 /// Size of the per-cloud upload buffer: shares are batched into 4 MB units
 /// before being sent over the Internet (§4.1).
@@ -112,11 +112,12 @@ impl CdStoreClient {
 
     /// Uploads a file: chunk → encode → intra-user dedup → batched upload →
     /// metadata offload. `servers[i]` must be the server co-located with
-    /// cloud `i`; unavailable servers are passed as `None` (uploads require
-    /// all `n` clouds so redundancy is not silently degraded).
-    pub fn upload(
+    /// cloud `i` — either in-process [`crate::server::CdStoreServer`]s or any
+    /// other [`ServerTransport`] (e.g. `cdstore_net`'s remote handles).
+    /// Uploads require all `n` clouds so redundancy is not silently degraded.
+    pub fn upload<T: ServerTransport>(
         &self,
-        servers: &[CdStoreServer],
+        servers: &[T],
         pathname: &str,
         data: &[u8],
     ) -> Result<UploadReport, CdStoreError> {
@@ -128,9 +129,9 @@ impl CdStoreClient {
     /// Uploads a file already divided into secrets (chunks). Used directly by
     /// the trace-driven experiments, where the datasets provide chunk
     /// boundaries (§5.2).
-    pub fn upload_chunks(
+    pub fn upload_chunks<T: ServerTransport>(
         &self,
-        servers: &[CdStoreServer],
+        servers: &[T],
         pathname: &str,
         chunks: &[Vec<u8>],
     ) -> Result<UploadReport, CdStoreError> {
@@ -140,7 +141,7 @@ impl CdStoreClient {
     }
 
     /// Rejects a server slice of the wrong length before any encoding work.
-    fn check_server_count(&self, servers: &[CdStoreServer]) -> Result<(), CdStoreError> {
+    fn check_server_count<T: ServerTransport>(&self, servers: &[T]) -> Result<(), CdStoreError> {
         if servers.len() != self.n {
             return Err(CdStoreError::InvalidConfig(format!(
                 "expected {} servers, got {}",
@@ -212,9 +213,9 @@ impl CdStoreClient {
     /// batched share transfer, and the per-cloud metadata offload. Callers
     /// serialising writes per file need to hold their ordering lock only
     /// around this call.
-    pub fn commit(
+    pub fn commit<T: ServerTransport>(
         &self,
-        servers: &[CdStoreServer],
+        servers: &[T],
         pathname: &str,
         prepared: PreparedUpload,
     ) -> Result<UploadReport, CdStoreError> {
@@ -239,7 +240,17 @@ impl CdStoreClient {
             // Second stage of intra-user dedup: ask the server which of the
             // candidate shares this user has uploaded in previous backups.
             let fps: Vec<Fingerprint> = pending[cloud].iter().map(|(m, _)| m.fingerprint).collect();
-            let already = server.intra_user_query(self.user, &fps);
+            let already = match server.intra_user_query(self.user, &fps) {
+                Ok(already) => already,
+                Err(e) => {
+                    // Same abandonment path as a failed share batch below:
+                    // this cloud holds no references yet, earlier ones do.
+                    for done in 0..cloud {
+                        let _ = servers[done].release_uploads(self.user, &uploaded_per_cloud[done]);
+                    }
+                    return Err(e);
+                }
+            };
             let to_upload: Vec<(ShareMetadata, Vec<u8>)> = pending[cloud]
                 .drain(..)
                 .zip(already)
@@ -251,9 +262,9 @@ impl CdStoreClient {
             dedup.transferred_share_bytes += bytes;
             uploaded_per_cloud[cloud] = to_upload.iter().map(|(m, _)| m.fingerprint).collect();
             match server.store_shares(self.user, &to_upload) {
-                Ok(new_bytes) => {
-                    physical_per_cloud[cloud] = new_bytes;
-                    dedup.physical_share_bytes += new_bytes;
+                Ok(receipt) => {
+                    physical_per_cloud[cloud] = receipt.new_bytes;
+                    dedup.physical_share_bytes += receipt.new_bytes;
                 }
                 Err(e) => {
                     // Abandon the upload without leaking: drop the transient
@@ -261,7 +272,7 @@ impl CdStoreClient {
                     // clouds so the shares become reclaimable (release is a
                     // no-op for shares the failing batch never reached).
                     for done in 0..=cloud {
-                        servers[done].release_uploads(self.user, &uploaded_per_cloud[done]);
+                        let _ = servers[done].release_uploads(self.user, &uploaded_per_cloud[done]);
                     }
                     return Err(e);
                 }
@@ -289,7 +300,7 @@ impl CdStoreClient {
                 // reclaimable. (Clouds already committed keep their recipes;
                 // a retried backup supersedes them.)
                 for later in cloud + 1..self.n {
-                    servers[later].release_uploads(self.user, &uploaded_per_cloud[later]);
+                    let _ = servers[later].release_uploads(self.user, &uploaded_per_cloud[later]);
                 }
                 return Err(e);
             }
@@ -306,9 +317,9 @@ impl CdStoreClient {
 
     /// Restores a file by contacting any `k` of the `n` servers.
     /// `available[i]` states whether cloud `i` (and its server) is reachable.
-    pub fn download(
+    pub fn download<T: ServerTransport>(
         &self,
-        servers: &[CdStoreServer],
+        servers: &[T],
         available: &[bool],
         pathname: &str,
     ) -> Result<Vec<u8>, CdStoreError> {
@@ -381,6 +392,7 @@ impl CdStoreClient {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::server::CdStoreServer;
 
     fn make_servers(n: usize) -> Vec<CdStoreServer> {
         (0..n).map(CdStoreServer::new).collect()

@@ -32,6 +32,10 @@ pub enum CdStoreError {
     IntegrityFailure(String),
     /// Recipes fetched from different servers disagree.
     InconsistentMetadata(String),
+    /// A remote transport failed: connection refused or lost, request timed
+    /// out, or the peer violated the wire protocol. Carries a human-readable
+    /// description; the operation may have partially executed on the server.
+    Remote(String),
 }
 
 impl fmt::Display for CdStoreError {
@@ -51,6 +55,7 @@ impl fmt::Display for CdStoreError {
             CdStoreError::MissingShare(fp) => write!(f, "missing share: {fp}"),
             CdStoreError::IntegrityFailure(msg) => write!(f, "integrity failure: {msg}"),
             CdStoreError::InconsistentMetadata(msg) => write!(f, "inconsistent metadata: {msg}"),
+            CdStoreError::Remote(msg) => write!(f, "remote transport error: {msg}"),
         }
     }
 }

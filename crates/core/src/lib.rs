@@ -27,8 +27,12 @@
 //!   deduplication-efficiency experiments.
 //! * [`pipeline`] — multi-threaded encode/decode used by the performance
 //!   experiments (§4.6).
-//! * [`system`] — [`CdStore`], a façade wiring one client to `n` in-process
-//!   servers over simulated clouds; the entry point for most users.
+//! * [`system`] — [`CdStore`], a façade wiring one client to `n` servers; the
+//!   entry point for most users. Generic over [`transport::ServerTransport`],
+//!   defaulting to in-process servers over simulated clouds.
+//! * [`transport`] — the client ⇄ server boundary as a trait, so the same
+//!   client code runs against in-process servers or over `cdstore_net`'s TCP
+//!   protocol.
 //!
 //! # Quick start
 //!
@@ -59,6 +63,7 @@ pub mod metadata;
 pub mod pipeline;
 pub mod server;
 pub mod system;
+pub mod transport;
 pub mod wal;
 
 pub use client::{CdStoreClient, PreparedUpload, UploadReport};
@@ -66,6 +71,7 @@ pub use dedup::DedupStats;
 pub use error::CdStoreError;
 pub use metadata::{FileRecipe, RecipeEntry, ShareMetadata};
 pub use pipeline::ParallelCoder;
-pub use server::{CdStoreServer, GcConfig, GcReport, RecoveryReport};
+pub use server::{CdStoreServer, GcConfig, GcReport, RecoveryReport, ServerStats};
 pub use system::{CdStore, CdStoreConfig, SystemStats};
+pub use transport::{ServerProbe, ServerTransport, ShareVerdict, StoreReceipt};
 pub use wal::{MetaRecord, Snapshot};

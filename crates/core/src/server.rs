@@ -29,6 +29,7 @@ use parking_lot::{Mutex, RwLock};
 
 use crate::error::CdStoreError;
 use crate::metadata::{FileRecipe, ShareMetadata};
+use crate::transport::{ShareVerdict, StoreReceipt};
 use crate::wal::{MetaRecord, Snapshot};
 
 /// Number of times share and recipe reads re-resolve their index entry when
@@ -658,7 +659,20 @@ impl CdStoreServer {
         user: u64,
         shares: &[(ShareMetadata, Vec<u8>)],
     ) -> Result<u64, CdStoreError> {
+        self.store_shares_detailed(user, shares)
+            .map(|receipt| receipt.new_bytes)
+    }
+
+    /// [`Self::store_shares`], additionally reporting a per-share dedup
+    /// verdict. This is the shape the upload RPC responds with: a networked
+    /// client learns which shares deduplicated without a stats round-trip.
+    pub fn store_shares_detailed(
+        &self,
+        user: u64,
+        shares: &[(ShareMetadata, Vec<u8>)],
+    ) -> Result<StoreReceipt, CdStoreError> {
         let mut new_bytes = 0u64;
+        let mut verdicts = Vec::with_capacity(shares.len());
         for (meta, data) in shares {
             self.stats.shares_received.fetch_add(1, Ordering::Relaxed);
             self.stats
@@ -687,15 +701,19 @@ impl CdStoreServer {
                     self.stats
                         .inter_user_duplicates
                         .fetch_add(1, Ordering::Relaxed);
+                    verdicts.push(ShareVerdict::DuplicateInterUser);
                 }
                 // The user's own uploads raced past the intra-user query
                 // stage; not an inter-user duplicate.
-                StoreOutcome::DedupIntraUser => {}
+                StoreOutcome::DedupIntraUser => {
+                    verdicts.push(ShareVerdict::DuplicateIntraUser);
+                }
                 StoreOutcome::Stored => {
                     self.stats
                         .physical_share_bytes
                         .fetch_add(data.len() as u64, Ordering::Relaxed);
                     new_bytes += data.len() as u64;
+                    verdicts.push(ShareVerdict::Stored);
                 }
             }
             // Record the user's client-fingerprint → server-fingerprint link.
@@ -717,7 +735,10 @@ impl CdStoreServer {
         if self.journal_lapses.load(Ordering::Relaxed) > 0 {
             self.maybe_checkpoint();
         }
-        Ok(new_bytes)
+        Ok(StoreReceipt {
+            new_bytes,
+            verdicts,
+        })
     }
 
     /// Resolves a client-computed fingerprint to the server fingerprint of

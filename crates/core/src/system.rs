@@ -1,5 +1,5 @@
 //! [`CdStore`]: the whole-system façade wiring one organisation's clients to
-//! `n` in-process CDStore servers.
+//! `n` CDStore servers.
 //!
 //! [`CdStore`] is a cheap clonable `Arc` handle: clone it into as many OS
 //! threads as you like and call [`CdStore::backup`], [`CdStore::restore`],
@@ -7,6 +7,13 @@
 //! `Send + Sync` and internally sharded (see [`crate::server`]). This is how
 //! the multi-client experiments of §5.4 (Figure 8) drive real concurrent
 //! traffic.
+//!
+//! The façade is generic over [`ServerTransport`], defaulting to in-process
+//! [`CdStoreServer`]s: `CdStore::new` builds the all-in-one deployment the
+//! examples use, while [`CdStore::from_transports`] accepts any transport —
+//! e.g. `cdstore_net::RemoteServer` handles speaking the TCP wire protocol
+//! to servers in other processes — and runs the identical backup/restore/
+//! delete/gc protocol over it.
 
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
@@ -19,6 +26,7 @@ use crate::client::{CdStoreClient, UploadReport};
 use crate::dedup::DedupStats;
 use crate::error::CdStoreError;
 use crate::server::{CdStoreServer, GcConfig, GcReport, RecoveryReport, ServerStats};
+use crate::transport::{ServerProbe, ServerTransport};
 
 /// System-wide configuration.
 #[derive(Debug, Clone, Copy)]
@@ -73,13 +81,13 @@ pub struct SystemStats {
 type PendingDeletes = HashMap<usize, Vec<(u64, Vec<u8>)>>;
 
 /// The state shared by every clone of a [`CdStore`] handle.
-struct Shared {
+struct Shared<T: ServerTransport> {
     config: CdStoreConfig,
     /// The servers themselves are `Send + Sync` with `&self` entry points;
     /// the `RwLock` only exists so [`CdStore::replace_and_repair_cloud`] can
     /// swap a lost server for a fresh one. All normal traffic takes the read
     /// lock and proceeds fully concurrently.
-    servers: RwLock<Vec<CdStoreServer>>,
+    servers: RwLock<Vec<T>>,
     available: RwLock<Vec<bool>>,
     dedup: Mutex<DedupStats>,
     /// Catalogue of `(user, pathname)` pairs ever backed up, used by repair
@@ -110,15 +118,27 @@ const PATH_LOCK_STRIPES: usize = 64;
 ///
 /// Cloning a `CdStore` yields another handle to the same deployment; hand
 /// one clone to each client thread for concurrent multi-client traffic.
-#[derive(Clone)]
-pub struct CdStore {
-    shared: Arc<Shared>,
+///
+/// The type parameter is the [`ServerTransport`] the deployment speaks —
+/// in-process [`CdStoreServer`]s by default, or e.g. remote TCP handles via
+/// [`CdStore::from_transports`].
+pub struct CdStore<T: ServerTransport = CdStoreServer> {
+    shared: Arc<Shared<T>>,
+}
+
+// Manual impl: `derive(Clone)` would needlessly require `T: Clone`.
+impl<T: ServerTransport> Clone for CdStore<T> {
+    fn clone(&self) -> Self {
+        CdStore {
+            shared: Arc::clone(&self.shared),
+        }
+    }
 }
 
 impl CdStore {
     /// Creates a CDStore deployment with `n` in-memory servers.
     pub fn new(config: CdStoreConfig) -> Self {
-        Self::from_servers(config, (0..config.n).map(CdStoreServer::new).collect())
+        Self::from_parts(config, (0..config.n).map(CdStoreServer::new).collect())
     }
 
     /// Creates a CDStore deployment over explicit per-cloud storage backends
@@ -135,7 +155,7 @@ impl CdStore {
             .enumerate()
             .map(|(i, backend)| CdStoreServer::with_backend(i, backend))
             .collect();
-        Ok(Self::from_servers(config, servers))
+        Ok(Self::from_parts(config, servers))
     }
 
     /// Recovers a whole deployment from backend-only state: every server is
@@ -166,7 +186,7 @@ impl CdStore {
             servers.push(server);
             reports.push(report);
         }
-        Ok((Self::from_servers(config, servers), reports))
+        Ok((Self::from_parts(config, servers), reports))
     }
 
     fn check_backend_count(
@@ -181,20 +201,6 @@ impl CdStore {
             )));
         }
         Ok(())
-    }
-
-    fn from_servers(config: CdStoreConfig, servers: Vec<CdStoreServer>) -> Self {
-        CdStore {
-            shared: Arc::new(Shared {
-                servers: RwLock::new(servers),
-                available: RwLock::new(vec![true; config.n]),
-                dedup: Mutex::new(DedupStats::new()),
-                catalog: Mutex::new(BTreeSet::new()),
-                path_locks: (0..PATH_LOCK_STRIPES).map(|_| RwLock::new(())).collect(),
-                pending_deletes: Mutex::new(HashMap::new()),
-                config,
-            }),
-        }
     }
 
     /// Restarts server `i` in place: seals its open containers, discards the
@@ -215,6 +221,77 @@ impl CdStore {
         let (server, report) = CdStoreServer::open(i, backend)?;
         servers[i] = server;
         Ok(report)
+    }
+
+    /// Replaces cloud `i` with a brand-new empty server (permanent loss) and
+    /// rebuilds every lost share on it from the surviving `k` clouds, as in
+    /// Reed-Solomon repair (§3.1). Returns the number of files repaired.
+    ///
+    /// Repair is an administrative operation: run it while client traffic is
+    /// quiesced, as files backed up concurrently with the repair pass may be
+    /// missed.
+    pub fn replace_and_repair_cloud(&self, i: usize) -> Result<usize, CdStoreError> {
+        self.shared.servers.write()[i] = CdStoreServer::new(i);
+        self.shared.available.write()[i] = true;
+        // The replacement server starts empty: deletes that were pending for
+        // the lost cloud have nothing left to delete (repair re-uploads only
+        // catalogued — i.e. not deleted — files).
+        self.shared.pending_deletes.lock().remove(&i);
+        let catalog: Vec<(u64, String)> = self.shared.catalog.lock().iter().cloned().collect();
+        let mut repaired = 0usize;
+        for (user, pathname) in catalog {
+            // Restore from the surviving clouds...
+            let client = self.client(user)?;
+            let mut availability = self.shared.available.read().clone();
+            availability[i] = false;
+            let servers = self.shared.servers.read();
+            let data = client.download(&servers, &availability, &pathname)?;
+            // ...and re-upload, which regenerates the identical convergent
+            // shares and repopulates cloud i (the other clouds deduplicate the
+            // re-uploaded shares away).
+            client.upload(&servers, &pathname, &data)?;
+            repaired += 1;
+        }
+        Ok(repaired)
+    }
+}
+
+impl<T: ServerTransport> CdStore<T> {
+    /// Creates a deployment over explicit transports, one per cloud — the
+    /// entry point for networked deployments, where each transport is a
+    /// remote handle to a server in another process:
+    ///
+    /// ```ignore
+    /// let transports: Vec<RemoteServer> = addrs.iter().map(...).collect();
+    /// let store = CdStore::from_transports(config, transports)?;
+    /// store.backup(user, "/docs.tar", &data)?;   // over TCP
+    /// ```
+    pub fn from_transports(
+        config: CdStoreConfig,
+        transports: Vec<T>,
+    ) -> Result<Self, CdStoreError> {
+        if transports.len() != config.n {
+            return Err(CdStoreError::InvalidConfig(format!(
+                "expected {} transports (one per cloud), got {}",
+                config.n,
+                transports.len()
+            )));
+        }
+        Ok(Self::from_parts(config, transports))
+    }
+
+    fn from_parts(config: CdStoreConfig, servers: Vec<T>) -> Self {
+        CdStore {
+            shared: Arc::new(Shared {
+                servers: RwLock::new(servers),
+                available: RwLock::new(vec![true; config.n]),
+                dedup: Mutex::new(DedupStats::new()),
+                catalog: Mutex::new(BTreeSet::new()),
+                path_locks: (0..PATH_LOCK_STRIPES).map(|_| RwLock::new(())).collect(),
+                pending_deletes: Mutex::new(HashMap::new()),
+                config,
+            }),
+        }
     }
 
     /// The configuration in use.
@@ -391,38 +468,6 @@ impl CdStore {
         self.shared.available.read()[i]
     }
 
-    /// Replaces cloud `i` with a brand-new empty server (permanent loss) and
-    /// rebuilds every lost share on it from the surviving `k` clouds, as in
-    /// Reed-Solomon repair (§3.1). Returns the number of files repaired.
-    ///
-    /// Repair is an administrative operation: run it while client traffic is
-    /// quiesced, as files backed up concurrently with the repair pass may be
-    /// missed.
-    pub fn replace_and_repair_cloud(&self, i: usize) -> Result<usize, CdStoreError> {
-        self.shared.servers.write()[i] = CdStoreServer::new(i);
-        self.shared.available.write()[i] = true;
-        // The replacement server starts empty: deletes that were pending for
-        // the lost cloud have nothing left to delete (repair re-uploads only
-        // catalogued — i.e. not deleted — files).
-        self.shared.pending_deletes.lock().remove(&i);
-        let catalog: Vec<(u64, String)> = self.shared.catalog.lock().iter().cloned().collect();
-        let mut repaired = 0usize;
-        for (user, pathname) in catalog {
-            // Restore from the surviving clouds...
-            let client = self.client(user)?;
-            let mut availability = self.shared.available.read().clone();
-            availability[i] = false;
-            let servers = self.shared.servers.read();
-            let data = client.download(&servers, &availability, &pathname)?;
-            // ...and re-upload, which regenerates the identical convergent
-            // shares and repopulates cloud i (the other clouds deduplicate the
-            // re-uploaded shares away).
-            client.upload(&servers, &pathname, &data)?;
-            repaired += 1;
-        }
-        Ok(repaired)
-    }
-
     /// Seals open containers on every server.
     pub fn flush(&self) -> Result<(), CdStoreError> {
         for server in self.shared.servers.read().iter() {
@@ -454,21 +499,28 @@ impl CdStore {
         Ok(total)
     }
 
-    /// Aggregated system statistics.
+    /// Aggregated system statistics. Server-side numbers come from one
+    /// [`ServerTransport::probe`] per server; a server that cannot be probed
+    /// (e.g. an unreachable remote) contributes zeroed counters rather than
+    /// failing the whole snapshot.
     pub fn stats(&self) -> SystemStats {
         let servers = self.shared.servers.read();
+        let probes: Vec<ServerProbe> = servers
+            .iter()
+            .map(|s| s.probe().unwrap_or_default())
+            .collect();
         SystemStats {
             dedup: *self.shared.dedup.lock(),
-            servers: servers.iter().map(|s| s.stats()).collect(),
-            backend_bytes: servers.iter().map(|s| s.backend_bytes()).collect(),
-            index_bytes: servers.iter().map(|s| s.index_bytes()).collect(),
+            servers: probes.iter().map(|p| p.stats).collect(),
+            backend_bytes: probes.iter().map(|p| p.backend_bytes).collect(),
+            index_bytes: probes.iter().map(|p| p.index_bytes as usize).collect(),
             files: self.shared.catalog.lock().len(),
         }
     }
 
-    /// Runs a closure against the server slice (used by benchmarks and tests
-    /// that drive [`CdStoreClient`]s explicitly).
-    pub fn with_servers<R>(&self, f: impl FnOnce(&[CdStoreServer]) -> R) -> R {
+    /// Runs a closure against the server (transport) slice — used by
+    /// benchmarks and tests that drive [`CdStoreClient`]s explicitly.
+    pub fn with_servers<R>(&self, f: impl FnOnce(&[T]) -> R) -> R {
         f(&self.shared.servers.read())
     }
 

@@ -1,0 +1,540 @@
+//! [`NetClient`]: a pipelining connection pool, and [`RemoteServer`], the
+//! [`ServerTransport`] implementation that speaks the wire protocol.
+//!
+//! Each pooled connection has a dedicated reader thread that dispatches
+//! responses to waiting callers by request id, so any number of client
+//! threads can keep requests in flight on the same connection — pipelining,
+//! not one-request-per-round-trip. Failures are contained per call: a
+//! timeout or connection loss kills the affected link, the next call
+//! reconnects, and transport-level errors are retried a bounded number of
+//! times (server-side errors are never retried — they would fail again).
+
+use std::collections::HashMap;
+use std::net::{Shutdown, SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender};
+use std::sync::Arc;
+use std::time::Duration;
+
+use cdstore_core::server::{GcConfig, GcReport};
+use cdstore_core::transport::{ServerProbe, ServerTransport, StoreReceipt};
+use cdstore_core::{CdStoreError, FileRecipe, ShareMetadata};
+use cdstore_crypto::Fingerprint;
+use parking_lot::Mutex;
+
+use crate::frame::{write_frame, FrameReader, Polled};
+use crate::message::{decode_response, encode_request, error_from_wire, Request, Response};
+
+/// Tuning knobs of a [`NetClient`].
+#[derive(Debug, Clone)]
+pub struct NetClientConfig {
+    /// Pooled connections per server (each pipelines independently).
+    pub connections: usize,
+    /// Per-request timeout; expiry kills the link and (within the retry
+    /// budget) reconnects.
+    pub request_timeout: Duration,
+    /// TCP connect timeout.
+    pub connect_timeout: Duration,
+    /// Transport-failure retries per call (reconnect + resend).
+    pub retries: u32,
+    /// Credit window for streamed restores: the server keeps at most this
+    /// many un-acknowledged shares in flight.
+    pub stream_window: u32,
+}
+
+impl Default for NetClientConfig {
+    fn default() -> Self {
+        NetClientConfig {
+            connections: 2,
+            request_timeout: Duration::from_secs(30),
+            connect_timeout: Duration::from_secs(5),
+            retries: 2,
+            stream_window: 32,
+        }
+    }
+}
+
+/// One live connection: the write half plus the response-dispatch table
+/// shared with its reader thread.
+struct Link {
+    stream: Mutex<TcpStream>,
+    /// In-flight requests: req_id → channel to the waiting caller. Stream
+    /// requests stay registered across many responses (removed at
+    /// `StreamEnd`/`Err`); unary requests are removed at their single
+    /// response.
+    pending: Arc<Mutex<HashMap<u64, SyncSender<Response>>>>,
+    dead: Arc<AtomicBool>,
+}
+
+impl Link {
+    fn kill(&self) {
+        self.dead.store(true, Ordering::SeqCst);
+        let _ = self.stream.lock().shutdown(Shutdown::Both);
+    }
+}
+
+impl Drop for Link {
+    fn drop(&mut self) {
+        // Close the socket for real (the reader thread holds a clone of the
+        // handle) so the reader sees EOF and exits.
+        self.kill();
+    }
+}
+
+/// One pool slot; `None` until first use or after its link died.
+struct Connection {
+    link: Mutex<Option<Arc<Link>>>,
+}
+
+/// A pipelining RPC client for one CDStore server address.
+pub struct NetClient {
+    addr: SocketAddr,
+    config: NetClientConfig,
+    pool: Vec<Connection>,
+    next_req_id: AtomicU64,
+    next_conn: AtomicUsize,
+}
+
+fn remote_err(msg: impl std::fmt::Display) -> CdStoreError {
+    CdStoreError::Remote(msg.to_string())
+}
+
+impl NetClient {
+    /// Creates a client for the server at `addr`. Connections are opened
+    /// lazily on first use.
+    pub fn new(addr: impl ToSocketAddrs, config: NetClientConfig) -> Result<Self, CdStoreError> {
+        let addr = addr
+            .to_socket_addrs()
+            .map_err(remote_err)?
+            .next()
+            .ok_or_else(|| remote_err("address resolved to nothing"))?;
+        let pool = (0..config.connections.max(1))
+            .map(|_| Connection {
+                link: Mutex::new(None),
+            })
+            .collect();
+        Ok(NetClient {
+            addr,
+            config,
+            pool,
+            next_req_id: AtomicU64::new(1),
+            next_conn: AtomicUsize::new(0),
+        })
+    }
+
+    /// The server address this client talks to.
+    pub fn server_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    fn next_req_id(&self) -> u64 {
+        self.next_req_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Returns a live link from the pool (round-robin), reconnecting the
+    /// slot if its link is absent or dead.
+    fn link(&self) -> Result<Arc<Link>, CdStoreError> {
+        let slot = &self.pool[self.next_conn.fetch_add(1, Ordering::Relaxed) % self.pool.len()];
+        let mut guard = slot.link.lock();
+        if let Some(link) = guard.as_ref() {
+            if !link.dead.load(Ordering::SeqCst) {
+                return Ok(Arc::clone(link));
+            }
+        }
+        let stream = TcpStream::connect_timeout(&self.addr, self.config.connect_timeout)
+            .map_err(|e| remote_err(format!("connect to {}: {e}", self.addr)))?;
+        let _ = stream.set_nodelay(true);
+        let read_half = stream.try_clone().map_err(remote_err)?;
+        let pending: Arc<Mutex<HashMap<u64, SyncSender<Response>>>> =
+            Arc::new(Mutex::new(HashMap::new()));
+        let dead = Arc::new(AtomicBool::new(false));
+        {
+            let pending = Arc::clone(&pending);
+            let dead = Arc::clone(&dead);
+            std::thread::spawn(move || {
+                reader_loop(read_half, &pending);
+                // Whatever ended the loop (EOF, reset, corrupt frame): fail
+                // every waiter by dropping its sender, and poison the link.
+                dead.store(true, Ordering::SeqCst);
+                pending.lock().clear();
+            });
+        }
+        let link = Arc::new(Link {
+            stream: Mutex::new(stream),
+            pending,
+            dead,
+        });
+        *guard = Some(Arc::clone(&link));
+        Ok(link)
+    }
+
+    /// Registers a waiter and sends one request on `link`.
+    fn send(
+        &self,
+        link: &Link,
+        req: &Request,
+        channel_depth: usize,
+    ) -> Result<(u64, Receiver<Response>), CdStoreError> {
+        let req_id = self.next_req_id();
+        let (tx, rx) = std::sync::mpsc::sync_channel(channel_depth);
+        link.pending.lock().insert(req_id, tx);
+        let (msg_type, payload) = encode_request(req_id, req);
+        let write_result = {
+            let mut stream = link.stream.lock();
+            write_frame(&mut *stream, msg_type, &payload)
+        };
+        if let Err(e) = write_result {
+            link.pending.lock().remove(&req_id);
+            link.kill();
+            return Err(remote_err(format!("send: {e}")));
+        }
+        Ok((req_id, rx))
+    }
+
+    /// One unary RPC with timeout, without retry.
+    fn call_once(&self, req: &Request) -> Result<Response, CdStoreError> {
+        let link = self.link()?;
+        let (req_id, rx) = self.send(&link, req, 1)?;
+        match rx.recv_timeout(self.config.request_timeout) {
+            Ok(resp) => Ok(resp),
+            Err(RecvTimeoutError::Timeout) => {
+                link.pending.lock().remove(&req_id);
+                link.kill();
+                Err(remote_err(format!(
+                    "request timed out after {:?}",
+                    self.config.request_timeout
+                )))
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                Err(remote_err("connection lost awaiting response"))
+            }
+        }
+    }
+
+    /// One unary RPC with bounded retry on *transport* errors. Server-side
+    /// errors come back as decoded [`CdStoreError`]s and are never retried.
+    pub fn call(&self, req: &Request) -> Result<Response, CdStoreError> {
+        let mut last = None;
+        for _attempt in 0..=self.config.retries {
+            match self.call_once(req) {
+                Ok(Response::Err {
+                    code,
+                    needed,
+                    available,
+                    msg,
+                }) => return Err(error_from_wire(code, needed, available, msg)),
+                Ok(resp) => return Ok(resp),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| remote_err("retries exhausted")))
+    }
+
+    /// Streamed share download with windowed backpressure: consumes shares
+    /// as the server sends them, granting credit in half-window steps so the
+    /// server never has more than `stream_window` shares un-acknowledged.
+    pub fn fetch_shares_streamed(
+        &self,
+        user: u64,
+        fingerprints: &[Fingerprint],
+    ) -> Result<Vec<Vec<u8>>, CdStoreError> {
+        if fingerprints.is_empty() {
+            return Ok(Vec::new());
+        }
+        let window = self.config.stream_window.max(2);
+        let link = self.link()?;
+        let (req_id, rx) = self.send(
+            &link,
+            &Request::StreamShares {
+                user,
+                fingerprints: fingerprints.to_vec(),
+                window,
+            },
+            // The dispatch channel can hold a full window, so the reader
+            // thread never blocks on a stream that respects its credit.
+            window as usize + 1,
+        )?;
+        let mut shares: Vec<Vec<u8>> = Vec::with_capacity(fingerprints.len());
+        let mut since_credit = 0u32;
+        loop {
+            let resp = match rx.recv_timeout(self.config.request_timeout) {
+                Ok(resp) => resp,
+                Err(RecvTimeoutError::Timeout) => {
+                    link.pending.lock().remove(&req_id);
+                    link.kill();
+                    return Err(remote_err("stream timed out"));
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(remote_err("connection lost mid-stream"));
+                }
+            };
+            match resp {
+                Response::StreamShare { seq, data } => {
+                    if seq != shares.len() as u64 {
+                        link.pending.lock().remove(&req_id);
+                        link.kill();
+                        return Err(remote_err(format!(
+                            "stream out of order: got seq {seq}, want {}",
+                            shares.len()
+                        )));
+                    }
+                    shares.push(data);
+                    since_credit += 1;
+                    // Grant in half-window steps: frequent enough that the
+                    // server rarely stalls, coarse enough that credit frames
+                    // stay a negligible fraction of the traffic.
+                    if since_credit >= window / 2 && shares.len() < fingerprints.len() {
+                        let (msg_type, payload) = encode_request(
+                            req_id,
+                            &Request::StreamCredit {
+                                grant: since_credit,
+                            },
+                        );
+                        let mut stream = link.stream.lock();
+                        if let Err(e) = write_frame(&mut *stream, msg_type, &payload) {
+                            drop(stream);
+                            link.pending.lock().remove(&req_id);
+                            link.kill();
+                            return Err(remote_err(format!("send credit: {e}")));
+                        }
+                        since_credit = 0;
+                    }
+                }
+                Response::StreamEnd { count } => {
+                    if count != fingerprints.len() as u64 || shares.len() != fingerprints.len() {
+                        return Err(remote_err(format!(
+                            "stream ended early: {} of {} shares",
+                            shares.len(),
+                            fingerprints.len()
+                        )));
+                    }
+                    return Ok(shares);
+                }
+                Response::Err {
+                    code,
+                    needed,
+                    available,
+                    msg,
+                } => return Err(error_from_wire(code, needed, available, msg)),
+                other => {
+                    link.pending.lock().remove(&req_id);
+                    link.kill();
+                    return Err(remote_err(format!("unexpected stream response: {other:?}")));
+                }
+            }
+        }
+    }
+}
+
+/// Dispatches responses to waiting callers until the stream dies.
+fn reader_loop(stream: TcpStream, pending: &Mutex<HashMap<u64, SyncSender<Response>>>) {
+    let mut reader = FrameReader::new();
+    let mut stream = stream;
+    loop {
+        match reader.poll(&mut stream) {
+            Ok(Polled::Frame(msg_type, payload)) => {
+                let Some((req_id, resp)) = decode_response(msg_type, &payload) else {
+                    return; // protocol violation: poison the link
+                };
+                // Stream frames keep their waiter registered; everything
+                // else (unary responses, StreamEnd, Err) completes it.
+                let keep = matches!(resp, Response::StreamShare { .. });
+                let mut map = pending.lock();
+                if keep {
+                    if let Some(tx) = map.get(&req_id) {
+                        let tx = tx.clone();
+                        drop(map);
+                        // The channel holds a full credit window, so this
+                        // send only blocks on a peer that overran its
+                        // credit; the block then backpressures TCP itself.
+                        let _ = tx.send(resp);
+                    }
+                } else if let Some(tx) = map.remove(&req_id) {
+                    drop(map);
+                    let _ = tx.send(resp);
+                }
+                // A response nobody waits for (timed-out caller) is dropped.
+            }
+            Ok(Polled::Idle) => continue, // no read timeout is set; defensive
+            Ok(Polled::Closed) | Err(_) => return,
+        }
+    }
+}
+
+/// A remote CDStore server as a [`ServerTransport`]: the networked
+/// counterpart of handing a [`cdstore_core::CdStoreServer`] to a client.
+pub struct RemoteServer {
+    cloud_index: usize,
+    client: NetClient,
+}
+
+impl RemoteServer {
+    /// Connects to the server at `addr` and learns its cloud index with an
+    /// initial ping (which also validates protocol compatibility).
+    pub fn connect(
+        addr: impl ToSocketAddrs,
+        config: NetClientConfig,
+    ) -> Result<Self, CdStoreError> {
+        let client = NetClient::new(addr, config)?;
+        match client.call(&Request::Ping)? {
+            Response::Pong { cloud_index } => Ok(RemoteServer {
+                cloud_index: cloud_index as usize,
+                client,
+            }),
+            other => Err(remote_err(format!("bad ping response: {other:?}"))),
+        }
+    }
+
+    /// The underlying RPC client.
+    pub fn client(&self) -> &NetClient {
+        &self.client
+    }
+}
+
+fn expect_unit(resp: Response) -> Result<(), CdStoreError> {
+    match resp {
+        Response::Unit => Ok(()),
+        other => Err(remote_err(format!("expected unit response, got {other:?}"))),
+    }
+}
+
+impl ServerTransport for RemoteServer {
+    fn cloud_index(&self) -> usize {
+        self.cloud_index
+    }
+
+    fn intra_user_query(
+        &self,
+        user: u64,
+        fingerprints: &[Fingerprint],
+    ) -> Result<Vec<bool>, CdStoreError> {
+        match self.client.call(&Request::IntraUserQuery {
+            user,
+            fingerprints: fingerprints.to_vec(),
+        })? {
+            Response::Bools(bools) if bools.len() == fingerprints.len() => Ok(bools),
+            other => Err(remote_err(format!("bad intra-user reply: {other:?}"))),
+        }
+    }
+
+    fn store_shares(
+        &self,
+        user: u64,
+        shares: &[(ShareMetadata, Vec<u8>)],
+    ) -> Result<StoreReceipt, CdStoreError> {
+        match self.client.call(&Request::StoreShares {
+            user,
+            shares: shares.to_vec(),
+        })? {
+            Response::Receipt(receipt) if receipt.verdicts.len() == shares.len() => Ok(receipt),
+            other => Err(remote_err(format!("bad store reply: {other:?}"))),
+        }
+    }
+
+    fn put_file(
+        &self,
+        user: u64,
+        encoded_pathname: &[u8],
+        recipe: &FileRecipe,
+        uploaded: &[Fingerprint],
+    ) -> Result<(), CdStoreError> {
+        expect_unit(self.client.call(&Request::PutFile {
+            user,
+            encoded_pathname: encoded_pathname.to_vec(),
+            recipe: recipe.clone(),
+            uploaded: uploaded.to_vec(),
+        })?)
+    }
+
+    fn release_uploads(&self, user: u64, fingerprints: &[Fingerprint]) -> Result<(), CdStoreError> {
+        expect_unit(self.client.call(&Request::ReleaseUploads {
+            user,
+            fingerprints: fingerprints.to_vec(),
+        })?)
+    }
+
+    fn has_file(&self, user: u64, encoded_pathname: &[u8]) -> Result<bool, CdStoreError> {
+        match self.client.call(&Request::HasFile {
+            user,
+            encoded_pathname: encoded_pathname.to_vec(),
+        })? {
+            Response::Bool(b) => Ok(b),
+            other => Err(remote_err(format!("bad has-file reply: {other:?}"))),
+        }
+    }
+
+    fn get_recipe(&self, user: u64, encoded_pathname: &[u8]) -> Result<FileRecipe, CdStoreError> {
+        match self.client.call(&Request::GetRecipe {
+            user,
+            encoded_pathname: encoded_pathname.to_vec(),
+        })? {
+            Response::Recipe(recipe) => Ok(recipe),
+            other => Err(remote_err(format!("bad recipe reply: {other:?}"))),
+        }
+    }
+
+    fn delete_file(&self, user: u64, encoded_pathname: &[u8]) -> Result<bool, CdStoreError> {
+        match self.client.call(&Request::DeleteFile {
+            user,
+            encoded_pathname: encoded_pathname.to_vec(),
+        })? {
+            Response::Bool(b) => Ok(b),
+            other => Err(remote_err(format!("bad delete reply: {other:?}"))),
+        }
+    }
+
+    fn fetch_shares(
+        &self,
+        user: u64,
+        fingerprints: &[Fingerprint],
+    ) -> Result<Vec<Vec<u8>>, CdStoreError> {
+        // Restores use the chunk-streamed path: bounded memory on both
+        // sides, and the decode pipeline can start before the last share
+        // arrives.
+        self.client.fetch_shares_streamed(user, fingerprints)
+    }
+
+    fn flush(&self) -> Result<(), CdStoreError> {
+        expect_unit(self.client.call(&Request::Flush)?)
+    }
+
+    fn gc_with(&self, config: GcConfig) -> Result<GcReport, CdStoreError> {
+        match self.client.call(&Request::Gc {
+            dead_ratio_bits: config.dead_ratio.to_bits(),
+        })? {
+            Response::Gc(report) => Ok(report),
+            other => Err(remote_err(format!("bad gc reply: {other:?}"))),
+        }
+    }
+
+    fn probe(&self) -> Result<ServerProbe, CdStoreError> {
+        match self.client.call(&Request::Probe)? {
+            Response::Probe(probe) => Ok(probe),
+            other => Err(remote_err(format!("bad probe reply: {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connecting_to_a_dead_port_is_a_remote_error_not_a_hang() {
+        // Bind-then-drop leaves a port with nothing listening.
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let config = NetClientConfig {
+            connect_timeout: Duration::from_millis(500),
+            retries: 0,
+            ..NetClientConfig::default()
+        };
+        match RemoteServer::connect(addr, config) {
+            Err(CdStoreError::Remote(_)) => {}
+            Err(other) => panic!("expected Remote error, got {other}"),
+            Ok(_) => panic!("connected to a dead port"),
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! [`LoopbackCluster`]: `n` networked servers on loopback, in one process.
+//!
+//! The benches and many tests need a real TCP boundary (serialization,
+//! syscalls, flow control) without the cost of spawning processes; this
+//! helper binds `n` [`NetServer`]s on OS-assigned loopback ports and hands
+//! out [`RemoteServer`] transports to them. For genuinely separate server
+//! *processes*, see the `cdstore-serve` binary and `tests/net_e2e.rs`.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+use cdstore_core::{CdStore, CdStoreConfig, CdStoreError, CdStoreServer};
+
+use crate::client::{NetClientConfig, RemoteServer};
+use crate::server::NetServer;
+
+/// `n` wire-protocol servers on loopback ports, shut down on drop.
+pub struct LoopbackCluster {
+    servers: Vec<NetServer>,
+    addrs: Vec<SocketAddr>,
+}
+
+impl LoopbackCluster {
+    /// Spawns `n` servers (cloud indices `0..n`) over in-memory backends.
+    pub fn spawn(n: usize) -> std::io::Result<LoopbackCluster> {
+        let mut servers = Vec::with_capacity(n);
+        let mut addrs = Vec::with_capacity(n);
+        for i in 0..n {
+            let server = NetServer::bind(Arc::new(CdStoreServer::new(i)), "127.0.0.1:0")?;
+            addrs.push(server.local_addr());
+            servers.push(server);
+        }
+        Ok(LoopbackCluster { servers, addrs })
+    }
+
+    /// The listening addresses, indexed by cloud.
+    pub fn addrs(&self) -> &[SocketAddr] {
+        &self.addrs
+    }
+
+    /// Connects one transport per server.
+    pub fn transports(&self, config: NetClientConfig) -> Result<Vec<RemoteServer>, CdStoreError> {
+        self.addrs
+            .iter()
+            .map(|addr| RemoteServer::connect(addr, config.clone()))
+            .collect()
+    }
+
+    /// Builds a [`CdStore`] deployment running entirely over the wire.
+    pub fn store(
+        &self,
+        config: CdStoreConfig,
+        client_config: NetClientConfig,
+    ) -> Result<CdStore<RemoteServer>, CdStoreError> {
+        CdStore::from_transports(config, self.transports(client_config)?)
+    }
+
+    /// Shuts every server down (also happens on drop).
+    pub fn shutdown(&mut self) {
+        for server in &mut self.servers {
+            server.shutdown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backup_and_restore_run_over_real_sockets() {
+        let cluster = LoopbackCluster::spawn(4).unwrap();
+        let store = cluster
+            .store(
+                CdStoreConfig::new(4, 3).unwrap(),
+                NetClientConfig::default(),
+            )
+            .unwrap();
+        let data: Vec<u8> = (0..120_000u32)
+            .map(|i| ((i / 600) as u8).wrapping_mul(23).wrapping_add(5))
+            .collect();
+        store.backup(1, "/wire/backup.tar", &data).unwrap();
+        assert_eq!(store.restore(1, "/wire/backup.tar").unwrap(), data);
+        // Dedup counters crossed the wire too.
+        let stats = store.stats();
+        assert_eq!(stats.servers.len(), 4);
+        assert!(stats.servers.iter().all(|s| s.received_share_bytes > 0));
+        // k-of-n still holds with a cloud marked unavailable client-side.
+        store.fail_cloud(3);
+        assert_eq!(store.restore(1, "/wire/backup.tar").unwrap(), data);
+    }
+}

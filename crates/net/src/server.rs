@@ -1,0 +1,394 @@
+//! [`NetServer`]: a CDStore server behind a TCP listener.
+//!
+//! One `NetServer` wraps an `Arc<CdStoreServer>` and serves the full wire
+//! protocol: a thread-per-connection accept loop (the server object itself
+//! is `Send + Sync` and internally sharded, so connections run genuinely
+//! concurrently), pipelined request handling (each connection answers
+//! requests in arrival order but the client may keep many in flight), the
+//! credit-windowed share streaming of restores, and graceful shutdown that
+//! joins every connection thread.
+
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use cdstore_core::server::GcConfig;
+use cdstore_core::transport::ServerTransport;
+use cdstore_core::{CdStoreError, CdStoreServer};
+
+use crate::frame::{write_frame, FrameError, FrameReader, Polled};
+use crate::message::{decode_request, encode_response, error_to_wire, Request, Response};
+
+/// How often a blocked connection read wakes up to check the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// A CDStore server listening on a TCP address.
+pub struct NetServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Binds `addr` (use port 0 for an OS-assigned port) and starts serving
+    /// `server` on a background accept loop.
+    pub fn bind(server: Arc<CdStoreServer>, addr: impl ToSocketAddrs) -> io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        // Non-blocking accept polled on an interval: shutdown then needs no
+        // self-connect trick to unwedge a blocking accept.
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let accept_thread = {
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::spawn(move || accept_loop(listener, server, shutdown))
+        };
+        Ok(NetServer {
+            addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The address the server is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains every connection thread, and returns once all
+    /// of them have exited. In-flight requests complete; idle connections
+    /// close at their next poll tick.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, server: Arc<CdStoreServer>, shutdown: Arc<AtomicBool>) {
+    let mut connections: Vec<JoinHandle<()>> = Vec::new();
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let server = Arc::clone(&server);
+                let shutdown = Arc::clone(&shutdown);
+                connections.push(std::thread::spawn(move || {
+                    // A connection failing (corrupt frame, peer reset) only
+                    // drops that connection; the server keeps serving.
+                    let _ = serve_connection(stream, server, shutdown);
+                }));
+                // Opportunistically reap finished connection threads so a
+                // long-lived server does not accumulate handles.
+                connections.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            Err(_) => break,
+        }
+    }
+    for handle in connections {
+        let _ = handle.join();
+    }
+}
+
+/// Serves one connection until the peer closes, a protocol violation, or
+/// shutdown.
+fn serve_connection(
+    stream: TcpStream,
+    server: Arc<CdStoreServer>,
+    shutdown: Arc<AtomicBool>,
+) -> Result<(), FrameError> {
+    // Small frames (queries, credits) must not sit in Nagle buffers behind
+    // an RTT: batching is done explicitly at the message layer.
+    let _ = stream.set_nodelay(true);
+    stream.set_read_timeout(Some(POLL_INTERVAL))?;
+    let mut reader = FrameReader::new();
+    let mut stream = stream;
+    // Requests that arrived while a stream was waiting for credit.
+    let mut queued: VecDeque<(u64, Request)> = VecDeque::new();
+    loop {
+        let (req_id, request) = match queued.pop_front() {
+            Some(next) => next,
+            None => match reader.poll(&mut { &stream })? {
+                Polled::Frame(msg_type, payload) => match decode_request(msg_type, &payload) {
+                    Some(decoded) => decoded,
+                    None => {
+                        return Err(FrameError::Corrupt(format!(
+                            "malformed request (type {msg_type:#04x})"
+                        )))
+                    }
+                },
+                Polled::Idle => {
+                    if shutdown.load(Ordering::SeqCst) {
+                        return Ok(());
+                    }
+                    continue;
+                }
+                Polled::Closed => return Ok(()),
+            },
+        };
+        match request {
+            Request::StreamShares {
+                user,
+                fingerprints,
+                window,
+            } => {
+                stream_shares(
+                    &mut stream,
+                    &mut reader,
+                    &mut queued,
+                    &server,
+                    &shutdown,
+                    req_id,
+                    user,
+                    &fingerprints,
+                    window,
+                )?;
+            }
+            // A credit with no stream in flight: stale (its stream already
+            // ended, e.g. after an error response). Ignore.
+            Request::StreamCredit { .. } => {}
+            other => {
+                let response = handle_request(&server, other);
+                let (msg_type, payload) = encode_response(req_id, &response);
+                write_frame(&mut stream, msg_type, &payload)?;
+            }
+        }
+    }
+}
+
+/// Executes one non-streaming request against the server.
+fn handle_request(server: &Arc<CdStoreServer>, request: Request) -> Response {
+    fn or_err(result: Result<Response, CdStoreError>) -> Response {
+        result.unwrap_or_else(|e| error_to_wire(&e))
+    }
+    let t: &CdStoreServer = server;
+    match request {
+        Request::Ping => Response::Pong {
+            cloud_index: ServerTransport::cloud_index(t) as u32,
+        },
+        Request::IntraUserQuery { user, fingerprints } => {
+            or_err(ServerTransport::intra_user_query(t, user, &fingerprints).map(Response::Bools))
+        }
+        Request::StoreShares { user, shares } => {
+            or_err(ServerTransport::store_shares(t, user, &shares).map(Response::Receipt))
+        }
+        Request::PutFile {
+            user,
+            encoded_pathname,
+            recipe,
+            uploaded,
+        } => or_err(
+            ServerTransport::put_file(t, user, &encoded_pathname, &recipe, &uploaded)
+                .map(|()| Response::Unit),
+        ),
+        Request::ReleaseUploads { user, fingerprints } => or_err(
+            ServerTransport::release_uploads(t, user, &fingerprints).map(|()| Response::Unit),
+        ),
+        Request::HasFile {
+            user,
+            encoded_pathname,
+        } => or_err(ServerTransport::has_file(t, user, &encoded_pathname).map(Response::Bool)),
+        Request::GetRecipe {
+            user,
+            encoded_pathname,
+        } => or_err(ServerTransport::get_recipe(t, user, &encoded_pathname).map(Response::Recipe)),
+        Request::DeleteFile {
+            user,
+            encoded_pathname,
+        } => or_err(ServerTransport::delete_file(t, user, &encoded_pathname).map(Response::Bool)),
+        Request::FetchShares { user, fingerprints } => {
+            or_err(ServerTransport::fetch_shares(t, user, &fingerprints).map(Response::Shares))
+        }
+        Request::Flush => or_err(ServerTransport::flush(t).map(|()| Response::Unit)),
+        Request::Gc { dead_ratio_bits } => or_err(
+            ServerTransport::gc_with(
+                t,
+                GcConfig {
+                    dead_ratio: f64::from_bits(dead_ratio_bits),
+                },
+            )
+            .map(Response::Gc),
+        ),
+        Request::Probe => or_err(ServerTransport::probe(t).map(Response::Probe)),
+        // Handled by the connection loop, never here.
+        Request::StreamShares { .. } | Request::StreamCredit { .. } => error_to_wire(
+            &CdStoreError::Remote("stream request out of context".into()),
+        ),
+    }
+}
+
+/// Streams shares back under the credit window: at most `window` shares may
+/// be un-acknowledged (un-credited) at any time, so a slow client reading at
+/// its own pace bounds the server's send queue — backpressure, not buffering.
+/// Requests arriving on the connection while the stream waits for credit are
+/// queued and answered afterwards.
+#[allow(clippy::too_many_arguments)]
+fn stream_shares(
+    stream: &mut TcpStream,
+    reader: &mut FrameReader,
+    queued: &mut VecDeque<(u64, Request)>,
+    server: &Arc<CdStoreServer>,
+    shutdown: &Arc<AtomicBool>,
+    req_id: u64,
+    user: u64,
+    fingerprints: &[cdstore_crypto::Fingerprint],
+    window: u32,
+) -> Result<(), FrameError> {
+    let mut credit: u64 = window.max(1) as u64;
+    for (seq, fp) in fingerprints.iter().enumerate() {
+        // Exhausted credit: wait for the client's grant, servicing any
+        // pipelined non-stream requests that arrive in the meantime.
+        while credit == 0 {
+            match reader.poll(&mut { &*stream })? {
+                Polled::Frame(msg_type, payload) => match decode_request(msg_type, &payload) {
+                    Some((credit_req, Request::StreamCredit { grant })) if credit_req == req_id => {
+                        credit += grant as u64;
+                    }
+                    Some(other) => queued.push_back(other),
+                    None => {
+                        return Err(FrameError::Corrupt(format!(
+                            "malformed request (type {msg_type:#04x})"
+                        )))
+                    }
+                },
+                Polled::Idle => {
+                    if shutdown.load(Ordering::SeqCst) {
+                        return Ok(());
+                    }
+                }
+                Polled::Closed => return Ok(()),
+            }
+        }
+        // One share per frame: the fetch is per-fingerprint so the server
+        // never materialises the whole restore in memory.
+        let share = match ServerTransport::fetch_shares(&**server, user, std::slice::from_ref(fp)) {
+            Ok(mut shares) => shares.remove(0),
+            Err(e) => {
+                let (msg_type, payload) = encode_response(req_id, &error_to_wire(&e));
+                return write_frame(stream, msg_type, &payload).map_err(FrameError::Io);
+            }
+        };
+        let (msg_type, payload) = encode_response(
+            req_id,
+            &Response::StreamShare {
+                seq: seq as u64,
+                data: share,
+            },
+        );
+        write_frame(stream, msg_type, &payload)?;
+        credit -= 1;
+    }
+    let (msg_type, payload) = encode_response(
+        req_id,
+        &Response::StreamEnd {
+            count: fingerprints.len() as u64,
+        },
+    );
+    write_frame(stream, msg_type, &payload)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::PROTOCOL_VERSION;
+    use crate::message::encode_request;
+
+    fn connect(server: &NetServer) -> TcpStream {
+        TcpStream::connect(server.local_addr()).unwrap()
+    }
+
+    fn roundtrip(stream: &mut TcpStream, req_id: u64, req: &Request) -> (u64, Response) {
+        let (msg_type, payload) = encode_request(req_id, req);
+        write_frame(stream, msg_type, &payload).unwrap();
+        let mut reader = FrameReader::new();
+        loop {
+            match reader.poll(&mut { &*stream }).unwrap() {
+                Polled::Frame(mt, payload) => {
+                    return crate::message::decode_response(mt, &payload).unwrap()
+                }
+                Polled::Idle => continue,
+                Polled::Closed => panic!("server closed the connection"),
+            }
+        }
+    }
+
+    #[test]
+    fn ping_reports_the_cloud_index() {
+        let core = Arc::new(CdStoreServer::new(3));
+        let mut server = NetServer::bind(core, "127.0.0.1:0").unwrap();
+        let mut stream = connect(&server);
+        let (req_id, resp) = roundtrip(&mut stream, 11, &Request::Ping);
+        assert_eq!(req_id, 11);
+        assert_eq!(resp, Response::Pong { cloud_index: 3 });
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_frames_drop_the_connection_but_not_the_server() {
+        let core = Arc::new(CdStoreServer::new(0));
+        let mut server = NetServer::bind(core, "127.0.0.1:0").unwrap();
+        {
+            use std::io::Write;
+            let mut bad = connect(&server);
+            // Valid frame envelope, unknown message type.
+            write_frame(&mut bad, 0x7f, &[0u8; 8]).unwrap();
+            // The server must close this connection.
+            let mut reader = FrameReader::new();
+            loop {
+                match reader.poll(&mut { &bad }) {
+                    Ok(Polled::Closed) | Err(_) => break,
+                    Ok(Polled::Idle) | Ok(Polled::Frame(..)) => continue,
+                }
+            }
+            let _ = bad.flush();
+        }
+        // A fresh connection still works.
+        let mut good = connect(&server);
+        let (_, resp) = roundtrip(&mut good, 1, &Request::Ping);
+        assert!(matches!(resp, Response::Pong { .. }));
+        server.shutdown();
+        let _ = PROTOCOL_VERSION;
+    }
+
+    #[test]
+    fn shutdown_joins_and_refuses_new_traffic() {
+        let core = Arc::new(CdStoreServer::new(0));
+        let mut server = NetServer::bind(core, "127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+        let mut stream = connect(&server);
+        let (_, resp) = roundtrip(&mut stream, 1, &Request::Ping);
+        assert!(matches!(resp, Response::Pong { .. }));
+        server.shutdown();
+        // After shutdown the port no longer accepts (the listener is gone);
+        // allow for connect either failing outright or being reset on use.
+        match TcpStream::connect(addr) {
+            Err(_) => {}
+            Ok(mut s) => {
+                let (msg_type, payload) = encode_request(2, &Request::Ping);
+                let _ = write_frame(&mut s, msg_type, &payload);
+                let mut reader = FrameReader::new();
+                loop {
+                    match reader.poll(&mut { &s }) {
+                        Ok(Polled::Closed) | Err(_) => break,
+                        Ok(Polled::Frame(..)) => panic!("served after shutdown"),
+                        Ok(Polled::Idle) => continue,
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Property tests for the wire codec, mirroring the PR-5 WAL torn-tail
+//! property at the network layer:
+//!
+//! * arbitrary requests and responses round-trip encode → frame → decode;
+//! * every strict byte-prefix of a frame is *incomplete* (wait for more
+//!   bytes), never mis-parsed;
+//! * single-byte corruption anywhere in a frame is rejected by the length /
+//!   version / CRC checks — it never decodes back to the original message.
+
+use cdstore_core::server::GcReport;
+use cdstore_core::transport::{ServerProbe, ShareVerdict, StoreReceipt};
+use cdstore_core::{FileRecipe, RecipeEntry, ShareMetadata};
+use cdstore_crypto::Fingerprint;
+use cdstore_net::frame::{decode_frame, encode_frame};
+use cdstore_net::message::{decode_request, decode_response, encode_request, encode_response};
+use cdstore_net::{Request, Response};
+use proptest::{prop_assert, prop_assert_eq, proptest, ProptestConfig};
+
+fn fp(seed: u64) -> Fingerprint {
+    Fingerprint::of(&seed.to_le_bytes())
+}
+
+fn fps(seeds: &[u64]) -> Vec<Fingerprint> {
+    seeds.iter().map(|&s| fp(s)).collect()
+}
+
+/// Deterministically builds one of every request shape from generated raw
+/// material (the shim has no enum strategies; selection-by-discriminant is
+/// equivalent for coverage).
+fn build_request(variant: u8, user: u64, seeds: &[u64], blob: &[u8], small: u32) -> Request {
+    match variant % 12 {
+        0 => Request::Ping,
+        1 => Request::IntraUserQuery {
+            user,
+            fingerprints: fps(seeds),
+        },
+        2 => Request::StoreShares {
+            user,
+            shares: seeds
+                .iter()
+                .map(|&s| {
+                    (
+                        ShareMetadata {
+                            fingerprint: fp(s),
+                            share_size: blob.len() as u32,
+                            secret_seq: s,
+                            secret_size: small,
+                        },
+                        blob.to_vec(),
+                    )
+                })
+                .collect(),
+        },
+        3 => Request::PutFile {
+            user,
+            encoded_pathname: blob.to_vec(),
+            recipe: FileRecipe {
+                file_size: user ^ 0x5555,
+                entries: seeds
+                    .iter()
+                    .map(|&s| RecipeEntry {
+                        share_fingerprint: fp(s),
+                        secret_size: small,
+                    })
+                    .collect(),
+            },
+            uploaded: fps(seeds),
+        },
+        4 => Request::ReleaseUploads {
+            user,
+            fingerprints: fps(seeds),
+        },
+        5 => Request::HasFile {
+            user,
+            encoded_pathname: blob.to_vec(),
+        },
+        6 => Request::GetRecipe {
+            user,
+            encoded_pathname: blob.to_vec(),
+        },
+        7 => Request::DeleteFile {
+            user,
+            encoded_pathname: blob.to_vec(),
+        },
+        8 => Request::FetchShares {
+            user,
+            fingerprints: fps(seeds),
+        },
+        9 => Request::StreamShares {
+            user,
+            fingerprints: fps(seeds),
+            window: small.max(1),
+        },
+        10 => Request::StreamCredit { grant: small },
+        _ => Request::Gc {
+            dead_ratio_bits: f64::from(small).to_bits(),
+        },
+    }
+}
+
+/// Same for responses.
+fn build_response(variant: u8, user: u64, seeds: &[u64], blob: &[u8], small: u32) -> Response {
+    match variant % 10 {
+        0 => Response::Pong { cloud_index: small },
+        1 => Response::Bools(seeds.iter().map(|s| s.is_multiple_of(2)).collect()),
+        2 => Response::Receipt(StoreReceipt {
+            new_bytes: user,
+            verdicts: seeds
+                .iter()
+                .map(|s| match s % 3 {
+                    0 => ShareVerdict::Stored,
+                    1 => ShareVerdict::DuplicateInterUser,
+                    _ => ShareVerdict::DuplicateIntraUser,
+                })
+                .collect(),
+        }),
+        3 => Response::Unit,
+        4 => Response::Bool(user.is_multiple_of(2)),
+        5 => Response::Shares(seeds.iter().map(|_| blob.to_vec()).collect()),
+        6 => Response::StreamShare {
+            seq: user,
+            data: blob.to_vec(),
+        },
+        7 => Response::Gc(GcReport {
+            containers_deleted: user,
+            containers_compacted: u64::from(small),
+            shares_rewritten: seeds.len() as u64,
+            reclaimed_bytes: user ^ 7,
+            rewritten_bytes: user ^ 13,
+        }),
+        8 => Response::Probe(ServerProbe::default()),
+        _ => Response::Err {
+            code: variant,
+            needed: user,
+            available: u64::from(small),
+            msg: String::from_utf8_lossy(blob).into_owned(),
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn requests_round_trip_through_frames(
+        variant in proptest::any::<u8>(),
+        req_id in proptest::any::<u64>(),
+        user in proptest::any::<u64>(),
+        seeds in proptest::collection::vec(proptest::any::<u64>(), 0..12),
+        blob in proptest::collection::vec(proptest::any::<u8>(), 0..512),
+        small in 0u32..4096,
+    ) {
+        let req = build_request(variant, user, &seeds, &blob, small);
+        let (msg_type, payload) = encode_request(req_id, &req);
+        let frame = encode_frame(msg_type, &payload);
+        let (mt, decoded_payload, consumed) = decode_frame(&frame).unwrap().unwrap();
+        prop_assert_eq!(consumed, frame.len());
+        let (back_id, back) = decode_request(mt, &decoded_payload).unwrap();
+        prop_assert_eq!(back_id, req_id);
+        prop_assert_eq!(back, req);
+    }
+
+    #[test]
+    fn responses_round_trip_through_frames(
+        variant in proptest::any::<u8>(),
+        req_id in proptest::any::<u64>(),
+        user in proptest::any::<u64>(),
+        seeds in proptest::collection::vec(proptest::any::<u64>(), 0..12),
+        blob in proptest::collection::vec(proptest::any::<u8>(), 0..512),
+        small in 0u32..4096,
+    ) {
+        let resp = build_response(variant, user, &seeds, &blob, small);
+        let (msg_type, payload) = encode_response(req_id, &resp);
+        let frame = encode_frame(msg_type, &payload);
+        let (mt, decoded_payload, _) = decode_frame(&frame).unwrap().unwrap();
+        let (back_id, back) = decode_response(mt, &decoded_payload).unwrap();
+        prop_assert_eq!(back_id, req_id);
+        prop_assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn every_strict_prefix_is_incomplete(
+        variant in proptest::any::<u8>(),
+        user in proptest::any::<u64>(),
+        seeds in proptest::collection::vec(proptest::any::<u64>(), 0..8),
+        blob in proptest::collection::vec(proptest::any::<u8>(), 0..256),
+        small in 0u32..4096,
+    ) {
+        let req = build_request(variant, user, &seeds, &blob, small);
+        let (msg_type, payload) = encode_request(7, &req);
+        let frame = encode_frame(msg_type, &payload);
+        for cut in 0..frame.len() {
+            // A prefix must ask for more bytes — decoding it as a frame (or
+            // worse, as a different message) would corrupt the stream.
+            prop_assert!(
+                matches!(decode_frame(&frame[..cut]), Ok(None)),
+                "prefix of {} bytes mis-parsed", cut
+            );
+        }
+    }
+
+    #[test]
+    fn single_byte_corruption_never_yields_the_original(
+        variant in proptest::any::<u8>(),
+        user in proptest::any::<u64>(),
+        seeds in proptest::collection::vec(proptest::any::<u64>(), 0..8),
+        blob in proptest::collection::vec(proptest::any::<u8>(), 0..256),
+        small in 0u32..4096,
+        target in proptest::any::<u16>(),
+        flip in 1u8..=255,
+    ) {
+        let req = build_request(variant, user, &seeds, &blob, small);
+        let (msg_type, payload) = encode_request(9, &req);
+        let frame = encode_frame(msg_type, &payload);
+        let mut bad = frame.clone();
+        let idx = target as usize % bad.len();
+        bad[idx] ^= flip;
+        match decode_frame(&bad) {
+            // Rejected outright or now incomplete (length grew): both safe.
+            Err(_) | Ok(None) => {}
+            Ok(Some((mt, decoded_payload, _))) => {
+                // The CRC admits no single-byte flip of the checked content;
+                // reaching here means the flip hit the length word in a way
+                // that still framed — the re-framed content must then fail
+                // the CRC... so decoding to the original is impossible.
+                let survived = mt == msg_type
+                    && decode_request(mt, &decoded_payload)
+                        .is_some_and(|(id, back)| id == 9 && back == req);
+                prop_assert!(!survived, "corruption at byte {} went unnoticed", idx);
+            }
+        }
+    }
+}
