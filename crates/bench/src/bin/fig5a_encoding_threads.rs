@@ -5,7 +5,9 @@
 //! The paper uses 2 GB of random data; the default here is 64 MB to keep the
 //! harness fast — pass a larger size for steadier numbers.
 
+use cdstore_bench::encodebench::{buffered_encode_speed, streamed_encode_speed};
 use cdstore_bench::{encoding_speed, random_secrets};
+use cdstore_chunking::{ChunkerConfig, ChunkerKind};
 use cdstore_secretsharing::{AontRs, CaontRs, CaontRsRivest, SecretSharing};
 
 fn main() {
@@ -43,4 +45,24 @@ fn main() {
     println!();
     println!("Paper (Local-i5, 2 threads): CAONT-RS 183 MB/s, with CAONT-RS 19-27% above AONT-RS");
     println!("and 54-61% above CAONT-RS-Rivest; speeds increase with threads on both machines.");
+
+    // Companion series: the full chunk+encode data path (CAONT-RS, Rabin
+    // chunking) through the buffered batch coder vs the streamed
+    // bounded-memory pipeline — the streamed column should track the
+    // buffered one within ~10%.
+    let flat = secrets.concat();
+    let chunk_config = ChunkerConfig::default();
+    println!();
+    println!("Chunk+encode data path, CAONT-RS with Rabin chunking, same data:");
+    println!(
+        "{:<10} {:>16} {:>16}",
+        "Threads", "Buffered (MB/s)", "Streamed (MB/s)"
+    );
+    for threads in 1..=4usize {
+        let buffered =
+            buffered_encode_speed(&caont, ChunkerKind::Rabin, chunk_config, &flat, threads);
+        let streamed =
+            streamed_encode_speed(&caont, ChunkerKind::Rabin, chunk_config, &flat, threads);
+        println!("{threads:<10} {buffered:>16.1} {:>16.1}", streamed.mbps);
+    }
 }

@@ -14,6 +14,7 @@ use std::time::Instant;
 
 use cdstore_secretsharing::SecretSharing;
 
+pub mod encodebench;
 pub mod netbench;
 pub mod transfer;
 

@@ -1,7 +1,9 @@
-//! Fixed-size and Rabin content-defined chunkers.
+//! Chunker trait, incremental cutters, and the fixed-size and Rabin
+//! content-defined chunkers.
 
 use cdstore_crypto::Fingerprint;
 
+use crate::fastcdc::FastCdcChunker;
 use crate::rabin::{RabinHasher, WINDOW_SIZE};
 
 /// One chunk ("secret" in the paper's terminology) cut from an input stream.
@@ -84,13 +86,60 @@ impl ChunkerConfig {
     }
 }
 
-/// A chunking algorithm: splits a buffer into contiguous chunks.
+/// The incremental core of a chunking algorithm: a resumable boundary
+/// scanner that can be fed the input in arbitrary slices.
+///
+/// A cutter carries the state of the chunk currently being cut (rolling-hash
+/// window, bytes consumed so far), so boundary decisions depend only on the
+/// byte stream, never on how callers slice it across calls. This is the
+/// contract that makes the streamed and buffered data paths cut identical
+/// chunks.
+pub trait ChunkCutter: Send {
+    /// Scans `input` — the bytes immediately following everything this cutter
+    /// has already consumed for the current chunk — and returns
+    /// `Some(consumed)` where `consumed` counts bytes up to and including the
+    /// chunk's final byte, or `None` if the whole slice was consumed with the
+    /// chunk still open.
+    ///
+    /// After `Some` the cutter is ready for the next chunk; the caller
+    /// resubmits `input[consumed..]` (and subsequent reads) to continue.
+    fn find_boundary(&mut self, input: &[u8]) -> Option<usize>;
+
+    /// Discards any partial-chunk state, returning to the start-of-chunk
+    /// state (as if freshly created).
+    fn reset(&mut self);
+}
+
+/// A chunking algorithm: splits a byte stream into contiguous chunks.
+///
+/// Implementors provide a stateful [`ChunkCutter`]; the buffer-at-once
+/// [`chunk`](Chunker::chunk) method is derived from it, so both entry points
+/// share one boundary decision per algorithm.
 pub trait Chunker {
-    /// Splits `data` into chunks that concatenate back to `data`.
-    fn chunk(&self, data: &[u8]) -> Vec<Chunk>;
+    /// Creates a fresh incremental cutter for this algorithm.
+    fn cutter(&self) -> Box<dyn ChunkCutter>;
 
     /// Human-readable name of the algorithm.
     fn name(&self) -> &'static str;
+
+    /// Splits `data` into chunks that concatenate back to `data`.
+    fn chunk(&self, data: &[u8]) -> Vec<Chunk> {
+        let mut cutter = self.cutter();
+        let mut chunks = Vec::new();
+        let mut start = 0usize;
+        while start < data.len() {
+            let end = match cutter.find_boundary(&data[start..]) {
+                Some(consumed) => start + consumed,
+                None => data.len(),
+            };
+            chunks.push(Chunk {
+                offset: start,
+                data: data[start..end].to_vec(),
+            });
+            start = end;
+        }
+        chunks
+    }
 }
 
 /// Fixed-size chunking: every chunk is exactly `size` bytes except the last.
@@ -111,15 +160,34 @@ impl FixedChunker {
     }
 }
 
+struct FixedCutter {
+    size: usize,
+    in_chunk: usize,
+}
+
+impl ChunkCutter for FixedCutter {
+    fn find_boundary(&mut self, input: &[u8]) -> Option<usize> {
+        let remaining = self.size - self.in_chunk;
+        if input.len() >= remaining {
+            self.in_chunk = 0;
+            Some(remaining)
+        } else {
+            self.in_chunk += input.len();
+            None
+        }
+    }
+
+    fn reset(&mut self) {
+        self.in_chunk = 0;
+    }
+}
+
 impl Chunker for FixedChunker {
-    fn chunk(&self, data: &[u8]) -> Vec<Chunk> {
-        data.chunks(self.size)
-            .enumerate()
-            .map(|(i, piece)| Chunk {
-                offset: i * self.size,
-                data: piece.to_vec(),
-            })
-            .collect()
+    fn cutter(&self) -> Box<dyn ChunkCutter> {
+        Box::new(FixedCutter {
+            size: self.size,
+            in_chunk: 0,
+        })
     }
 
     fn name(&self) -> &'static str {
@@ -151,44 +219,92 @@ impl Default for RabinChunker {
     }
 }
 
-impl Chunker for RabinChunker {
-    fn chunk(&self, data: &[u8]) -> Vec<Chunk> {
-        let mask = self.config.boundary_mask();
-        let mut chunks = Vec::new();
-        let mut hasher = RabinHasher::new();
-        let mut start = 0usize;
-        let mut pos = 0usize;
-        while pos < data.len() {
-            let in_chunk = pos - start;
+struct RabinCutter {
+    config: ChunkerConfig,
+    mask: u64,
+    hasher: RabinHasher,
+    in_chunk: usize,
+}
+
+impl ChunkCutter for RabinCutter {
+    fn find_boundary(&mut self, input: &[u8]) -> Option<usize> {
+        let min = self.config.min_size;
+        let max = self.config.max_size;
+        for (i, &byte) in input.iter().enumerate() {
             // Skip hashing below min_size - WINDOW_SIZE: the window must be
             // warm by the time boundaries become eligible.
-            if in_chunk + WINDOW_SIZE >= self.config.min_size {
-                let fp = hasher.roll(data[pos]);
-                let eligible = in_chunk + 1 >= self.config.min_size;
-                let is_boundary = eligible && (fp & mask) == mask;
-                let at_max = in_chunk + 1 >= self.config.max_size;
+            if self.in_chunk + WINDOW_SIZE >= min {
+                let fp = self.hasher.roll(byte);
+                let eligible = self.in_chunk + 1 >= min;
+                let is_boundary = eligible && (fp & self.mask) == self.mask;
+                let at_max = self.in_chunk + 1 >= max;
                 if is_boundary || at_max {
-                    chunks.push(Chunk {
-                        offset: start,
-                        data: data[start..=pos].to_vec(),
-                    });
-                    start = pos + 1;
-                    hasher.reset();
+                    self.reset();
+                    return Some(i + 1);
                 }
             }
-            pos += 1;
+            self.in_chunk += 1;
         }
-        if start < data.len() {
-            chunks.push(Chunk {
-                offset: start,
-                data: data[start..].to_vec(),
-            });
-        }
-        chunks
+        None
+    }
+
+    fn reset(&mut self) {
+        self.hasher.reset();
+        self.in_chunk = 0;
+    }
+}
+
+impl Chunker for RabinChunker {
+    fn cutter(&self) -> Box<dyn ChunkCutter> {
+        Box::new(RabinCutter {
+            config: self.config,
+            mask: self.config.boundary_mask(),
+            // Built once per cutter: RabinHasher::new() computes the mod/out
+            // tables, which is far too expensive per chunk.
+            hasher: RabinHasher::new(),
+            in_chunk: 0,
+        })
     }
 
     fn name(&self) -> &'static str {
         "rabin"
+    }
+}
+
+/// Selects one of the built-in chunking algorithms by name — the
+/// configuration surface clients expose for the chunking stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChunkerKind {
+    /// Fixed-size chunks of `avg_size` bytes (the paper's VM-image mode).
+    Fixed,
+    /// Rabin-fingerprint content-defined chunking (the paper's default).
+    Rabin,
+    /// FastCDC gear-hash content-defined chunking (several times faster than
+    /// Rabin at equivalent dedup behaviour).
+    FastCdc,
+}
+
+impl ChunkerKind {
+    /// All built-in kinds, in display order.
+    pub const ALL: [ChunkerKind; 3] =
+        [ChunkerKind::Fixed, ChunkerKind::Rabin, ChunkerKind::FastCdc];
+
+    /// Instantiates the chosen algorithm with `config` size bounds.
+    pub fn build(self, config: ChunkerConfig) -> Box<dyn Chunker + Send + Sync> {
+        match self {
+            ChunkerKind::Fixed => Box::new(FixedChunker::new(config.avg_size)),
+            ChunkerKind::Rabin => Box::new(RabinChunker::new(config)),
+            ChunkerKind::FastCdc => Box::new(FastCdcChunker::new(config)),
+        }
+    }
+
+    /// The algorithm's display name (matches [`Chunker::name`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            ChunkerKind::Fixed => "fixed-size",
+            ChunkerKind::Rabin => "rabin",
+            ChunkerKind::FastCdc => "fastcdc",
+        }
     }
 }
 
@@ -365,6 +481,69 @@ mod tests {
         let chunks = chunker.chunk(&[9u8; 100]);
         assert_eq!(chunks.len(), 1);
         assert_eq!(chunks[0].data.len(), 100);
+    }
+
+    #[test]
+    fn cutter_boundaries_are_invariant_under_input_slicing() {
+        // Feeding the same stream in different slice granularities must cut
+        // identical chunks — the core contract of the incremental API.
+        let config = ChunkerConfig::new(256, 1024, 4096);
+        let data = random_data(200_000, 21);
+        for kind in ChunkerKind::ALL {
+            let chunker = kind.build(config);
+            let whole = chunker.chunk(&data);
+            for step in [1usize, 7, 64, 1000, 4096] {
+                let mut cutter = chunker.cutter();
+                let mut lens = Vec::new();
+                let mut open = 0usize; // bytes consumed into the open chunk
+                for piece in data.chunks(step) {
+                    let mut rest = piece;
+                    while !rest.is_empty() {
+                        match cutter.find_boundary(rest) {
+                            Some(consumed) => {
+                                lens.push(open + consumed);
+                                open = 0;
+                                rest = &rest[consumed..];
+                            }
+                            None => {
+                                open += rest.len();
+                                rest = &[];
+                            }
+                        }
+                    }
+                }
+                if open > 0 {
+                    lens.push(open);
+                }
+                let expected: Vec<usize> = whole.iter().map(Chunk::len).collect();
+                assert_eq!(lens, expected, "{} step {step}", kind.name());
+            }
+        }
+    }
+
+    #[test]
+    fn cutter_reset_discards_partial_chunk_state() {
+        let config = ChunkerConfig::new(256, 1024, 4096);
+        let data = random_data(50_000, 33);
+        for kind in ChunkerKind::ALL {
+            let chunker = kind.build(config);
+            let mut cutter = chunker.cutter();
+            // Pollute the cutter with a partial scan, then reset: results
+            // must match a fresh cutter's.
+            assert!(cutter.find_boundary(&data[..100]).is_none());
+            cutter.reset();
+            let a = cutter.find_boundary(&data);
+            let b = chunker.cutter().find_boundary(&data);
+            assert_eq!(a, b, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn chunker_kind_names_match_instances() {
+        for kind in ChunkerKind::ALL {
+            let chunker = kind.build(ChunkerConfig::default());
+            assert_eq!(chunker.name(), kind.name());
+        }
     }
 
     proptest! {

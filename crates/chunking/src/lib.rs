@@ -4,8 +4,14 @@
 //! convergent dispersal. The paper uses Rabin-fingerprint variable-size
 //! chunking with an 8 KB average, 2 KB minimum, and 16 KB maximum chunk size
 //! by default, and also supports fixed-size chunking (used for the VM image
-//! dataset). Deduplication effectiveness depends on chunk boundaries being
-//! content-defined so insertions do not shift every subsequent chunk.
+//! dataset) and the faster FastCDC gear chunker. Deduplication effectiveness
+//! depends on chunk boundaries being content-defined so insertions do not
+//! shift every subsequent chunk.
+//!
+//! Every algorithm is exposed two ways: the buffer-at-once
+//! [`Chunker::chunk`], and the incremental [`ChunkCutter`] /
+//! [`ChunkStream`] pair that cuts chunks out of any [`std::io::Read`]
+//! source with bounded memory. Both produce identical boundaries.
 //!
 //! # Examples
 //!
@@ -23,7 +29,13 @@
 #![warn(missing_docs)]
 
 pub mod chunker;
+pub mod fastcdc;
 pub mod rabin;
+pub mod stream;
 
-pub use chunker::{Chunk, Chunker, ChunkerConfig, FixedChunker, RabinChunker};
+pub use chunker::{
+    Chunk, ChunkCutter, Chunker, ChunkerConfig, ChunkerKind, FixedChunker, RabinChunker,
+};
+pub use fastcdc::FastCdcChunker;
 pub use rabin::RabinHasher;
+pub use stream::ChunkStream;

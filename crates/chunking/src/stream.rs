@@ -1,0 +1,228 @@
+//! Incremental chunking of an [`std::io::Read`] source.
+//!
+//! [`ChunkStream`] drives a [`ChunkCutter`] over a fixed-size read buffer and
+//! emits chunks as they are cut, so memory stays bounded by
+//! `read buffer + one max-size chunk` regardless of input length. Because the
+//! cutter's boundary decisions are invariant under input slicing, the chunks
+//! are byte-identical to what [`Chunker::chunk`] produces on the whole input
+//! in memory.
+
+use std::io::{ErrorKind, Read};
+
+use crate::chunker::{Chunk, ChunkCutter, Chunker};
+
+/// Default size of the internal read buffer.
+pub const DEFAULT_READ_BUFFER: usize = 64 * 1024;
+
+/// Streams chunks out of a reader, one [`ChunkCutter`] boundary at a time.
+///
+/// Use [`next_chunk_into`](ChunkStream::next_chunk_into) to cut into a
+/// caller-owned (poolable) buffer, or the [`Iterator`] impl for owned
+/// [`Chunk`]s.
+pub struct ChunkStream<R> {
+    reader: R,
+    cutter: Box<dyn ChunkCutter>,
+    buf: Box<[u8]>,
+    /// Valid bytes in `buf`.
+    filled: usize,
+    /// Bytes of `buf` already handed to the cutter.
+    scanned: usize,
+    /// Absolute offset of the next chunk's first byte.
+    offset: usize,
+    eof: bool,
+}
+
+impl<R: Read> ChunkStream<R> {
+    /// Starts streaming `reader` through `chunker`'s algorithm with the
+    /// default read-buffer size.
+    pub fn new(chunker: &dyn Chunker, reader: R) -> Self {
+        ChunkStream::with_buffer_size(chunker, reader, DEFAULT_READ_BUFFER)
+    }
+
+    /// Starts streaming with an explicit read-buffer size (must be > 0).
+    /// Chunk boundaries do not depend on this size — only memory use and
+    /// syscall granularity do.
+    pub fn with_buffer_size(chunker: &dyn Chunker, reader: R, buffer_size: usize) -> Self {
+        assert!(buffer_size > 0, "read buffer must be non-empty");
+        ChunkStream {
+            reader,
+            cutter: chunker.cutter(),
+            buf: vec![0u8; buffer_size].into_boxed_slice(),
+            filled: 0,
+            scanned: 0,
+            offset: 0,
+            eof: false,
+        }
+    }
+
+    /// Absolute byte offset of the next chunk to be emitted (equivalently,
+    /// total bytes emitted so far).
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+
+    /// Cuts the next chunk into `out` (cleared first), returning `false` at
+    /// end of input. `out`'s capacity is reused across calls, which is the
+    /// allocation-free path the encode pipeline runs on.
+    pub fn next_chunk_into(&mut self, out: &mut Vec<u8>) -> std::io::Result<bool> {
+        out.clear();
+        loop {
+            if self.scanned == self.filled {
+                if self.eof {
+                    break;
+                }
+                match self.reader.read(&mut self.buf) {
+                    Ok(0) => {
+                        self.eof = true;
+                        continue;
+                    }
+                    Ok(n) => {
+                        self.filled = n;
+                        self.scanned = 0;
+                    }
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e),
+                }
+            }
+            let pending = &self.buf[self.scanned..self.filled];
+            match self.cutter.find_boundary(pending) {
+                Some(consumed) => {
+                    out.extend_from_slice(&pending[..consumed]);
+                    self.scanned += consumed;
+                    self.offset += out.len();
+                    return Ok(true);
+                }
+                None => {
+                    out.extend_from_slice(pending);
+                    self.scanned = self.filled;
+                }
+            }
+        }
+        if out.is_empty() {
+            Ok(false)
+        } else {
+            // Trailing partial chunk at end of input.
+            self.cutter.reset();
+            self.offset += out.len();
+            Ok(true)
+        }
+    }
+}
+
+impl<R: Read> Iterator for ChunkStream<R> {
+    type Item = std::io::Result<Chunk>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let offset = self.offset;
+        let mut data = Vec::new();
+        match self.next_chunk_into(&mut data) {
+            Ok(true) => Some(Ok(Chunk { offset, data })),
+            Ok(false) => None,
+            Err(e) => Some(Err(e)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunker::{ChunkerConfig, ChunkerKind};
+    use rand::{Rng, SeedableRng};
+
+    fn random_data(len: usize, seed: u64) -> Vec<u8> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..len).map(|_| rng.gen()).collect()
+    }
+
+    /// A reader that returns at most `cap` bytes per call, exercising
+    /// short-read resilience.
+    struct DribbleReader<'a> {
+        data: &'a [u8],
+        pos: usize,
+        cap: usize,
+    }
+
+    impl Read for DribbleReader<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            let n = (self.data.len() - self.pos).min(self.cap).min(buf.len());
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn stream_matches_buffered_for_all_kinds() {
+        let config = ChunkerConfig::new(256, 1024, 4096);
+        let data = random_data(150_000, 8);
+        for kind in ChunkerKind::ALL {
+            let chunker = kind.build(config);
+            let buffered = chunker.chunk(&data);
+            let streamed: Vec<Chunk> = ChunkStream::new(chunker.as_ref(), &data[..])
+                .map(|c| c.expect("in-memory read"))
+                .collect();
+            assert_eq!(streamed, buffered, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn stream_is_invariant_under_read_granularity_and_buffer_size() {
+        let config = ChunkerConfig::new(256, 1024, 4096);
+        let data = random_data(100_000, 9);
+        let chunker = ChunkerKind::FastCdc.build(config);
+        let expected = chunker.chunk(&data);
+        for cap in [1usize, 13, 512, 100_000] {
+            for buffer_size in [64usize, 4096, 1 << 20] {
+                let reader = DribbleReader {
+                    data: &data,
+                    pos: 0,
+                    cap,
+                };
+                let streamed: Vec<Chunk> =
+                    ChunkStream::with_buffer_size(chunker.as_ref(), reader, buffer_size)
+                        .map(|c| c.expect("dribble read"))
+                        .collect();
+                assert_eq!(streamed, expected, "cap {cap} buffer {buffer_size}");
+            }
+        }
+    }
+
+    #[test]
+    fn next_chunk_into_reuses_the_buffer() {
+        let data = random_data(50_000, 10);
+        let chunker = ChunkerKind::Rabin.build(ChunkerConfig::new(256, 1024, 4096));
+        let mut stream = ChunkStream::new(chunker.as_ref(), &data[..]);
+        let mut buf = Vec::new();
+        let mut rebuilt = Vec::new();
+        let mut chunks = 0usize;
+        while stream.next_chunk_into(&mut buf).expect("read") {
+            rebuilt.extend_from_slice(&buf);
+            chunks += 1;
+        }
+        assert_eq!(rebuilt, data);
+        assert!(chunks > 5);
+        assert_eq!(stream.offset(), data.len());
+        // Exhausted stream keeps reporting end-of-input.
+        assert!(!stream.next_chunk_into(&mut buf).expect("read"));
+    }
+
+    #[test]
+    fn empty_input_yields_no_chunks() {
+        let chunker = ChunkerKind::Rabin.build(ChunkerConfig::default());
+        assert_eq!(ChunkStream::new(chunker.as_ref(), &[][..]).count(), 0);
+    }
+
+    #[test]
+    fn read_errors_propagate() {
+        struct FailingReader;
+        impl Read for FailingReader {
+            fn read(&mut self, _buf: &mut [u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk on fire"))
+            }
+        }
+        let chunker = ChunkerKind::FastCdc.build(ChunkerConfig::default());
+        let mut stream = ChunkStream::new(chunker.as_ref(), FailingReader);
+        let err = stream.next().expect("one item").expect_err("must fail");
+        assert_eq!(err.kind(), ErrorKind::Other);
+    }
+}

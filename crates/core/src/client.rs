@@ -1,18 +1,39 @@
 //! The CDStore client (§4.1–§4.3): chunking, CAONT-RS encoding, intra-user
 //! deduplication, batched uploads, and restores.
+//!
+//! Two data paths share every protocol decision:
+//!
+//! * the buffered path ([`CdStoreClient::prepare`] → [`CdStoreClient::commit`])
+//!   materialises the whole file, and remains available so callers can split
+//!   the CPU and server halves of an upload;
+//! * the streaming path ([`CdStoreClient::upload_stream`] /
+//!   [`CdStoreClient::download_stream`]) pulls from any [`std::io::Read`] and
+//!   pushes to any [`std::io::Write`], keeping peak memory bounded by the
+//!   pipeline depth and the 4 MB per-cloud batches instead of the file size.
 
-use cdstore_chunking::{Chunker, ChunkerConfig, RabinChunker};
+use std::collections::HashSet;
+use std::io::{Read, Write};
+use std::sync::Arc;
+
+use cdstore_chunking::{Chunker, ChunkerConfig, ChunkerKind};
 use cdstore_crypto::Fingerprint;
-use cdstore_secretsharing::{CaontRs, SecretSharing};
+use cdstore_secretsharing::{BufferPool, CaontRs, SecretSharing};
 
 use crate::dedup::DedupStats;
 use crate::error::CdStoreError;
 use crate::metadata::{FileRecipe, RecipeEntry, ShareMetadata};
+use crate::pipeline::{encode_stream, EncodedSecret, PipelineConfig};
 use crate::transport::ServerTransport;
 
 /// Size of the per-cloud upload buffer: shares are batched into 4 MB units
 /// before being sent over the Internet (§4.1).
 pub const UPLOAD_BATCH_BYTES: u64 = 4 * 1024 * 1024;
+
+/// Number of secrets a streamed restore fetches per window. With the default
+/// 8 KB average chunk size this keeps roughly 8 MB of shares in flight per
+/// chosen cloud — enough to amortise the RPC, bounded regardless of file
+/// size.
+pub const RESTORE_WINDOW_SECRETS: usize = 1024;
 
 /// The result of one file upload.
 #[derive(Debug, Clone, PartialEq)]
@@ -65,7 +86,7 @@ pub struct CdStoreClient {
     n: usize,
     k: usize,
     scheme: CaontRs,
-    chunker: RabinChunker,
+    chunker: Box<dyn Chunker + Send + Sync>,
 }
 
 impl CdStoreClient {
@@ -75,11 +96,24 @@ impl CdStoreClient {
         Self::with_chunker(user, n, k, ChunkerConfig::default())
     }
 
-    /// Creates a client with an explicit chunking configuration.
+    /// Creates a client with an explicit chunking configuration (Rabin
+    /// content-defined chunking, the paper's default algorithm).
     pub fn with_chunker(
         user: u64,
         n: usize,
         k: usize,
+        chunker: ChunkerConfig,
+    ) -> Result<Self, CdStoreError> {
+        Self::with_chunker_kind(user, n, k, ChunkerKind::Rabin, chunker)
+    }
+
+    /// Creates a client with an explicit chunking algorithm and size bounds
+    /// (e.g. [`ChunkerKind::FastCdc`] for gear-hash chunking).
+    pub fn with_chunker_kind(
+        user: u64,
+        n: usize,
+        k: usize,
+        kind: ChunkerKind,
         chunker: ChunkerConfig,
     ) -> Result<Self, CdStoreError> {
         let scheme = CaontRs::new(n, k).map_err(CdStoreError::Sharing)?;
@@ -88,7 +122,7 @@ impl CdStoreClient {
             n,
             k,
             scheme,
-            chunker: RabinChunker::new(chunker),
+            chunker: kind.build(chunker),
         })
     }
 
@@ -100,6 +134,11 @@ impl CdStoreClient {
     /// The convergent dispersal scheme in use.
     pub fn scheme(&self) -> &CaontRs {
         &self.scheme
+    }
+
+    /// The chunking algorithm in use.
+    pub fn chunker(&self) -> &dyn Chunker {
+        self.chunker.as_ref()
     }
 
     /// Encodes a pathname into its per-cloud shares. Pathnames are sensitive
@@ -115,15 +154,70 @@ impl CdStoreClient {
     /// cloud `i` — either in-process [`crate::server::CdStoreServer`]s or any
     /// other [`ServerTransport`] (e.g. `cdstore_net`'s remote handles).
     /// Uploads require all `n` clouds so redundancy is not silently degraded.
+    ///
+    /// Thin wrapper over [`CdStoreClient::upload_stream`] — an in-memory
+    /// slice is just one shape of `Read` source. Callers that need the CPU
+    /// and server halves split (e.g. to encode outside a lock) can still use
+    /// [`CdStoreClient::prepare`] + [`CdStoreClient::commit`].
     pub fn upload<T: ServerTransport>(
         &self,
         servers: &[T],
         pathname: &str,
         data: &[u8],
     ) -> Result<UploadReport, CdStoreError> {
+        self.upload_stream(servers, pathname, data, &PipelineConfig::default())
+    }
+
+    /// Uploads a file pulled incrementally from `reader`: the streaming
+    /// counterpart of [`CdStoreClient::upload`].
+    ///
+    /// Chunks are cut as bytes arrive, encoded by the staged pipeline (see
+    /// [`encode_stream`]), deduplicated intra-user, and shipped to each cloud
+    /// in [`UPLOAD_BATCH_BYTES`] batches *while later chunks are still being
+    /// encoded* — CPU and network overlap, and peak memory is bounded by the
+    /// pipeline depth plus the per-cloud batch buffers, never the file size.
+    pub fn upload_stream<T: ServerTransport, R: Read + Send>(
+        &self,
+        servers: &[T],
+        pathname: &str,
+        reader: R,
+        config: &PipelineConfig,
+    ) -> Result<UploadReport, CdStoreError> {
+        self.upload_stream_with_batch(servers, pathname, reader, config, UPLOAD_BATCH_BYTES)
+    }
+
+    /// [`CdStoreClient::upload_stream`] with an explicit per-cloud batch
+    /// size, for tests and benchmarks that want to observe batching.
+    pub fn upload_stream_with_batch<T: ServerTransport, R: Read + Send>(
+        &self,
+        servers: &[T],
+        pathname: &str,
+        reader: R,
+        config: &PipelineConfig,
+        batch_bytes: u64,
+    ) -> Result<UploadReport, CdStoreError> {
         self.check_server_count(servers)?;
-        let prepared = self.prepare(data)?;
-        self.commit(servers, pathname, prepared)
+        // Resolve the buffer pool here so the committer can keep recycling
+        // batch buffers after the encode pipeline itself has shut down.
+        let pool = config
+            .pool
+            .clone()
+            .unwrap_or_else(|| Arc::new(BufferPool::new()));
+        let mut pipeline_config = config.clone();
+        pipeline_config.pool = Some(Arc::clone(&pool));
+        let mut committer = StreamCommitter::new(self, servers, pool, batch_bytes.max(1));
+        let streamed = encode_stream(
+            &self.scheme,
+            self.chunker.as_ref(),
+            reader,
+            &pipeline_config,
+            |enc, _| committer.absorb(enc),
+        );
+        let report = match streamed {
+            Ok(_) => committer.finalize(pathname),
+            Err(e) => Err(e),
+        };
+        report.inspect_err(|_| committer.abandon())
     }
 
     /// Uploads a file already divided into secrets (chunks). Used directly by
@@ -317,12 +411,32 @@ impl CdStoreClient {
 
     /// Restores a file by contacting any `k` of the `n` servers.
     /// `available[i]` states whether cloud `i` (and its server) is reachable.
+    ///
+    /// Thin wrapper over [`CdStoreClient::download_stream`] collecting into
+    /// a `Vec<u8>`.
     pub fn download<T: ServerTransport>(
         &self,
         servers: &[T],
         available: &[bool],
         pathname: &str,
     ) -> Result<Vec<u8>, CdStoreError> {
+        let mut out = Vec::new();
+        self.download_stream(servers, available, pathname, &mut out)?;
+        Ok(out)
+    }
+
+    /// Restores a file into any [`Write`] destination, fetching shares in
+    /// bounded windows of [`RESTORE_WINDOW_SECRETS`] secrets per chosen cloud
+    /// — the whole file is never buffered. Over `cdstore_net` each window
+    /// drains through the credit-window `StreamShares` protocol, so the
+    /// server side stays bounded too. Returns the number of bytes written.
+    pub fn download_stream<T: ServerTransport, W: Write + ?Sized>(
+        &self,
+        servers: &[T],
+        available: &[bool],
+        pathname: &str,
+        out: &mut W,
+    ) -> Result<u64, CdStoreError> {
         if servers.len() != self.n || available.len() != self.n {
             return Err(CdStoreError::InvalidConfig(format!(
                 "expected {} servers/availability flags",
@@ -338,7 +452,8 @@ impl CdStoreClient {
         }
         let encoded_paths = self.encode_pathname(pathname)?;
 
-        // Fetch the per-cloud recipes.
+        // Fetch the per-cloud recipes. (Metadata is a few dozen bytes per
+        // secret; only share payloads are windowed.)
         let mut recipes: Vec<(usize, FileRecipe)> = Vec::with_capacity(self.k);
         for &cloud in &chosen {
             let recipe = servers[cloud].get_recipe(self.user, &encoded_paths[cloud])?;
@@ -355,37 +470,230 @@ impl CdStoreClient {
             ));
         }
 
-        // Fetch all shares from each chosen cloud in one batch.
-        let mut shares_by_cloud: Vec<(usize, Vec<Vec<u8>>)> = Vec::with_capacity(self.k);
-        for (cloud, recipe) in &recipes {
-            let fps: Vec<Fingerprint> =
-                recipe.entries.iter().map(|e| e.share_fingerprint).collect();
-            let shares = servers[*cloud].fetch_shares(self.user, &fps)?;
-            shares_by_cloud.push((*cloud, shares));
-        }
-
-        // Decode secret by secret and reassemble the file.
-        let mut out = Vec::with_capacity(file_size as usize);
-        for seq in 0..num_secrets {
-            let mut share_slots: Vec<Option<Vec<u8>>> = vec![None; self.n];
-            for (cloud, shares) in &shares_by_cloud {
-                share_slots[*cloud] = Some(shares[seq].clone());
+        // Fetch a window of shares from each chosen cloud, decode secret by
+        // secret, write out, repeat.
+        let mut written = 0u64;
+        let mut window_start = 0usize;
+        while window_start < num_secrets {
+            let window_end = (window_start + RESTORE_WINDOW_SECRETS).min(num_secrets);
+            let mut shares_by_cloud: Vec<(usize, Vec<Vec<u8>>)> = Vec::with_capacity(self.k);
+            for (cloud, recipe) in &recipes {
+                let fps: Vec<Fingerprint> = recipe.entries[window_start..window_end]
+                    .iter()
+                    .map(|e| e.share_fingerprint)
+                    .collect();
+                let shares = servers[*cloud].fetch_shares(self.user, &fps)?;
+                shares_by_cloud.push((*cloud, shares));
             }
-            let secret_size = recipes[0].1.entries[seq].secret_size as usize;
-            let secret =
-                self.scheme
-                    .reconstruct(&share_slots, secret_size)
-                    .map_err(|e| match e {
-                        cdstore_secretsharing::SharingError::IntegrityCheckFailed => {
-                            CdStoreError::IntegrityFailure(format!(
-                                "secret {seq} failed its hash check"
-                            ))
-                        }
-                        other => CdStoreError::Sharing(other),
-                    })?;
-            out.extend_from_slice(&secret);
+            for seq in window_start..window_end {
+                let mut share_slots: Vec<Option<Vec<u8>>> = vec![None; self.n];
+                for (cloud, shares) in &mut shares_by_cloud {
+                    // Each share is decoded exactly once: move, don't clone.
+                    share_slots[*cloud] = Some(std::mem::take(&mut shares[seq - window_start]));
+                }
+                let secret_size = recipes[0].1.entries[seq].secret_size as usize;
+                let secret =
+                    self.scheme
+                        .reconstruct(&share_slots, secret_size)
+                        .map_err(|e| match e {
+                            cdstore_secretsharing::SharingError::IntegrityCheckFailed => {
+                                CdStoreError::IntegrityFailure(format!(
+                                    "secret {seq} failed its hash check"
+                                ))
+                            }
+                            other => CdStoreError::Sharing(other),
+                        })?;
+                out.write_all(&secret)?;
+                written += secret.len() as u64;
+            }
+            window_start = window_end;
         }
-        Ok(out)
+        Ok(written)
+    }
+}
+
+/// The store half of a streamed upload: accumulates per-cloud 4 MB batches
+/// of non-duplicate shares as the encode pipeline emits secrets, flushes
+/// each batch through second-stage intra-user dedup + `store_shares`, and
+/// offloads the per-cloud recipes once the stream ends.
+///
+/// Mirrors [`CdStoreClient::commit`]'s protocol exactly — same dedup stages,
+/// same accounting, same rollback obligations — restructured from
+/// cloud-major (whole file to cloud 0, then cloud 1, …) to stream-major
+/// (every cloud fed as secrets arrive).
+struct StreamCommitter<'a, T: ServerTransport> {
+    client: &'a CdStoreClient,
+    servers: &'a [T],
+    pool: Arc<BufferPool>,
+    batch_bytes: u64,
+    dedup: DedupStats,
+    recipes: Vec<Vec<RecipeEntry>>,
+    /// First-stage intra-user dedup: shares already scheduled in this upload.
+    scheduled: Vec<HashSet<Fingerprint>>,
+    /// Per-cloud batch under construction (pooled share buffers).
+    batches: Vec<Vec<(ShareMetadata, Vec<u8>)>>,
+    batch_fill: Vec<u64>,
+    /// Shares physically sent per cloud, for put_file / rollback.
+    uploaded: Vec<Vec<Fingerprint>>,
+    transferred_per_cloud: Vec<u64>,
+    physical_per_cloud: Vec<u64>,
+    batches_per_cloud: Vec<u64>,
+    num_secrets: usize,
+    file_size: u64,
+}
+
+impl<'a, T: ServerTransport> StreamCommitter<'a, T> {
+    fn new(
+        client: &'a CdStoreClient,
+        servers: &'a [T],
+        pool: Arc<BufferPool>,
+        batch_bytes: u64,
+    ) -> Self {
+        let n = client.n;
+        StreamCommitter {
+            client,
+            servers,
+            pool,
+            batch_bytes,
+            dedup: DedupStats::new(),
+            recipes: vec![Vec::new(); n],
+            scheduled: vec![HashSet::new(); n],
+            batches: vec![Vec::new(); n],
+            batch_fill: vec![0; n],
+            uploaded: vec![Vec::new(); n],
+            transferred_per_cloud: vec![0; n],
+            physical_per_cloud: vec![0; n],
+            batches_per_cloud: vec![0; n],
+            num_secrets: 0,
+            file_size: 0,
+        }
+    }
+
+    /// Absorbs one encoded secret from the pipeline (in input order).
+    fn absorb(&mut self, enc: EncodedSecret) -> Result<(), CdStoreError> {
+        self.num_secrets += 1;
+        self.file_size += enc.secret_size as u64;
+        self.dedup.logical_bytes += enc.secret_size as u64;
+        let EncodedSecret {
+            seq,
+            secret_size,
+            shares,
+            fingerprints,
+        } = enc;
+        for (cloud, (share, fp)) in shares.into_iter().zip(fingerprints).enumerate() {
+            self.dedup.logical_share_bytes += share.len() as u64;
+            self.recipes[cloud].push(RecipeEntry {
+                share_fingerprint: fp,
+                secret_size,
+            });
+            // First-stage intra-user dedup: drop shares already scheduled in
+            // this upload before they ever hit a batch.
+            if !self.scheduled[cloud].insert(fp) {
+                self.pool.put(share);
+                continue;
+            }
+            self.batch_fill[cloud] += share.len() as u64;
+            self.batches[cloud].push((
+                ShareMetadata {
+                    fingerprint: fp,
+                    share_size: share.len() as u32,
+                    secret_seq: seq,
+                    secret_size,
+                },
+                share,
+            ));
+            if self.batch_fill[cloud] >= self.batch_bytes {
+                self.flush(cloud)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Ships cloud `cloud`'s current batch: second-stage intra-user dedup
+    /// query, then `store_shares` for the survivors.
+    fn flush(&mut self, cloud: usize) -> Result<(), CdStoreError> {
+        let batch = std::mem::take(&mut self.batches[cloud]);
+        self.batch_fill[cloud] = 0;
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let fps: Vec<Fingerprint> = batch.iter().map(|(m, _)| m.fingerprint).collect();
+        let already = self.servers[cloud].intra_user_query(self.client.user, &fps)?;
+        let mut to_upload: Vec<(ShareMetadata, Vec<u8>)> = Vec::with_capacity(batch.len());
+        for ((meta, share), dup) in batch.into_iter().zip(already) {
+            if dup {
+                self.pool.put(share);
+            } else {
+                to_upload.push((meta, share));
+            }
+        }
+        let bytes: u64 = to_upload.iter().map(|(_, d)| d.len() as u64).sum();
+        self.transferred_per_cloud[cloud] += bytes;
+        self.dedup.transferred_share_bytes += bytes;
+        self.batches_per_cloud[cloud] += 1;
+        self.uploaded[cloud].extend(to_upload.iter().map(|(m, _)| m.fingerprint));
+        let receipt = self.servers[cloud].store_shares(self.client.user, &to_upload)?;
+        self.physical_per_cloud[cloud] += receipt.new_bytes;
+        self.dedup.physical_share_bytes += receipt.new_bytes;
+        for (_, share) in to_upload {
+            self.pool.put(share);
+        }
+        Ok(())
+    }
+
+    /// Stream ended cleanly: flush the final partial batches and offload the
+    /// per-cloud recipes. On error the caller must still call
+    /// [`StreamCommitter::abandon`].
+    fn finalize(&mut self, pathname: &str) -> Result<UploadReport, CdStoreError> {
+        for cloud in 0..self.client.n {
+            self.flush(cloud)?;
+        }
+        let encoded_paths = self.client.encode_pathname(pathname)?;
+        for (cloud, server) in self.servers.iter().enumerate() {
+            let recipe = FileRecipe {
+                file_size: self.file_size,
+                entries: std::mem::take(&mut self.recipes[cloud]),
+            };
+            if let Err(e) = server.put_file(
+                self.client.user,
+                &encoded_paths[cloud],
+                &recipe,
+                &self.uploaded[cloud],
+            ) {
+                // Same semantics as the buffered commit: the failing server
+                // rolled its own references back and earlier clouds keep
+                // their committed recipes (a retried backup supersedes
+                // them); only clouds not yet reached still hold transient
+                // per-upload references — drop exactly those.
+                for later in cloud + 1..self.client.n {
+                    let _ = self.servers[later]
+                        .release_uploads(self.client.user, &self.uploaded[later]);
+                }
+                // Everything is settled; make the caller's abandon a no-op.
+                self.uploaded.iter_mut().for_each(Vec::clear);
+                return Err(e);
+            }
+        }
+        Ok(UploadReport {
+            num_secrets: self.num_secrets,
+            dedup: self.dedup,
+            transferred_per_cloud: std::mem::take(&mut self.transferred_per_cloud),
+            // A zero-secret upload still costs one (empty) batch per cloud,
+            // matching the buffered path's accounting.
+            batches_per_cloud: self.batches_per_cloud.iter().map(|&b| b.max(1)).collect(),
+            physical_per_cloud: std::mem::take(&mut self.physical_per_cloud),
+        })
+    }
+
+    /// Abandons the upload after a failure without leaking: drops the
+    /// transient per-upload references taken by every `store_shares` batch
+    /// that was sent but never settled by `put_file`.
+    fn abandon(&self) {
+        for (cloud, server) in self.servers.iter().enumerate() {
+            if !self.uploaded[cloud].is_empty() {
+                let _ = server.release_uploads(self.client.user, &self.uploaded[cloud]);
+            }
+        }
     }
 }
 

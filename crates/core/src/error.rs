@@ -36,6 +36,9 @@ pub enum CdStoreError {
     /// out, or the peer violated the wire protocol. Carries a human-readable
     /// description; the operation may have partially executed on the server.
     Remote(String),
+    /// Reading the backup source or writing the restore destination failed
+    /// (streaming entry points only). Carries the I/O error's description.
+    Io(String),
 }
 
 impl fmt::Display for CdStoreError {
@@ -56,6 +59,7 @@ impl fmt::Display for CdStoreError {
             CdStoreError::IntegrityFailure(msg) => write!(f, "integrity failure: {msg}"),
             CdStoreError::InconsistentMetadata(msg) => write!(f, "inconsistent metadata: {msg}"),
             CdStoreError::Remote(msg) => write!(f, "remote transport error: {msg}"),
+            CdStoreError::Io(msg) => write!(f, "stream I/O error: {msg}"),
         }
     }
 }
@@ -77,6 +81,12 @@ impl From<StorageError> for CdStoreError {
 impl From<CloudError> for CdStoreError {
     fn from(e: CloudError) -> Self {
         CdStoreError::Cloud(e)
+    }
+}
+
+impl From<std::io::Error> for CdStoreError {
+    fn from(e: std::io::Error) -> Self {
+        CdStoreError::Io(e.to_string())
     }
 }
 

@@ -66,11 +66,15 @@ pub mod system;
 pub mod transport;
 pub mod wal;
 
-pub use client::{CdStoreClient, PreparedUpload, UploadReport};
+pub use client::{
+    CdStoreClient, PreparedUpload, UploadReport, RESTORE_WINDOW_SECRETS, UPLOAD_BATCH_BYTES,
+};
 pub use dedup::DedupStats;
 pub use error::CdStoreError;
 pub use metadata::{FileRecipe, RecipeEntry, ShareMetadata};
-pub use pipeline::ParallelCoder;
+pub use pipeline::{
+    encode_stream, EncodeStreamReport, EncodedSecret, ParallelCoder, PipelineConfig,
+};
 pub use server::{CdStoreServer, GcConfig, GcReport, RecoveryReport, ServerStats};
 pub use system::{CdStore, CdStoreConfig, SystemStats};
 pub use transport::{ServerProbe, ServerTransport, ShareVerdict, StoreReceipt};

@@ -16,15 +16,17 @@
 //! delete/gc protocol over it.
 
 use std::collections::{BTreeSet, HashMap};
+use std::io::{Read, Write};
 use std::sync::Arc;
 
-use cdstore_chunking::ChunkerConfig;
+use cdstore_chunking::{ChunkerConfig, ChunkerKind};
 use cdstore_storage::StorageBackend;
 use parking_lot::{Mutex, RwLock};
 
 use crate::client::{CdStoreClient, UploadReport};
 use crate::dedup::DedupStats;
 use crate::error::CdStoreError;
+use crate::pipeline::PipelineConfig;
 use crate::server::{CdStoreServer, GcConfig, GcReport, RecoveryReport, ServerStats};
 use crate::transport::{ServerProbe, ServerTransport};
 
@@ -37,6 +39,9 @@ pub struct CdStoreConfig {
     pub k: usize,
     /// Chunking configuration used by clients.
     pub chunker: ChunkerConfig,
+    /// Chunking algorithm used by clients (Rabin by default, as in the
+    /// paper; [`ChunkerKind::FastCdc`] is several times faster).
+    pub chunker_kind: ChunkerKind,
 }
 
 impl CdStoreConfig {
@@ -51,12 +56,19 @@ impl CdStoreConfig {
             n,
             k,
             chunker: ChunkerConfig::default(),
+            chunker_kind: ChunkerKind::Rabin,
         })
     }
 
     /// Sets a custom chunker configuration.
     pub fn with_chunker(mut self, chunker: ChunkerConfig) -> Self {
         self.chunker = chunker;
+        self
+    }
+
+    /// Sets the chunking algorithm.
+    pub fn with_chunker_kind(mut self, kind: ChunkerKind) -> Self {
+        self.chunker_kind = kind;
         self
     }
 }
@@ -302,7 +314,13 @@ impl<T: ServerTransport> CdStore<T> {
     /// Builds a client handle for a user.
     pub fn client(&self, user: u64) -> Result<CdStoreClient, CdStoreError> {
         let config = &self.shared.config;
-        CdStoreClient::with_chunker(user, config.n, config.k, config.chunker)
+        CdStoreClient::with_chunker_kind(
+            user,
+            config.n,
+            config.k,
+            config.chunker_kind,
+            config.chunker,
+        )
     }
 
     /// The lock covering one `(user, pathname)` file.
@@ -312,42 +330,39 @@ impl<T: ServerTransport> CdStore<T> {
         &self.shared.path_locks[(hash % PATH_LOCK_STRIPES as u64) as usize]
     }
 
-    /// Backs up a file for a user.
+    /// Backs up a file for a user. Thin wrapper over
+    /// [`CdStore::backup_stream`] — a slice is one shape of `Read` source.
     pub fn backup(
         &self,
         user: u64,
         pathname: &str,
         data: &[u8],
     ) -> Result<UploadReport, CdStoreError> {
-        self.backup_with(user, pathname, |client| client.prepare(data))
+        self.backup_stream(user, pathname, data)
     }
 
-    /// Backs up a file already divided into chunks (trace-driven workloads).
-    pub fn backup_chunks(
+    /// Backs up a file pulled incrementally from `reader` through the
+    /// streaming data path: chunks are cut as bytes arrive, encoded by the
+    /// bounded staged pipeline, and shipped to the clouds in 4 MB batches
+    /// while later chunks are still being encoded. Peak memory is set by the
+    /// pipeline depth and batch size, not the file size — files larger than
+    /// RAM stream through.
+    pub fn backup_stream<R: Read + Send>(
         &self,
         user: u64,
         pathname: &str,
-        chunks: &[Vec<u8>],
-    ) -> Result<UploadReport, CdStoreError> {
-        self.backup_with(user, pathname, |client| client.prepare_chunks(chunks))
-    }
-
-    /// The shared backup protocol: availability check, the CPU-bound
-    /// prepare (chunking + CAONT-RS, run *outside* any lock so unrelated
-    /// backups never serialise their encoding), then the server commit
-    /// under the per-file write lock plus accounting.
-    fn backup_with(
-        &self,
-        user: u64,
-        pathname: &str,
-        prepare: impl FnOnce(&CdStoreClient) -> Result<crate::client::PreparedUpload, CdStoreError>,
+        reader: R,
     ) -> Result<UploadReport, CdStoreError> {
         self.ensure_all_clouds_up()?;
         let client = self.client(user)?;
-        let prepared = prepare(&client)?;
+        // The streaming upload interleaves encoding with server traffic, so
+        // the whole upload runs under the per-file write lock (unrelated
+        // files stay concurrent via the lock striping).
         let _file = self.path_lock(user, pathname).write();
         let servers = self.shared.servers.read();
-        let report = client.commit(&servers, pathname, prepared)?;
+        let report =
+            client.upload_stream(&servers, pathname, reader, &PipelineConfig::default())?;
+        drop(servers);
         self.shared.dedup.lock().accumulate(&report.dedup);
         self.shared
             .catalog
@@ -356,8 +371,50 @@ impl<T: ServerTransport> CdStore<T> {
         Ok(report)
     }
 
-    /// Restores a file for a user from any `k` available clouds.
+    /// Backs up a file already divided into chunks (trace-driven workloads).
+    ///
+    /// Keeps the two-phase buffered path: the CPU-bound prepare (CAONT-RS
+    /// encoding) runs *outside* any lock so unrelated trace replays never
+    /// serialise their encoding, then the server commit runs under the
+    /// per-file write lock.
+    pub fn backup_chunks(
+        &self,
+        user: u64,
+        pathname: &str,
+        chunks: &[Vec<u8>],
+    ) -> Result<UploadReport, CdStoreError> {
+        self.ensure_all_clouds_up()?;
+        let client = self.client(user)?;
+        let prepared = client.prepare_chunks(chunks)?;
+        let _file = self.path_lock(user, pathname).write();
+        let servers = self.shared.servers.read();
+        let report = client.commit(&servers, pathname, prepared)?;
+        drop(servers);
+        self.shared.dedup.lock().accumulate(&report.dedup);
+        self.shared
+            .catalog
+            .lock()
+            .insert((user, pathname.to_string()));
+        Ok(report)
+    }
+
+    /// Restores a file for a user from any `k` available clouds. Thin
+    /// wrapper over [`CdStore::restore_stream`] collecting into a `Vec<u8>`.
     pub fn restore(&self, user: u64, pathname: &str) -> Result<Vec<u8>, CdStoreError> {
+        let mut out = Vec::new();
+        self.restore_stream(user, pathname, &mut out)?;
+        Ok(out)
+    }
+
+    /// Restores a file into any [`Write`] destination, fetching shares in
+    /// bounded windows so the whole file is never buffered. Returns the
+    /// number of bytes written.
+    pub fn restore_stream<W: Write + ?Sized>(
+        &self,
+        user: u64,
+        pathname: &str,
+        out: &mut W,
+    ) -> Result<u64, CdStoreError> {
         let client = self.client(user)?;
         // Read side of the per-file lock: a restore never observes a
         // half-committed rewrite of the same file (mixed per-cloud recipes),
@@ -365,7 +422,7 @@ impl<T: ServerTransport> CdStore<T> {
         let _file = self.path_lock(user, pathname).read();
         let availability = self.shared.available.read().clone();
         let servers = self.shared.servers.read();
-        client.download(&servers, &availability, pathname)
+        client.download_stream(&servers, &availability, pathname, out)
     }
 
     /// Deletes a file on all available servers, releasing its share

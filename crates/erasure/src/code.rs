@@ -154,6 +154,36 @@ impl ReedSolomon {
         self.encode_shards(&refs)
     }
 
+    /// Like [`encode_data`](ReedSolomon::encode_data), but writes the `n`
+    /// shards into `out`, reusing the capacity of any buffers already there.
+    ///
+    /// `out` is resized to `n` entries; each entry is overwritten in place
+    /// (no allocation once its capacity has grown to the shard size). This is
+    /// the allocation-free path the streaming encode pipeline runs on.
+    pub fn encode_into(&self, data: &[u8], out: &mut Vec<Vec<u8>>) -> Result<(), ErasureError> {
+        let size = crate::shard::shard_size(data.len(), self.k);
+        out.resize_with(self.n, Vec::new);
+        let (data_part, parity_part) = out.split_at_mut(self.k);
+        // Systematic part: copy `data` through, zero-padding the tail shard.
+        for (i, shard) in data_part.iter_mut().enumerate() {
+            let start = (i * size).min(data.len());
+            let end = ((i + 1) * size).min(data.len());
+            shard.clear();
+            shard.extend_from_slice(&data[start..end]);
+            shard.resize(size, 0);
+        }
+        // Parity part: rows k..n of the encoding matrix, accumulated into
+        // zeroed reused buffers.
+        for (p, parity) in parity_part.iter_mut().enumerate() {
+            parity.clear();
+            parity.resize(size, 0);
+            for (j, shard) in data_part.iter().enumerate() {
+                region::mul_acc(parity, shard, self.matrix.get(self.k + p, j));
+            }
+        }
+        Ok(())
+    }
+
     /// Reconstructs the `k` data shards from any `k` available shards.
     ///
     /// `shards` must have length `n`; missing shards are `None`.
@@ -276,6 +306,23 @@ mod tests {
         assert_eq!(shards.len(), 6);
         let split = pad_and_split(&data, 4);
         assert_eq!(&shards[..4], &split[..]);
+    }
+
+    #[test]
+    fn encode_into_matches_encode_data_and_reuses_buffers() {
+        let rs = ReedSolomon::new(6, 4).unwrap();
+        let mut out = Vec::new();
+        for round in 0..3u32 {
+            let data: Vec<u8> = (0..500u32)
+                .map(|i| ((i + round * 97) % 256) as u8)
+                .collect();
+            rs.encode_into(&data, &mut out).unwrap();
+            assert_eq!(out, rs.encode_data(&data).unwrap(), "round {round}");
+        }
+        // Smaller payload after a larger one: buffers shrink in place.
+        rs.encode_into(b"tiny", &mut out).unwrap();
+        assert_eq!(out, rs.encode_data(b"tiny").unwrap());
+        assert!(out[0].capacity() >= 125, "capacity should be retained");
     }
 
     #[test]

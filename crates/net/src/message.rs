@@ -576,6 +576,9 @@ pub fn error_to_wire(e: &CdStoreError) -> Response {
         CdStoreError::IntegrityFailure(m) => (8, 0, 0, m.clone()),
         CdStoreError::InconsistentMetadata(m) => (9, 0, 0, m.clone()),
         CdStoreError::Remote(m) => (10, 0, 0, m.clone()),
+        // Server-side operations take no Read/Write streams; an Io error
+        // crossing the wire is as server-internal as Sharing/Storage above.
+        CdStoreError::Io(m) => (11, 0, 0, m.clone()),
     };
     Response::Err {
         code,
@@ -597,8 +600,8 @@ pub fn error_from_wire(code: u8, needed: u64, available: u64, msg: String) -> Cd
         7 => CdStoreError::MissingShare(msg),
         8 => CdStoreError::IntegrityFailure(msg),
         9 => CdStoreError::InconsistentMetadata(msg),
-        // 2/3/4 (sharing/storage/cloud internals), 10 (already remote), and
-        // any future code the client does not know.
+        // 2/3/4 (sharing/storage/cloud internals), 10 (already remote),
+        // 11 (server-side I/O), and any future code the client does not know.
         _ => CdStoreError::Remote(msg),
     }
 }

@@ -15,10 +15,19 @@
 //! Decoding reverses the steps and verifies `H(X) == h`, giving an embedded
 //! integrity check on the recovered secret.
 
+use std::cell::RefCell;
+
 use cdstore_crypto::{constant_time_eq, ctr, sha256};
 use cdstore_erasure::ReedSolomon;
 
 use crate::{validate_shares, SecretSharing, SharingError};
+
+thread_local! {
+    /// Per-thread CAONT package scratch for [`CaontRs::split_into`]: each
+    /// encode worker settles on one buffer at its working chunk size instead
+    /// of allocating a package per secret.
+    static PACKAGE_SCRATCH: RefCell<Vec<u8>> = const { RefCell::new(Vec::new()) };
+}
 
 /// Size of the convergent hash key / package tail in bytes.
 pub const HASH_SIZE: usize = 32;
@@ -83,10 +92,18 @@ impl CaontRs {
 
     /// Builds the CAONT package `(Y, t)` for a secret (before Reed-Solomon).
     pub fn build_package(&self, secret: &[u8]) -> Vec<u8> {
+        let mut package = Vec::new();
+        self.build_package_into(secret, &mut package);
+        package
+    }
+
+    /// Builds the CAONT package into `package`, reusing its capacity.
+    pub fn build_package_into(&self, secret: &[u8], package: &mut Vec<u8>) {
         let padded_len = self.padded_secret_len(secret.len());
         // X (zero-padded to the package-friendly length).
-        let mut package = vec![0u8; padded_len + HASH_SIZE];
-        package[..secret.len()].copy_from_slice(secret);
+        package.clear();
+        package.extend_from_slice(secret);
+        package.resize(padded_len + HASH_SIZE, 0);
         // h = H(X) over the padded secret so encode/decode agree.
         let h = self.hash_key(&package[..padded_len]);
         // Y = X ⊕ G(h)  (single bulk CTR pass over the head).
@@ -96,7 +113,6 @@ impl CaontRs {
         for i in 0..HASH_SIZE {
             package[padded_len + i] = h[i] ^ hy[i];
         }
-        package
     }
 
     /// Inverts [`CaontRs::build_package`], verifying the embedded hash.
@@ -217,6 +233,17 @@ impl SecretSharing for CaontRs {
         Ok(self.rs.encode_data(&package)?)
     }
 
+    fn split_into(&self, secret: &[u8], out: &mut Vec<Vec<u8>>) -> Result<(), SharingError> {
+        // Zero-allocation steady state: the package lives in a thread-local
+        // scratch buffer and the shares land in the caller's reused buffers.
+        PACKAGE_SCRATCH.with(|scratch| {
+            let mut package = scratch.borrow_mut();
+            self.build_package_into(secret, &mut package);
+            self.rs.encode_into(&package, out)?;
+            Ok(())
+        })
+    }
+
     fn reconstruct(
         &self,
         shares: &[Option<Vec<u8>>],
@@ -248,6 +275,30 @@ mod tests {
             scheme.split(&secret).unwrap()
         );
         assert!(scheme.is_convergent());
+    }
+
+    #[test]
+    fn split_into_matches_split_and_reuses_buffers() {
+        let scheme = CaontRs::new(4, 3).unwrap();
+        let mut shares = Vec::new();
+        for len in [0usize, 1, 100, 8192, 500] {
+            let secret: Vec<u8> = (0..len as u32).map(|i| (i * 31 % 256) as u8).collect();
+            scheme.split_into(&secret, &mut shares).unwrap();
+            assert_eq!(shares, scheme.split(&secret).unwrap(), "len {len}");
+        }
+        // After the 8192-byte round the buffers retain capacity for reuse.
+        assert!(shares[0].capacity() >= scheme.share_size(500));
+    }
+
+    #[test]
+    fn split_into_default_impl_matches_for_non_convergent_schemes() {
+        // The trait's fallback path (split + move) must agree with split for
+        // deterministic schemes; IDA is deterministic and does not override.
+        let scheme = crate::Ida::new(4, 3).unwrap();
+        let secret: Vec<u8> = (0..300u32).map(|i| (i % 256) as u8).collect();
+        let mut shares = vec![Vec::from(&b"stale"[..]); 9];
+        scheme.split_into(&secret, &mut shares).unwrap();
+        assert_eq!(shares, scheme.split(&secret).unwrap());
     }
 
     #[test]

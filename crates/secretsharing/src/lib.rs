@@ -43,6 +43,7 @@ pub mod aont;
 pub mod aont_rs;
 pub mod caont_rs;
 pub mod ida;
+pub mod pool;
 pub mod rsss;
 pub mod ssms;
 pub mod ssss;
@@ -52,6 +53,7 @@ use core::fmt;
 pub use aont_rs::{AontRs, CaontRsRivest};
 pub use caont_rs::CaontRs;
 pub use ida::Ida;
+pub use pool::{BufferPool, PoolStats};
 pub use rsss::Rsss;
 pub use ssms::Ssms;
 pub use ssss::Ssss;
@@ -163,6 +165,22 @@ pub trait SecretSharing: Send + Sync {
     /// Splits a secret into `n` shares (index `i` of the result is the share
     /// for cloud `i`).
     fn split(&self, secret: &[u8]) -> Result<Vec<Vec<u8>>, SharingError>;
+
+    /// Splits a secret into `out`, reusing the capacity of any buffers
+    /// already there (e.g. checked out of a [`pool::BufferPool`]).
+    ///
+    /// `out` is resized to `n` entries and each entry is overwritten in
+    /// place. The default implementation falls back to [`split`] and moves
+    /// the result (correct for every scheme, no reuse); convergent schemes on
+    /// the streaming data path override it to encode allocation-free.
+    ///
+    /// [`split`]: SecretSharing::split
+    fn split_into(&self, secret: &[u8], out: &mut Vec<Vec<u8>>) -> Result<(), SharingError> {
+        let shares = self.split(secret)?;
+        out.clear();
+        out.extend(shares);
+        Ok(())
+    }
 
     /// Reconstructs the secret from at least `k` shares. `shares` must have
     /// exactly `n` entries, with `None` marking a missing share; the position

@@ -41,7 +41,11 @@ fn main() {
         for &user in &users {
             let data = user_data(user, week);
             let path = format!("/backups/user-{user}/week-{week}.tar");
-            let report = store.backup(user, &path, &data).expect("backup succeeds");
+            // Stream each user's archive through the bounded-memory pipeline
+            // rather than handing the whole buffer to the client at once.
+            let report = store
+                .backup_stream(user, &path, &data[..])
+                .expect("backup succeeds");
             logical += report.dedup.logical_bytes;
             transferred += report.dedup.transferred_share_bytes;
             physical += report.dedup.physical_share_bytes;

@@ -9,13 +9,15 @@ fn main() {
     let config = CdStoreConfig::new(4, 3).expect("valid (n, k)");
     let store = CdStore::new(config);
 
-    // A user backs up a (synthetic) 2 MB archive.
+    // A user backs up a (synthetic) 2 MB archive. `backup_stream` accepts
+    // any `Read` source — a `File`, a socket, or here a slice — and never
+    // materialises more than a pipeline-depth of chunks at once.
     let user = 1;
     let backup: Vec<u8> = (0..2 * 1024 * 1024)
         .map(|i| ((i / 1500) as u8).wrapping_mul(37))
         .collect();
     let report = store
-        .backup(user, "/home/alice/projects.tar", &backup)
+        .backup_stream(user, "/home/alice/projects.tar", &backup[..])
         .expect("backup succeeds");
     println!(
         "backed up {} bytes as {} secrets; {} share bytes transferred, {} stored",
@@ -36,14 +38,13 @@ fn main() {
         report2.dedup.intra_user_saving() * 100.0
     );
 
-    // One cloud fails; the data is still there.
+    // One cloud fails; the data is still there. `restore_stream` writes the
+    // recovered bytes straight into any `Write` sink.
     store.fail_cloud(2);
-    let restored = store
-        .restore(user, "/home/alice/projects.tar")
+    let mut restored = Vec::new();
+    let written = store
+        .restore_stream(user, "/home/alice/projects.tar", &mut restored)
         .expect("restore succeeds with 3 of 4 clouds");
     assert_eq!(restored, backup);
-    println!(
-        "restored {} bytes with cloud 2 offline — contents verified",
-        restored.len()
-    );
+    println!("restored {written} bytes with cloud 2 offline — contents verified");
 }
