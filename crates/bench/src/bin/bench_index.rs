@@ -1,0 +1,82 @@
+//! Perf trajectory for the dedup index: loads seeded pseudo-fingerprints
+//! into the memory-resident and disk-backed `KvStore` and writes
+//! `BENCH_index.json`, so this and future PRs leave a comparable curve.
+//!
+//! ```text
+//! cargo run --release -p cdstore_bench --bin bench_index [-- out_path] [entries]
+//! ```
+//!
+//! Defaults: `BENCH_index.json` in the current directory, 10⁶ fingerprints.
+//! The disk store is exercised at the full requested scale; the memory
+//! store is capped (it exists as the RSS baseline, not the headline) and
+//! the cap is recorded in the snapshot. All keys are seeded; run-to-run
+//! variance comes only from the machine, never the workload.
+
+use serde::Serialize;
+
+use cdstore_bench::indexbench::{disk_run, memory_run, IndexRunReport};
+
+/// Fingerprints beyond which the memory-resident baseline is not grown
+/// (the disk store is the scaling story; the memory row is a footprint
+/// reference point).
+const MEMORY_CAP: u64 = 2_000_000;
+
+/// The whole snapshot written to `BENCH_index.json`.
+#[derive(Serialize)]
+struct BenchIndex {
+    schema_version: u32,
+    /// Fingerprints requested on the command line.
+    entries: u64,
+    /// Entries the memory row actually loaded (`min(entries, cap)`).
+    memory_entries: u64,
+    seed: u64,
+    memory: IndexRunReport,
+    disk: IndexRunReport,
+    /// disk resident bytes ÷ memory resident bytes, scaled to the same
+    /// entry count — the headline "index outgrows RAM" ratio.
+    disk_to_memory_resident_ratio: f64,
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_index.json");
+    let mut entries: u64 = 1_000_000;
+    for arg in std::env::args().skip(1) {
+        if let Ok(n) = arg.parse() {
+            entries = n;
+        } else {
+            out_path = arg;
+        }
+    }
+    let seed = 0xcd57_0001;
+    let memory_entries = entries.min(MEMORY_CAP);
+
+    eprintln!("bench_index: memory store, {memory_entries} fingerprints...");
+    let memory = memory_run(memory_entries, seed);
+
+    let dir = std::env::temp_dir().join(format!("cdstore-bench-index-{}", std::process::id()));
+    eprintln!(
+        "bench_index: disk store, {entries} fingerprints under {}...",
+        dir.display()
+    );
+    let disk = disk_run(entries, seed, &dir);
+    std::fs::remove_dir_all(&dir).ok();
+
+    // Normalise the footprint comparison to per-entry cost before taking
+    // the ratio, since the two rows may have loaded different counts.
+    let memory_per_entry = memory.resident_bytes as f64 / memory_entries.max(1) as f64;
+    let disk_per_entry = disk.resident_bytes as f64 / entries.max(1) as f64;
+    let snapshot = BenchIndex {
+        schema_version: 1,
+        entries,
+        memory_entries,
+        seed,
+        disk_to_memory_resident_ratio: disk_per_entry / memory_per_entry.max(f64::MIN_POSITIVE),
+        memory,
+        disk,
+    };
+
+    let json = serde_json::to_string_pretty(&snapshot).expect("serialise snapshot");
+    std::fs::write(&out_path, format!("{json}\n")).expect("write snapshot");
+    eprintln!("bench_index: wrote {out_path}");
+    println!("{json}");
+}

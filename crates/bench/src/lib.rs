@@ -15,6 +15,7 @@ use std::time::Instant;
 use cdstore_secretsharing::SecretSharing;
 
 pub mod encodebench;
+pub mod indexbench;
 pub mod netbench;
 pub mod transfer;
 

@@ -75,7 +75,7 @@ pub use metadata::{FileRecipe, RecipeEntry, ShareMetadata};
 pub use pipeline::{
     encode_stream, EncodeStreamReport, EncodedSecret, ParallelCoder, PipelineConfig,
 };
-pub use server::{CdStoreServer, GcConfig, GcReport, RecoveryReport, ServerStats};
+pub use server::{CdStoreServer, GcConfig, GcReport, IndexMode, RecoveryReport, ServerStats};
 pub use system::{CdStore, CdStoreConfig, SystemStats};
 pub use transport::{ServerProbe, ServerTransport, ShareVerdict, StoreReceipt};
 pub use wal::{MetaRecord, Snapshot};

@@ -18,8 +18,8 @@ use std::sync::Arc;
 
 use cdstore_crypto::Fingerprint;
 use cdstore_index::{
-    sharded::infallible, FileEntry, FileKey, FilePutOutcome, ShardedFileIndex, ShardedKvStore,
-    ShardedShareIndex, ShareEntry, ShareLocation, StoreOutcome,
+    sharded::infallible, BlockCacheStats, FileEntry, FileKey, FilePutOutcome, KvStoreConfig,
+    ShardedFileIndex, ShardedKvStore, ShardedShareIndex, ShareEntry, ShareLocation, StoreOutcome,
 };
 use cdstore_storage::{
     ContainerKind, ContainerStore, ContainerUsage, Journal, MemoryBackend, StorageBackend,
@@ -48,6 +48,34 @@ const RELOCATION_RETRIES: usize = 3;
 /// index size, while recovery replay stays bounded by
 /// `max(this floor, index entries / 4)` records.
 pub const CHECKPOINT_INTERVAL_RECORDS: u64 = 8192;
+
+/// Where a server keeps its three metadata indexes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum IndexMode {
+    /// Fully memory-resident indexes, checkpointed inline into the journal's
+    /// snapshot blob — the original behaviour, fine while the index fits in
+    /// RAM.
+    #[default]
+    Memory,
+    /// Disk-resident indexes: each index stripe spills its LSM runs to the
+    /// server's storage backend (Bloom-filtered, block-cached reads), and
+    /// checkpoints flush the runs durable then commit a small external
+    /// marker instead of serialising the index bodies. Memory use stays
+    /// bounded by `memtables + Bloom filters + block caches` however many
+    /// fingerprints the server tracks.
+    Disk(KvStoreConfig),
+}
+
+/// Backend object-name prefix shared by every disk-resident index structure
+/// (`idx-{store}-...`); its presence on a backend is how
+/// [`CdStoreServer::open`] detects that the previous incarnation ran with
+/// [`IndexMode::Disk`].
+const INDEX_KEY_PREFIX: &str = "idx-";
+
+/// Stripe-set names of the three disk-resident indexes on the backend.
+const SHARE_INDEX_NAME: &str = "share";
+const FILE_INDEX_NAME: &str = "file";
+const USER_MAP_NAME: &str = "usermap";
 
 /// What [`CdStoreServer::open`] found and did while rebuilding a server from
 /// backend-only state.
@@ -218,6 +246,8 @@ pub struct CdStoreServer {
     /// otherwise race to copy the same containers. Client traffic never
     /// takes this lock.
     gc_lock: Mutex<()>,
+    /// Where the three indexes live; decides how checkpoints serialise them.
+    index_mode: IndexMode,
 }
 
 impl CdStoreServer {
@@ -227,21 +257,67 @@ impl CdStoreServer {
     }
 
     /// Creates a server over an explicit storage backend (e.g. a directory,
-    /// or the backend of a simulated cloud), starting from empty state. Any
-    /// journal state a previous incarnation left on the backend is cleared;
-    /// to *recover* that state instead, use [`CdStoreServer::open`].
+    /// or the backend of a simulated cloud), starting from empty state with
+    /// memory-resident indexes. Any journal state a previous incarnation
+    /// left on the backend is cleared; to *recover* that state instead, use
+    /// [`CdStoreServer::open`].
     pub fn with_backend(cloud_index: usize, backend: Arc<dyn StorageBackend>) -> Self {
-        let journal = Journal::fresh(backend.clone());
-        Self::assemble(cloud_index, backend, journal)
+        Self::with_backend_and_index(cloud_index, backend, IndexMode::Memory)
+            .expect("memory-mode construction is infallible")
     }
 
-    fn assemble(cloud_index: usize, backend: Arc<dyn StorageBackend>, journal: Journal) -> Self {
-        CdStoreServer {
+    /// [`CdStoreServer::with_backend`] with an explicit [`IndexMode`]: in
+    /// [`IndexMode::Disk`] the three indexes spill their runs to the same
+    /// backend the containers use, starting fresh (any disk-index state a
+    /// previous incarnation left is discarded — use [`CdStoreServer::open`]
+    /// to resume it).
+    pub fn with_backend_and_index(
+        cloud_index: usize,
+        backend: Arc<dyn StorageBackend>,
+        index_mode: IndexMode,
+    ) -> Result<Self, CdStoreError> {
+        let journal = Journal::fresh(backend.clone());
+        Self::assemble(cloud_index, backend, journal, index_mode, false)
+    }
+
+    /// Builds the three indexes per `index_mode` (resuming on-disk runs iff
+    /// `resume`) and wires the server together.
+    fn assemble(
+        cloud_index: usize,
+        backend: Arc<dyn StorageBackend>,
+        journal: Journal,
+        index_mode: IndexMode,
+        resume: bool,
+    ) -> Result<Self, CdStoreError> {
+        let (share_index, file_index, user_shares) = match index_mode {
+            IndexMode::Memory => (
+                ShardedShareIndex::new(),
+                ShardedFileIndex::new(),
+                ShardedKvStore::new(),
+            ),
+            IndexMode::Disk(config) if resume => (
+                ShardedShareIndex::open(backend.clone(), SHARE_INDEX_NAME, config)
+                    .map_err(CdStoreError::Storage)?,
+                ShardedFileIndex::open(backend.clone(), FILE_INDEX_NAME, config)
+                    .map_err(CdStoreError::Storage)?,
+                ShardedKvStore::open(backend.clone(), USER_MAP_NAME, config)
+                    .map_err(CdStoreError::Storage)?,
+            ),
+            IndexMode::Disk(config) => (
+                ShardedShareIndex::create(backend.clone(), SHARE_INDEX_NAME, config)
+                    .map_err(CdStoreError::Storage)?,
+                ShardedFileIndex::create(backend.clone(), FILE_INDEX_NAME, config)
+                    .map_err(CdStoreError::Storage)?,
+                ShardedKvStore::create(backend.clone(), USER_MAP_NAME, config)
+                    .map_err(CdStoreError::Storage)?,
+            ),
+        };
+        Ok(CdStoreServer {
             cloud_index,
             tag: format!("cdstore-server-{cloud_index}").into_bytes(),
-            share_index: ShardedShareIndex::new(),
-            file_index: ShardedFileIndex::new(),
-            user_shares: ShardedKvStore::new(),
+            share_index,
+            file_index,
+            user_shares,
             containers: ContainerStore::new(backend),
             journal,
             ckpt_lock: RwLock::new(()),
@@ -250,7 +326,8 @@ impl CdStoreServer {
             stats: AtomicServerStats::default(),
             next_version: AtomicU64::new(1),
             gc_lock: Mutex::new(()),
-        }
+            index_mode,
+        })
     }
 
     /// Rebuilds a server from backend-only state: loads the newest valid
@@ -268,9 +345,39 @@ impl CdStoreServer {
         cloud_index: usize,
         backend: Arc<dyn StorageBackend>,
     ) -> Result<(Self, RecoveryReport), CdStoreError> {
+        // Auto-detect the index mode of the previous incarnation: disk-
+        // resident indexes leave their run/manifest objects on the backend.
+        let disk = backend
+            .list()
+            .map_err(CdStoreError::Storage)?
+            .iter()
+            .any(|key| key.starts_with(INDEX_KEY_PREFIX));
+        let mode = if disk {
+            IndexMode::Disk(KvStoreConfig::default())
+        } else {
+            IndexMode::Memory
+        };
+        Self::open_with_index(cloud_index, backend, mode)
+    }
+
+    /// [`CdStoreServer::open`] with an explicit [`IndexMode`] (and, for
+    /// [`IndexMode::Disk`], explicit tuning) instead of auto-detection.
+    ///
+    /// In disk mode the indexes are *opened* from their on-disk runs first;
+    /// an external-marker checkpoint then installs nothing (the runs are the
+    /// checkpoint), and journal replay reconciles the runs with every record
+    /// written after their last flush — records are absolute post-states, so
+    /// re-applying ones a run already absorbed is a no-op. Opening a backend
+    /// whose checkpoint is an external marker in [`IndexMode::Memory`] is an
+    /// error: the index bodies are not in the blob to install.
+    pub fn open_with_index(
+        cloud_index: usize,
+        backend: Arc<dyn StorageBackend>,
+        index_mode: IndexMode,
+    ) -> Result<(Self, RecoveryReport), CdStoreError> {
         let loaded = Journal::load(&*backend).map_err(CdStoreError::Storage)?;
         let journal = Journal::resume(backend.clone(), &loaded);
-        let server = Self::assemble(cloud_index, backend, journal);
+        let server = Self::assemble(cloud_index, backend, journal, index_mode, true)?;
         let mut report = RecoveryReport {
             used_checkpoint: loaded.checkpoint.is_some(),
             records_replayed: loaded.records.len(),
@@ -281,14 +388,25 @@ impl CdStoreServer {
             let snapshot = Snapshot::decode(blob).ok_or_else(|| {
                 CdStoreError::InconsistentMetadata("unreadable checkpoint snapshot".into())
             })?;
-            for (fp, entry) in &snapshot.shares {
-                server.share_index.insert_entry(fp, entry);
-            }
-            for (key, entry) in snapshot.files {
-                server.file_index.put(key, entry);
-            }
-            for (key, value) in snapshot.mappings {
-                server.user_shares.put(key, value);
+            if snapshot.external_indexes {
+                if matches!(index_mode, IndexMode::Memory) {
+                    return Err(CdStoreError::InconsistentMetadata(
+                        "checkpoint marks the indexes as disk-resident, but the server \
+                         was opened in memory index mode"
+                            .into(),
+                    ));
+                }
+                // Nothing to install: the opened runs *are* the snapshot.
+            } else {
+                for (fp, entry) in &snapshot.shares {
+                    server.share_index.insert_entry(fp, entry);
+                }
+                for (key, entry) in snapshot.files {
+                    server.file_index.put(key, entry);
+                }
+                for (key, value) in snapshot.mappings {
+                    server.user_shares.put(key, value);
+                }
             }
         }
         for payload in &loaded.records {
@@ -549,15 +667,44 @@ impl CdStoreServer {
 
     /// The body of [`CdStoreServer::checkpoint`]; the caller must hold the
     /// write side of `ckpt_lock`.
+    ///
+    /// Memory mode serialises the three index bodies inline. Disk mode
+    /// instead flushes every index stripe's write buffer into durable runs
+    /// *before* committing a small external marker: once the marker commits
+    /// (and the superseded journal epoch is swept), the runs are the only
+    /// copy of the pre-checkpoint mutations, so the flush-then-commit order
+    /// is what makes the sweep safe.
     fn checkpoint_locked(&self) -> Result<(), CdStoreError> {
-        let snapshot = Snapshot {
-            shares: self.share_index.export(),
-            files: self.file_index.export(),
-            mappings: self.user_shares.export(),
+        let (blob, entries) = match self.index_mode {
+            IndexMode::Memory => {
+                let snapshot = Snapshot {
+                    shares: self.share_index.export(),
+                    files: self.file_index.export(),
+                    mappings: self.user_shares.export(),
+                    ..Snapshot::default()
+                };
+                let entries =
+                    snapshot.shares.len() + snapshot.files.len() + snapshot.mappings.len();
+                (snapshot.encode(), entries)
+            }
+            IndexMode::Disk(_) => {
+                self.share_index
+                    .flush_runs()
+                    .map_err(CdStoreError::Storage)?;
+                self.file_index
+                    .flush_runs()
+                    .map_err(CdStoreError::Storage)?;
+                self.user_shares
+                    .flush_runs()
+                    .map_err(CdStoreError::Storage)?;
+                let entries = self.share_index.unique_shares()
+                    + self.file_index.len()
+                    + self.user_shares.len();
+                (Snapshot::external().encode(), entries)
+            }
         };
-        let entries = snapshot.shares.len() + snapshot.files.len() + snapshot.mappings.len();
         self.journal
-            .commit_checkpoint(&snapshot.encode())
+            .commit_checkpoint(&blob)
             .map_err(CdStoreError::Storage)?;
         self.last_snapshot_entries
             .store(entries as u64, Ordering::Relaxed);
@@ -602,11 +749,39 @@ impl CdStoreServer {
     }
 
     /// Approximate size of the server's indices in bytes (drives the EC2
-    /// instance choice in the cost model, §5.6).
+    /// instance choice in the cost model, §5.6). In [`IndexMode::Disk`] this
+    /// is the *resident* footprint — write buffers, Bloom filters, fence
+    /// pointers, and block caches — not the spilled run bytes.
     pub fn index_bytes(&self) -> usize {
         self.share_index.approximate_size()
             + self.file_index.approximate_size()
             + self.user_shares.approximate_size()
+    }
+
+    /// Where this server keeps its indexes.
+    pub fn index_mode(&self) -> IndexMode {
+        self.index_mode
+    }
+
+    /// Summed block-cache counters across all three indexes' stripes
+    /// (`None` in [`IndexMode::Memory`]).
+    pub fn index_cache_stats(&self) -> Option<BlockCacheStats> {
+        let all = [
+            self.share_index.cache_stats(),
+            self.file_index.cache_stats(),
+            self.user_shares.cache_stats(),
+        ];
+        let mut total: Option<BlockCacheStats> = None;
+        for s in all.into_iter().flatten() {
+            let t = total.get_or_insert_with(BlockCacheStats::default);
+            t.hits += s.hits;
+            t.misses += s.misses;
+            t.evictions += s.evictions;
+            t.current_bytes += s.current_bytes;
+            t.peak_bytes += s.peak_bytes;
+            t.capacity_bytes += s.capacity_bytes;
+        }
+        total
     }
 
     /// Number of globally unique shares stored.

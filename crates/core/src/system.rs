@@ -20,14 +20,14 @@ use std::io::{Read, Write};
 use std::sync::Arc;
 
 use cdstore_chunking::{ChunkerConfig, ChunkerKind};
-use cdstore_storage::StorageBackend;
+use cdstore_storage::{MemoryBackend, StorageBackend};
 use parking_lot::{Mutex, RwLock};
 
 use crate::client::{CdStoreClient, UploadReport};
 use crate::dedup::DedupStats;
 use crate::error::CdStoreError;
 use crate::pipeline::PipelineConfig;
-use crate::server::{CdStoreServer, GcConfig, GcReport, RecoveryReport, ServerStats};
+use crate::server::{CdStoreServer, GcConfig, GcReport, IndexMode, RecoveryReport, ServerStats};
 use crate::transport::{ServerProbe, ServerTransport};
 
 /// System-wide configuration.
@@ -42,6 +42,9 @@ pub struct CdStoreConfig {
     /// Chunking algorithm used by clients (Rabin by default, as in the
     /// paper; [`ChunkerKind::FastCdc`] is several times faster).
     pub chunker_kind: ChunkerKind,
+    /// Where each server keeps its metadata indexes (memory-resident by
+    /// default; see [`IndexMode::Disk`]).
+    pub index_mode: IndexMode,
 }
 
 impl CdStoreConfig {
@@ -57,6 +60,7 @@ impl CdStoreConfig {
             k,
             chunker: ChunkerConfig::default(),
             chunker_kind: ChunkerKind::Rabin,
+            index_mode: IndexMode::default(),
         })
     }
 
@@ -69,6 +73,19 @@ impl CdStoreConfig {
     /// Sets the chunking algorithm.
     pub fn with_chunker_kind(mut self, kind: ChunkerKind) -> Self {
         self.chunker_kind = kind;
+        self
+    }
+
+    /// Runs every server with disk-resident indexes (default tuning); see
+    /// [`IndexMode::Disk`].
+    pub fn with_disk_index(mut self) -> Self {
+        self.index_mode = IndexMode::Disk(Default::default());
+        self
+    }
+
+    /// Sets an explicit [`IndexMode`] for every server.
+    pub fn with_index_mode(mut self, mode: IndexMode) -> Self {
+        self.index_mode = mode;
         self
     }
 }
@@ -148,9 +165,20 @@ impl<T: ServerTransport> Clone for CdStore<T> {
 }
 
 impl CdStore {
-    /// Creates a CDStore deployment with `n` in-memory servers.
+    /// Creates a CDStore deployment with `n` in-memory servers (index
+    /// residency per `config.index_mode`).
     pub fn new(config: CdStoreConfig) -> Self {
-        Self::from_parts(config, (0..config.n).map(CdStoreServer::new).collect())
+        let servers = (0..config.n)
+            .map(|i| {
+                CdStoreServer::with_backend_and_index(
+                    i,
+                    Arc::new(MemoryBackend::new()),
+                    config.index_mode,
+                )
+                .expect("fresh in-memory backends cannot fail")
+            })
+            .collect();
+        Self::from_parts(config, servers)
     }
 
     /// Creates a CDStore deployment over explicit per-cloud storage backends
@@ -165,8 +193,10 @@ impl CdStore {
         let servers = backends
             .into_iter()
             .enumerate()
-            .map(|(i, backend)| CdStoreServer::with_backend(i, backend))
-            .collect();
+            .map(|(i, backend)| {
+                CdStoreServer::with_backend_and_index(i, backend, config.index_mode)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
         Ok(Self::from_parts(config, servers))
     }
 
@@ -194,11 +224,26 @@ impl CdStore {
         let mut servers = Vec::with_capacity(config.n);
         let mut reports = Vec::with_capacity(config.n);
         for (i, backend) in backends.into_iter().enumerate() {
-            let (server, report) = CdStoreServer::open(i, backend)?;
+            let (server, report) = Self::reopen_server(&config, i, backend)?;
             servers.push(server);
             reports.push(report);
         }
         Ok((Self::from_parts(config, servers), reports))
+    }
+
+    /// Opens one server, honouring an explicit disk-index tuning from the
+    /// config (a memory-mode config defers to [`CdStoreServer::open`]'s
+    /// auto-detection, so memory-configured deployments still recover
+    /// backends persisted in disk mode).
+    fn reopen_server(
+        config: &CdStoreConfig,
+        i: usize,
+        backend: Arc<dyn StorageBackend>,
+    ) -> Result<(CdStoreServer, RecoveryReport), CdStoreError> {
+        match config.index_mode {
+            IndexMode::Memory => CdStoreServer::open(i, backend),
+            mode @ IndexMode::Disk(_) => CdStoreServer::open_with_index(i, backend, mode),
+        }
     }
 
     fn check_backend_count(
@@ -230,7 +275,7 @@ impl CdStore {
         let mut servers = self.shared.servers.write();
         servers[i].flush()?;
         let backend = servers[i].backend();
-        let (server, report) = CdStoreServer::open(i, backend)?;
+        let (server, report) = Self::reopen_server(&self.shared.config, i, backend)?;
         servers[i] = server;
         Ok(report)
     }
@@ -243,7 +288,11 @@ impl CdStore {
     /// quiesced, as files backed up concurrently with the repair pass may be
     /// missed.
     pub fn replace_and_repair_cloud(&self, i: usize) -> Result<usize, CdStoreError> {
-        self.shared.servers.write()[i] = CdStoreServer::new(i);
+        self.shared.servers.write()[i] = CdStoreServer::with_backend_and_index(
+            i,
+            Arc::new(MemoryBackend::new()),
+            self.shared.config.index_mode,
+        )?;
         self.shared.available.write()[i] = true;
         // The replacement server starts empty: deletes that were pending for
         // the lost cloud have nothing left to delete (repair re-uploads only

@@ -153,14 +153,28 @@ impl MetaRecord {
     }
 }
 
-/// Format version of the checkpoint snapshot blob.
-const SNAPSHOT_VERSION: u32 = 1;
+/// Format version of an inline checkpoint snapshot blob (the three index
+/// bodies embedded in the checkpoint itself).
+const SNAPSHOT_VERSION_INLINE: u32 = 1;
+/// Format version of an *external-indexes* checkpoint marker: the indexes
+/// live in their own disk-resident LSM runs (flushed durable before the
+/// checkpoint committed), so the blob carries no bodies.
+const SNAPSHOT_VERSION_EXTERNAL: u32 = 2;
 
 /// A full point-in-time copy of a server's metadata: the share index, the
 /// file index, and the user-share ownership map. Committed periodically as a
 /// checkpoint so recovery replays only the journal suffix written since.
+///
+/// Servers running their indexes disk-resident commit an *external* marker
+/// instead ([`Snapshot::external`]): the index contents are already durable
+/// in their own on-disk runs, so the checkpoint only needs to record that
+/// fact — recovery then opens the runs instead of installing bodies.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Snapshot {
+    /// The index bodies live outside the checkpoint, in disk-resident LSM
+    /// runs flushed before this snapshot committed. The three body vectors
+    /// are empty when set.
+    pub external_indexes: bool,
     /// Every share-index entry.
     pub shares: Vec<(Fingerprint, ShareEntry)>,
     /// Every file-index entry.
@@ -170,10 +184,23 @@ pub struct Snapshot {
 }
 
 impl Snapshot {
+    /// The external-indexes marker: a checkpoint whose index bodies live in
+    /// disk-resident runs instead of the blob.
+    pub fn external() -> Self {
+        Snapshot {
+            external_indexes: true,
+            ..Snapshot::default()
+        }
+    }
+
     /// Serialises the snapshot into a checkpoint blob.
     pub fn encode(&self) -> Vec<u8> {
+        if self.external_indexes {
+            debug_assert!(self.shares.is_empty() && self.files.is_empty());
+            return SNAPSHOT_VERSION_EXTERNAL.to_be_bytes().to_vec();
+        }
         let mut out = Vec::new();
-        out.extend_from_slice(&SNAPSHOT_VERSION.to_be_bytes());
+        out.extend_from_slice(&SNAPSHOT_VERSION_INLINE.to_be_bytes());
         out.extend_from_slice(&(self.shares.len() as u64).to_be_bytes());
         for (fp, entry) in &self.shares {
             out.extend_from_slice(fp.as_bytes());
@@ -203,8 +230,12 @@ impl Snapshot {
     /// mismatch, not bit rot).
     pub fn decode(bytes: &[u8]) -> Option<Snapshot> {
         let mut cursor = Cursor(bytes);
-        if cursor.u32()? != SNAPSHOT_VERSION {
-            return None;
+        match cursor.u32()? {
+            SNAPSHOT_VERSION_INLINE => {}
+            SNAPSHOT_VERSION_EXTERNAL => {
+                return cursor.0.is_empty().then(Snapshot::external);
+            }
+            _ => return None,
         }
         let mut snapshot = Snapshot::default();
         for _ in 0..cursor.u64()? {
@@ -331,6 +362,7 @@ mod tests {
             shares: vec![(fp(1), share_entry(1)), (fp(2), share_entry(9))],
             files: vec![(FileKey::new(1, b"/x"), file_entry(2))],
             mappings: vec![(vec![1; 40], vec![2; 32]), (b"k".to_vec(), b"v".to_vec())],
+            ..Snapshot::default()
         };
         assert_eq!(Snapshot::decode(&snapshot.encode()), Some(snapshot));
         assert_eq!(
@@ -343,8 +375,7 @@ mod tests {
     fn snapshot_decode_rejects_corruption() {
         let snapshot = Snapshot {
             shares: vec![(fp(1), share_entry(1))],
-            files: vec![],
-            mappings: vec![],
+            ..Snapshot::default()
         };
         let bytes = snapshot.encode();
         // Truncations and version mismatches are rejected at every cut.
@@ -358,5 +389,21 @@ mod tests {
         let mut trailing = bytes;
         trailing.push(0);
         assert!(Snapshot::decode(&trailing).is_none());
+    }
+
+    #[test]
+    fn external_marker_round_trips() {
+        let marker = Snapshot::external();
+        assert!(marker.external_indexes);
+        let bytes = marker.encode();
+        assert_eq!(bytes.len(), 4, "marker carries no bodies");
+        assert_eq!(Snapshot::decode(&bytes), Some(marker));
+        // A marker with trailing bytes is rejected.
+        let mut trailing = bytes;
+        trailing.push(0);
+        assert_eq!(Snapshot::decode(&trailing), None);
+        // Inline snapshots decode with the flag unset.
+        let inline = Snapshot::default();
+        assert!(!Snapshot::decode(&inline.encode()).unwrap().external_indexes);
     }
 }

@@ -54,14 +54,23 @@ impl BloomFilter {
         (h1, h2 | 1)
     }
 
-    /// Inserts a key.
+    /// Inserts a key. The item count only grows when the key set at least
+    /// one new bit: re-inserting a present key (or a key aliasing one — the
+    /// usual Bloom ambiguity) leaves `len()` unchanged, so occupancy-derived
+    /// sizing decisions don't drift under duplicate-heavy workloads.
     pub fn insert(&mut self, key: &[u8]) {
         let (h1, h2) = Self::hash_pair(key);
+        let mut new_bit = false;
         for i in 0..self.num_hashes as u64 {
             let bit = (h1.wrapping_add(i.wrapping_mul(h2)) % self.num_bits as u64) as usize;
-            self.bits[bit / 64] |= 1u64 << (bit % 64);
+            let word = &mut self.bits[bit / 64];
+            let mask = 1u64 << (bit % 64);
+            new_bit |= *word & mask == 0;
+            *word |= mask;
         }
-        self.items += 1;
+        if new_bit {
+            self.items += 1;
+        }
     }
 
     /// Returns `false` if the key is definitely absent; `true` if it *may*
@@ -75,6 +84,45 @@ impl BloomFilter {
             }
         }
         true
+    }
+
+    /// Serialises the filter (the persisted form attached to each on-disk
+    /// run of [`crate::KvStore`]): `num_bits`, `num_hashes`, `items`, then
+    /// the bit words, all little-endian.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(20 + self.bits.len() * 8);
+        out.extend_from_slice(&(self.num_bits as u64).to_le_bytes());
+        out.extend_from_slice(&self.num_hashes.to_le_bytes());
+        out.extend_from_slice(&(self.items as u64).to_le_bytes());
+        for word in &self.bits {
+            out.extend_from_slice(&word.to_le_bytes());
+        }
+        out
+    }
+
+    /// Parses a filter serialised by [`BloomFilter::to_bytes`]; `None` if
+    /// the buffer is malformed.
+    pub fn from_bytes(bytes: &[u8]) -> Option<BloomFilter> {
+        if bytes.len() < 20 {
+            return None;
+        }
+        let num_bits = u64::from_le_bytes(bytes[0..8].try_into().ok()?) as usize;
+        let num_hashes = u32::from_le_bytes(bytes[8..12].try_into().ok()?);
+        let items = u64::from_le_bytes(bytes[12..20].try_into().ok()?) as usize;
+        let words = num_bits.div_ceil(64);
+        if num_bits == 0 || num_hashes == 0 || bytes.len() != 20 + words * 8 {
+            return None;
+        }
+        let bits = bytes[20..]
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+            .collect();
+        Some(BloomFilter {
+            bits,
+            num_bits,
+            num_hashes,
+            items,
+        })
     }
 
     /// Measures the false-positive rate against a set of absent keys.
@@ -129,6 +177,43 @@ mod tests {
         filter.insert(b"x");
         assert!(filter.may_contain(b"x"));
         assert!(filter.num_bits() >= 64);
+    }
+
+    #[test]
+    fn duplicate_inserts_do_not_inflate_the_item_count() {
+        let mut filter = BloomFilter::new(100, 10);
+        filter.insert(b"same-key");
+        filter.insert(b"same-key");
+        filter.insert(b"same-key");
+        assert_eq!(filter.len(), 1);
+        filter.insert(b"other-key");
+        assert_eq!(filter.len(), 2);
+    }
+
+    #[test]
+    fn serialisation_round_trips() {
+        let mut filter = BloomFilter::new(500, 10);
+        for i in 0..500u32 {
+            filter.insert(&i.to_le_bytes());
+        }
+        let bytes = filter.to_bytes();
+        let restored = BloomFilter::from_bytes(&bytes).unwrap();
+        assert_eq!(restored.len(), filter.len());
+        assert_eq!(restored.num_bits(), filter.num_bits());
+        for i in 0..500u32 {
+            assert!(restored.may_contain(&i.to_le_bytes()));
+        }
+        // The restored filter answers identically on absent keys too.
+        for i in 1000..1500u32 {
+            assert_eq!(
+                restored.may_contain(&i.to_le_bytes()),
+                filter.may_contain(&i.to_le_bytes())
+            );
+        }
+        // Malformed buffers are rejected.
+        assert!(BloomFilter::from_bytes(&[]).is_none());
+        assert!(BloomFilter::from_bytes(&bytes[..bytes.len() - 1]).is_none());
+        assert!(BloomFilter::from_bytes(&[0u8; 20]).is_none());
     }
 
     #[test]

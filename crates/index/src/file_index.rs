@@ -7,9 +7,12 @@
 //! obtain a unique key for the entry. The entry stores a reference to the
 //! file recipe ..." (§4.4)
 
-use cdstore_crypto::{sha256, Fingerprint};
+use std::sync::Arc;
 
-use crate::kvstore::{KvStore, KvStoreConfig};
+use cdstore_crypto::{sha256, Fingerprint};
+use cdstore_storage::{StorageBackend, StorageError};
+
+use crate::kvstore::{BlockCacheStats, KvStore, KvStoreConfig};
 use crate::share_index::ShareLocation;
 
 /// The hashed lookup key of a file-index entry.
@@ -138,6 +141,46 @@ impl FileIndex {
         FileIndex {
             store: KvStore::with_config(config),
         }
+    }
+
+    /// Creates a *fresh* disk-backed file index named `name` on the
+    /// backend, discarding any previous incarnation of the same name.
+    pub fn create(
+        backend: Arc<dyn StorageBackend>,
+        name: &str,
+        config: KvStoreConfig,
+    ) -> Result<Self, StorageError> {
+        Ok(FileIndex {
+            store: KvStore::create(backend, name, config)?,
+        })
+    }
+
+    /// Opens the disk-backed file index previously persisted under `name`,
+    /// resuming the runs its manifest describes.
+    pub fn open(
+        backend: Arc<dyn StorageBackend>,
+        name: &str,
+        config: KvStoreConfig,
+    ) -> Result<Self, StorageError> {
+        Ok(FileIndex {
+            store: KvStore::open(backend, name, config)?,
+        })
+    }
+
+    /// Freezes buffered writes into a durable run (disk mode; a cheap no-op
+    /// when the write buffer is empty).
+    pub fn flush_runs(&mut self) -> Result<(), StorageError> {
+        self.store.try_flush()
+    }
+
+    /// Whether index runs spill to a storage backend.
+    pub fn is_disk_backed(&self) -> bool {
+        self.store.is_disk_backed()
+    }
+
+    /// Block-cache counters (`None` in memory mode).
+    pub fn cache_stats(&self) -> Option<BlockCacheStats> {
+        self.store.cache_stats()
     }
 
     /// Inserts or replaces the entry for a file.

@@ -4,18 +4,55 @@
 //! buffer exceeds its budget it is frozen into an immutable sorted *run*
 //! fronted by a Bloom filter. Reads consult the memtable first and then the
 //! runs from newest to oldest, skipping runs whose Bloom filter rules the key
-//! out. When the number of runs grows past a threshold they are merge-
-//! compacted into one. Deletions are tombstones until compaction drops them.
+//! out. Deletions are tombstones until compaction drops them.
+//!
+//! The store runs in one of two modes behind the same API:
+//!
+//! * **Memory mode** ([`KvStore::new`]) keeps frozen runs as sorted vectors —
+//!   fast, volatile, fine for tests and small deployments.
+//! * **Disk mode** ([`KvStore::create`] / [`KvStore::open`]) spills frozen
+//!   runs to a [`StorageBackend`] in the CRC-framed block format of the
+//!   private `run` module, keeping only each run's Bloom filter and fence
+//!   pointers
+//!   resident. Block reads go through a byte-bounded LRU cache, so the
+//!   memory footprint is `memtable + blooms + fences + cache budget`
+//!   regardless of how many keys the store holds. A manifest object makes
+//!   the run set reloadable: [`KvStore::open`] resumes exactly the runs a
+//!   previous incarnation persisted.
+//!
+//! Instead of LevelDB's all-into-one merges, compaction is *tiered*: when
+//! the run count exceeds `max_runs`, the adjacent window of
+//! `compaction_fanin` runs with the fewest total bytes is merged, so write
+//! amplification stays bounded as the index grows to 10⁸ fingerprints.
+//! Tombstones are only dropped when the merge window includes the oldest
+//! run (otherwise an older value could resurface).
 //!
 //! This mirrors the structure CDStore relies on from LevelDB [26, 44]: fast
 //! random inserts/updates/deletes and Bloom-filtered lookups.
+//!
+//! # Durability and errors
+//!
+//! Runs are appended with the same fsync discipline as the metadata journal
+//! and published by an atomic manifest `put`, so a crash can orphan a
+//! half-written run object (swept on open) but never corrupt the manifest.
+//! The lookup API keeps its infallible `Option` signatures; a backend I/O
+//! error or checksummed corruption on the read path is unrecoverable for
+//! the in-process caller and panics with the failing object key. Fallible
+//! variants ([`KvStore::try_flush`]) exist for the write paths servers
+//! drive directly.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use cdstore_storage::{LruCache, StorageBackend, StorageError};
 
 use crate::bloom::BloomFilter;
+use crate::run::{
+    manifest_key, parse_run_key, run_key_prefix, BlockCache, Manifest, RunHandle, RunWriter,
+};
 
 /// Configuration knobs of the store.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct KvStoreConfig {
     /// Number of entries the memtable may hold before being frozen.
     pub memtable_capacity: usize,
@@ -23,6 +60,13 @@ pub struct KvStoreConfig {
     pub max_runs: usize,
     /// Bloom-filter bits per key for frozen runs.
     pub bloom_bits_per_key: usize,
+    /// Target byte size of one data block in on-disk runs (disk mode only).
+    pub block_bytes: usize,
+    /// Byte budget of the block cache fronting on-disk runs (disk mode
+    /// only).
+    pub block_cache_bytes: usize,
+    /// How many adjacent runs one tiered compaction merges.
+    pub compaction_fanin: usize,
 }
 
 impl Default for KvStoreConfig {
@@ -31,6 +75,9 @@ impl Default for KvStoreConfig {
             memtable_capacity: 64 * 1024,
             max_runs: 8,
             bloom_bits_per_key: 10,
+            block_bytes: 4 * 1024,
+            block_cache_bytes: 4 * 1024 * 1024,
+            compaction_fanin: 4,
         }
     }
 }
@@ -50,30 +97,95 @@ pub struct KvStoreStats {
     pub compactions: u64,
     /// Number of run probes skipped thanks to Bloom filters.
     pub bloom_skips: u64,
+    /// Memtable flushes that failed at the backend and were deferred (the
+    /// memtable is kept and the flush retried on the next trigger).
+    pub flush_failures: u64,
+}
+
+/// Block-cache counters of a disk-backed store — the resident-memory story
+/// of the disk index (`peak_bytes` never exceeds the configured budget).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BlockCacheStats {
+    /// Block fetches served from the cache.
+    pub hits: u64,
+    /// Block fetches that had to touch the backend.
+    pub misses: u64,
+    /// Blocks evicted to stay within the byte budget.
+    pub evictions: u64,
+    /// Bytes currently cached.
+    pub current_bytes: usize,
+    /// High-water mark of cached bytes.
+    pub peak_bytes: usize,
+    /// Configured byte budget.
+    pub capacity_bytes: usize,
+}
+
+/// What [`KvStore::open`] found on the backend.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KvStoreOpenStats {
+    /// Runs listed in the manifest and loaded intact.
+    pub runs_loaded: usize,
+    /// Manifest-listed runs dropped because their object was torn or
+    /// corrupt (the manifest is rewritten without them).
+    pub runs_dropped: usize,
+    /// Run objects present on the backend but absent from the manifest
+    /// (half-written leftovers of an interrupted flush), deleted on open.
+    pub orphans_swept: usize,
+}
+
+/// Where a frozen run's entries live.
+enum RunData {
+    /// Sorted key → value-or-tombstone entries, resident.
+    Memory(Vec<(Vec<u8>, Option<Vec<u8>>)>),
+    /// An on-disk run; only fence pointers are resident (plus the Bloom
+    /// filter in the owning [`Run`]).
+    Disk(RunHandle),
 }
 
 /// One immutable sorted run.
 struct Run {
-    /// Sorted key → value-or-tombstone entries.
-    entries: Vec<(Vec<u8>, Option<Vec<u8>>)>,
+    data: RunData,
     bloom: BloomFilter,
+    /// Entries including tombstones.
+    entries: u64,
+    /// Approximate byte size — exact object size for disk runs, summed
+    /// key/value lengths for memory runs. Drives tiered window selection.
+    bytes: u64,
 }
 
 impl Run {
     fn from_sorted(entries: Vec<(Vec<u8>, Option<Vec<u8>>)>, bits_per_key: usize) -> Self {
         let mut bloom = BloomFilter::new(entries.len(), bits_per_key);
-        for (k, _) in &entries {
+        let mut bytes = 0u64;
+        for (k, v) in &entries {
             bloom.insert(k);
+            bytes += (k.len() + v.as_ref().map_or(0, |v| v.len())) as u64;
         }
-        Run { entries, bloom }
+        Run {
+            entries: entries.len() as u64,
+            bytes,
+            data: RunData::Memory(entries),
+            bloom,
+        }
     }
 
-    fn get(&self, key: &[u8]) -> Option<&Option<Vec<u8>>> {
-        self.entries
-            .binary_search_by(|(k, _)| k.as_slice().cmp(key))
-            .ok()
-            .map(|i| &self.entries[i].1)
+    fn from_disk(handle: RunHandle, bloom: BloomFilter) -> Self {
+        Run {
+            entries: handle.entry_count(),
+            bytes: handle.total_bytes(),
+            data: RunData::Disk(handle),
+            bloom,
+        }
     }
+}
+
+/// The state backing disk mode: where runs live and the cache in front of
+/// their blocks.
+struct DiskEnv {
+    backend: Arc<dyn StorageBackend>,
+    name: String,
+    next_seq: u64,
+    cache: BlockCache,
 }
 
 /// The LSM key-value store.
@@ -83,7 +195,12 @@ pub struct KvStore {
     memtable: BTreeMap<Vec<u8>, Option<Vec<u8>>>,
     /// Frozen runs, newest last.
     runs: Vec<Run>,
+    /// Disk-mode state (`None` in memory mode).
+    disk: Option<DiskEnv>,
+    /// Exact live (non-tombstoned) key count, maintained on every mutation.
+    live: usize,
     stats: KvStoreStats,
+    open_stats: KvStoreOpenStats,
 }
 
 impl Default for KvStore {
@@ -93,19 +210,112 @@ impl Default for KvStore {
 }
 
 impl KvStore {
-    /// Creates a store with default configuration.
+    /// Creates a memory-mode store with default configuration.
     pub fn new() -> Self {
         Self::with_config(KvStoreConfig::default())
     }
 
-    /// Creates a store with an explicit configuration.
+    /// Creates a memory-mode store with an explicit configuration.
     pub fn with_config(config: KvStoreConfig) -> Self {
         KvStore {
             config,
             memtable: BTreeMap::new(),
             runs: Vec::new(),
+            disk: None,
+            live: 0,
             stats: KvStoreStats::default(),
+            open_stats: KvStoreOpenStats::default(),
         }
+    }
+
+    /// Creates a *fresh* disk-backed store named `name` on the backend,
+    /// deleting any manifest and run objects a previous incarnation of the
+    /// same name left behind. Use [`KvStore::open`] to resume them instead.
+    pub fn create(
+        backend: Arc<dyn StorageBackend>,
+        name: &str,
+        config: KvStoreConfig,
+    ) -> Result<Self, StorageError> {
+        backend.delete(&manifest_key(name))?;
+        let prefix = run_key_prefix(name);
+        for key in backend.list()? {
+            if key.starts_with(&prefix) {
+                backend.delete(&key)?;
+            }
+        }
+        let mut store = Self::with_config(config);
+        store.disk = Some(DiskEnv {
+            backend,
+            name: name.to_string(),
+            next_seq: 0,
+            cache: LruCache::new(config.block_cache_bytes),
+        });
+        Ok(store)
+    }
+
+    /// Opens the disk-backed store named `name`, reloading the run set its
+    /// manifest describes. Runs whose objects are torn or corrupt are
+    /// dropped (and the manifest rewritten without them); run objects not in
+    /// the manifest — leftovers of an interrupted flush — are swept. An
+    /// absent manifest yields an empty store.
+    pub fn open(
+        backend: Arc<dyn StorageBackend>,
+        name: &str,
+        config: KvStoreConfig,
+    ) -> Result<Self, StorageError> {
+        let manifest = Manifest::read(&*backend, name)?.unwrap_or_default();
+        let mut open_stats = KvStoreOpenStats::default();
+
+        // Sweep orphan run objects (present on the backend, absent from the
+        // manifest) before anything else: their sequence numbers may be
+        // reused by the next flush.
+        let listed: std::collections::BTreeSet<u64> = manifest.run_seqs.iter().copied().collect();
+        let prefix = run_key_prefix(name);
+        for key in backend.list()? {
+            if !key.starts_with(&prefix) {
+                continue;
+            }
+            let orphan = parse_run_key(name, &key).map(|seq| !listed.contains(&seq));
+            if orphan.unwrap_or(true) {
+                backend.delete(&key)?;
+                open_stats.orphans_swept += 1;
+            }
+        }
+
+        let mut runs = Vec::with_capacity(manifest.run_seqs.len());
+        for &seq in &manifest.run_seqs {
+            match RunHandle::load(&*backend, name, seq) {
+                Ok((handle, bloom)) => {
+                    open_stats.runs_loaded += 1;
+                    runs.push(Run::from_disk(handle, bloom));
+                }
+                Err(_) => {
+                    // Torn or corrupt: drop the run. The server-level WAL
+                    // replay reconciles whatever state it carried.
+                    open_stats.runs_dropped += 1;
+                    backend.delete(&crate::run::run_key(name, seq))?;
+                }
+            }
+        }
+
+        let mut store = Self::with_config(config);
+        store.open_stats = open_stats;
+        store.disk = Some(DiskEnv {
+            backend,
+            name: name.to_string(),
+            next_seq: manifest.next_seq,
+            cache: LruCache::new(config.block_cache_bytes),
+        });
+        store.runs = runs;
+        if open_stats.runs_dropped == 0 {
+            store.live = manifest.live_keys as usize;
+        } else {
+            // The persisted count covered runs we dropped: recount by
+            // streaming merge and republish the surviving run set.
+            store.live = store.count_live_in_runs()?;
+            store.write_manifest()?;
+        }
+        Ok(store)
     }
 
     /// Returns the operation counters.
@@ -113,9 +323,35 @@ impl KvStore {
         self.stats
     }
 
+    /// What [`KvStore::open`] found (zeroes for stores not opened from
+    /// disk).
+    pub fn open_stats(&self) -> KvStoreOpenStats {
+        self.open_stats
+    }
+
+    /// Whether runs spill to a storage backend.
+    pub fn is_disk_backed(&self) -> bool {
+        self.disk.is_some()
+    }
+
+    /// Block-cache counters (`None` in memory mode).
+    pub fn cache_stats(&self) -> Option<BlockCacheStats> {
+        self.disk.as_ref().map(|env| BlockCacheStats {
+            hits: env.cache.hits(),
+            misses: env.cache.misses(),
+            evictions: env.cache.evictions(),
+            current_bytes: env.cache.current_bytes(),
+            peak_bytes: env.cache.peak_bytes(),
+            capacity_bytes: env.cache.capacity_bytes(),
+        })
+    }
+
     /// Inserts or overwrites a key.
     pub fn put(&mut self, key: Vec<u8>, value: Vec<u8>) {
         self.stats.puts += 1;
+        if !self.probe_is_live(&key) {
+            self.live += 1;
+        }
         self.memtable.insert(key, Some(value));
         self.maybe_flush();
     }
@@ -123,26 +359,19 @@ impl KvStore {
     /// Deletes a key (no-op if absent).
     pub fn delete(&mut self, key: &[u8]) {
         self.stats.deletes += 1;
-        self.memtable.insert(key.to_vec(), None);
-        self.maybe_flush();
+        if self.probe_is_live(key) {
+            self.live -= 1;
+            self.memtable.insert(key.to_vec(), None);
+            self.maybe_flush();
+        }
+        // Not live anywhere: no tombstone needed (any existing tombstone
+        // already shadows older runs).
     }
 
     /// Looks up a key.
     pub fn get(&mut self, key: &[u8]) -> Option<Vec<u8>> {
         self.stats.gets += 1;
-        if let Some(value) = self.memtable.get(key) {
-            return value.clone();
-        }
-        for run in self.runs.iter().rev() {
-            if !run.bloom.may_contain(key) {
-                self.stats.bloom_skips += 1;
-                continue;
-            }
-            if let Some(value) = run.get(key) {
-                return value.clone();
-            }
-        }
-        None
+        self.probe(key).flatten()
     }
 
     /// Returns whether the key is present (not deleted).
@@ -150,24 +379,74 @@ impl KvStore {
         self.get(key).is_some()
     }
 
-    /// Number of live keys (scans all structures; intended for tests and
-    /// statistics, not the hot path).
+    /// Resolves a key across memtable and runs: `None` if unknown,
+    /// `Some(None)` if tombstoned, `Some(Some(v))` if live. Panics on a
+    /// backend read error (see the module docs on errors).
+    fn probe(&mut self, key: &[u8]) -> Option<Option<Vec<u8>>> {
+        if let Some(value) = self.memtable.get(key) {
+            return Some(value.clone());
+        }
+        for run in self.runs.iter().rev() {
+            if !run.bloom.may_contain(key) {
+                self.stats.bloom_skips += 1;
+                continue;
+            }
+            match &run.data {
+                RunData::Memory(entries) => {
+                    if let Ok(i) = entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+                        return Some(entries[i].1.clone());
+                    }
+                }
+                RunData::Disk(handle) => {
+                    let env = self.disk.as_mut().expect("disk run without disk env");
+                    match handle
+                        .get(&*env.backend, &mut env.cache, key)
+                        .unwrap_or_else(|e| panic!("disk index read failed: {e}"))
+                    {
+                        Some(found) => return Some(found),
+                        None => continue,
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    fn probe_is_live(&mut self, key: &[u8]) -> bool {
+        self.probe(key).map(|v| v.is_some()).unwrap_or(false)
+    }
+
+    /// Number of live keys. O(1): maintained across puts, deletes, flushes,
+    /// and compactions.
     pub fn len(&self) -> usize {
-        self.snapshot().len()
+        self.live
     }
 
     /// Whether the store holds no live keys.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.live == 0
     }
 
-    /// Iterates over all live key/value pairs in key order.
+    /// All live key/value pairs in key order. Streams disk runs block by
+    /// block (bypassing the cache); panics on a backend read error.
     pub fn snapshot(&self) -> BTreeMap<Vec<u8>, Vec<u8>> {
         let mut merged: BTreeMap<Vec<u8>, Option<Vec<u8>>> = BTreeMap::new();
         // Oldest runs first so newer entries overwrite them.
         for run in &self.runs {
-            for (k, v) in &run.entries {
-                merged.insert(k.clone(), v.clone());
+            match &run.data {
+                RunData::Memory(entries) => {
+                    for (k, v) in entries {
+                        merged.insert(k.clone(), v.clone());
+                    }
+                }
+                RunData::Disk(handle) => {
+                    let env = self.disk.as_ref().expect("disk run without disk env");
+                    for entry in handle.iter(&*env.backend) {
+                        let (k, v) =
+                            entry.unwrap_or_else(|e| panic!("disk index scan failed: {e}"));
+                        merged.insert(k, v);
+                    }
+                }
             }
         }
         for (k, v) in &self.memtable {
@@ -179,48 +458,347 @@ impl KvStore {
             .collect()
     }
 
-    /// Iterates over live keys with a given prefix.
+    /// Live keys with a given prefix, in key order. Range-bounded on every
+    /// source: the memtable and memory runs are entered by binary search,
+    /// disk runs seek via their fence pointers — only blocks overlapping
+    /// the prefix are read.
     pub fn scan_prefix(&self, prefix: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
-        self.snapshot()
+        let mut merged: BTreeMap<Vec<u8>, Option<Vec<u8>>> = BTreeMap::new();
+        for run in &self.runs {
+            match &run.data {
+                RunData::Memory(entries) => {
+                    let start = entries.partition_point(|(k, _)| k.as_slice() < prefix);
+                    for (k, v) in &entries[start..] {
+                        if !k.starts_with(prefix) {
+                            break;
+                        }
+                        merged.insert(k.clone(), v.clone());
+                    }
+                }
+                RunData::Disk(handle) => {
+                    let env = self.disk.as_ref().expect("disk run without disk env");
+                    for entry in handle.iter_from(&*env.backend, prefix) {
+                        let (k, v) =
+                            entry.unwrap_or_else(|e| panic!("disk index scan failed: {e}"));
+                        if k.as_slice() < prefix {
+                            // Leading entries of the seeked block.
+                            continue;
+                        }
+                        if !k.starts_with(prefix) {
+                            break;
+                        }
+                        merged.insert(k, v);
+                    }
+                }
+            }
+        }
+        for (k, v) in self.memtable.range(prefix.to_vec()..) {
+            if !k.starts_with(prefix) {
+                break;
+            }
+            merged.insert(k.clone(), v.clone());
+        }
+        merged
             .into_iter()
-            .filter(|(k, _)| k.starts_with(prefix))
+            .filter_map(|(k, v)| v.map(|value| (k, value)))
             .collect()
     }
 
-    /// Forces the memtable to be frozen into a run.
+    /// Forces the memtable to be frozen into a run, panicking on a backend
+    /// write error ([`KvStore::try_flush`] is the fallible variant).
     pub fn flush(&mut self) {
-        if self.memtable.is_empty() {
-            return;
-        }
-        let entries: Vec<(Vec<u8>, Option<Vec<u8>>)> =
-            std::mem::take(&mut self.memtable).into_iter().collect();
-        self.runs
-            .push(Run::from_sorted(entries, self.config.bloom_bits_per_key));
-        self.stats.flushes += 1;
-        if self.runs.len() > self.config.max_runs {
-            self.compact();
-        }
+        self.try_flush()
+            .unwrap_or_else(|e| panic!("index flush failed: {e}"));
     }
 
-    /// Merge-compacts all runs into one, dropping tombstones.
-    pub fn compact(&mut self) {
-        if self.runs.len() <= 1 {
-            return;
+    /// Freezes the memtable into a run (persisted in disk mode) and runs
+    /// any due tiered compactions. On error the memtable is left intact and
+    /// the flush can simply be retried.
+    pub fn try_flush(&mut self) -> Result<(), StorageError> {
+        if !self.memtable.is_empty() {
+            match &mut self.disk {
+                None => {
+                    let entries: Vec<(Vec<u8>, Option<Vec<u8>>)> =
+                        std::mem::take(&mut self.memtable).into_iter().collect();
+                    self.runs
+                        .push(Run::from_sorted(entries, self.config.bloom_bits_per_key));
+                }
+                Some(env) => {
+                    let seq = env.next_seq;
+                    let mut writer = RunWriter::new(
+                        &*env.backend,
+                        &env.name,
+                        seq,
+                        self.config.block_bytes,
+                        self.memtable.len(),
+                        self.config.bloom_bits_per_key,
+                    )?;
+                    for (k, v) in &self.memtable {
+                        writer.push(k, v.as_deref())?;
+                    }
+                    let (handle, bloom) = writer
+                        .finish()?
+                        .expect("non-empty memtable produced an empty run");
+                    self.runs.push(Run::from_disk(handle, bloom));
+                    self.disk.as_mut().expect("disk env").next_seq = seq + 1;
+                    // Publish the run atomically; on failure unwind so the
+                    // memtable stays authoritative and the retry rewrites
+                    // the same sequence number.
+                    if let Err(e) = self.write_manifest() {
+                        let run = self.runs.pop().expect("just pushed");
+                        let env = self.disk.as_mut().expect("disk env");
+                        env.next_seq = seq;
+                        if let RunData::Disk(handle) = run.data {
+                            let _ = env.backend.delete(handle.object_key());
+                        }
+                        return Err(e);
+                    }
+                    self.memtable.clear();
+                }
+            }
+            self.stats.flushes += 1;
         }
-        let mut merged: BTreeMap<Vec<u8>, Option<Vec<u8>>> = BTreeMap::new();
-        for run in self.runs.drain(..) {
-            for (k, v) in run.entries {
-                merged.insert(k, v);
+        while self.runs.len() > self.config.max_runs {
+            self.compact_tier()?;
+        }
+        Ok(())
+    }
+
+    /// Merges the adjacent window of `compaction_fanin` runs with the
+    /// fewest total bytes (adjacency keeps the newest-wins order intact).
+    fn compact_tier(&mut self) -> Result<(), StorageError> {
+        let fanin = self.config.compaction_fanin.clamp(2, self.runs.len());
+        let window_bytes = |start: usize| -> u64 {
+            self.runs[start..start + fanin]
+                .iter()
+                .map(|r| r.bytes)
+                .sum()
+        };
+        let start = (0..=self.runs.len() - fanin)
+            .min_by_key(|&s| window_bytes(s))
+            .expect("at least one window");
+        self.merge_runs(start, start + fanin)
+    }
+
+    /// Merge-compacts all runs into one, dropping tombstones. In disk mode
+    /// the memtable is flushed first (the merged run set plus manifest then
+    /// fully describe the store). Panics on a backend error.
+    pub fn compact(&mut self) {
+        self.try_compact()
+            .unwrap_or_else(|e| panic!("index compaction failed: {e}"));
+    }
+
+    /// Fallible variant of [`KvStore::compact`].
+    pub fn try_compact(&mut self) -> Result<(), StorageError> {
+        if self.disk.is_some() {
+            self.try_flush()?;
+        }
+        if self.runs.len() <= 1 {
+            return Ok(());
+        }
+        self.merge_runs(0, self.runs.len())
+    }
+
+    /// Merges runs `[start, end)` into one, newest-wins; tombstones are
+    /// dropped iff the window includes the oldest run. Only mutates state
+    /// after the merged run is durable.
+    fn merge_runs(&mut self, start: usize, end: usize) -> Result<(), StorageError> {
+        debug_assert!(start < end && end <= self.runs.len());
+        // Manifests persist a runs-only live count, so disk-mode merges
+        // must only happen with an empty memtable (flush/compact enforce
+        // this ordering).
+        debug_assert!(self.disk.is_none() || self.memtable.is_empty());
+        let drop_tombstones = start == 0;
+        let window = &self.runs[start..end];
+        let expected: u64 = window.iter().map(|r| r.entries).sum();
+
+        // One streaming iterator per run in the window, oldest first.
+        type EntryIter<'a> =
+            Box<dyn Iterator<Item = Result<(Vec<u8>, Option<Vec<u8>>), StorageError>> + 'a>;
+        let mut sources: Vec<std::iter::Peekable<EntryIter<'_>>> = Vec::with_capacity(window.len());
+        for run in window {
+            let iter: EntryIter<'_> = match &run.data {
+                RunData::Memory(entries) => {
+                    Box::new(entries.iter().map(|(k, v)| Ok((k.clone(), v.clone()))))
+                }
+                RunData::Disk(handle) => {
+                    let env = self.disk.as_ref().expect("disk run without disk env");
+                    Box::new(handle.iter(&*env.backend))
+                }
+            };
+            sources.push(iter.peekable());
+        }
+
+        enum Sink<'a> {
+            Memory(Vec<(Vec<u8>, Option<Vec<u8>>)>),
+            Disk(Box<RunWriter<'a>>, u64),
+        }
+        let mut sink = match &self.disk {
+            None => Sink::Memory(Vec::new()),
+            Some(env) => {
+                let seq = env.next_seq;
+                Sink::Disk(
+                    Box::new(RunWriter::new(
+                        &*env.backend,
+                        &env.name,
+                        seq,
+                        self.config.block_bytes,
+                        expected as usize,
+                        self.config.bloom_bits_per_key,
+                    )?),
+                    seq,
+                )
+            }
+        };
+
+        // K-way merge: smallest key wins; on ties the newest source (the
+        // highest window index) provides the value and every older source
+        // skips its now-shadowed entry.
+        loop {
+            let mut min_key: Option<Vec<u8>> = None;
+            for source in sources.iter_mut() {
+                match source.peek() {
+                    Some(Ok((k, _)))
+                        if min_key.as_deref().map(|m| k.as_slice() < m).unwrap_or(true) =>
+                    {
+                        min_key = Some(k.clone());
+                    }
+                    Some(Ok(_)) => {}
+                    Some(Err(_)) => {
+                        return Err(source.next().expect("peeked").expect_err("peeked error"));
+                    }
+                    None => {}
+                }
+            }
+            let Some(key) = min_key else { break };
+            let mut newest: Option<Option<Vec<u8>>> = None;
+            for source in sources.iter_mut() {
+                if matches!(source.peek(), Some(Ok((k, _))) if *k == key) {
+                    let (_, v) = source.next().expect("peeked").expect("peeked ok");
+                    newest = Some(v);
+                }
+            }
+            let value = newest.expect("some source held the min key");
+            if drop_tombstones && value.is_none() {
+                continue;
+            }
+            match &mut sink {
+                Sink::Memory(out) => out.push((key, value)),
+                Sink::Disk(writer, _) => writer.push(&key, value.as_deref())?,
             }
         }
-        // Tombstones can be dropped once all older runs are merged away.
-        let entries: Vec<(Vec<u8>, Option<Vec<u8>>)> =
-            merged.into_iter().filter(|(_, v)| v.is_some()).collect();
-        if !entries.is_empty() {
-            self.runs
-                .push(Run::from_sorted(entries, self.config.bloom_bits_per_key));
+        drop(sources);
+
+        let merged = match sink {
+            Sink::Memory(out) => {
+                if out.is_empty() {
+                    None
+                } else {
+                    Some(Run::from_sorted(out, self.config.bloom_bits_per_key))
+                }
+            }
+            Sink::Disk(writer, seq) => {
+                let finished = writer.finish()?;
+                self.disk.as_mut().expect("disk env").next_seq = seq + 1;
+                finished.map(|(handle, bloom)| Run::from_disk(handle, bloom))
+            }
+        };
+
+        // Swap the window for the merged run, then publish and delete the
+        // replaced objects. A crash between these steps leaves orphans the
+        // next open sweeps.
+        let replaced: Vec<Run> = self.runs.splice(start..end, merged).collect();
+        if self.disk.is_some() {
+            // The manifest write publishes the merge; if it fails we are
+            // mid-transition, but open() falls back to the old manifest and
+            // sweeps the merged run as an orphan, so correctness holds.
+            self.write_manifest()?;
+            let env = self.disk.as_mut().expect("disk env");
+            let dead: Vec<u64> = replaced
+                .iter()
+                .filter_map(|r| match &r.data {
+                    RunData::Disk(handle) => Some(handle.seq()),
+                    RunData::Memory(_) => None,
+                })
+                .collect();
+            env.cache.retain(|&(run_seq, _)| !dead.contains(&run_seq));
+            for run in &replaced {
+                if let RunData::Disk(handle) = &run.data {
+                    env.backend.delete(handle.object_key())?;
+                }
+            }
         }
         self.stats.compactions += 1;
+        Ok(())
+    }
+
+    /// Rewrites the manifest from the current run set. Disk mode only;
+    /// callers guarantee the runs alone carry every live key (the memtable
+    /// is empty or was just frozen into the newest run), so persisting
+    /// `self.live` as the runs-only count is exact.
+    fn write_manifest(&mut self) -> Result<(), StorageError> {
+        let env = self.disk.as_ref().expect("manifest write without disk env");
+        let manifest = Manifest {
+            next_seq: env.next_seq,
+            live_keys: self.live as u64,
+            run_seqs: self
+                .runs
+                .iter()
+                .map(|r| match &r.data {
+                    RunData::Disk(handle) => handle.seq(),
+                    RunData::Memory(_) => unreachable!("memory run in disk mode"),
+                })
+                .collect(),
+        };
+        manifest.write(&*env.backend, &env.name)
+    }
+
+    /// Counts live keys by streaming a newest-wins merge over the runs
+    /// (used when the persisted count is stale after dropping a torn run).
+    fn count_live_in_runs(&self) -> Result<usize, StorageError> {
+        let env = self.disk.as_ref().expect("recount without disk env");
+        type EntryIter<'a> =
+            Box<dyn Iterator<Item = Result<(Vec<u8>, Option<Vec<u8>>), StorageError>> + 'a>;
+        let mut sources: Vec<std::iter::Peekable<EntryIter<'_>>> = Vec::new();
+        for run in &self.runs {
+            match &run.data {
+                RunData::Disk(handle) => {
+                    let iter: EntryIter<'_> = Box::new(handle.iter(&*env.backend));
+                    sources.push(iter.peekable());
+                }
+                RunData::Memory(_) => unreachable!("memory run in disk mode"),
+            }
+        }
+        let mut live = 0usize;
+        loop {
+            let mut min_key: Option<Vec<u8>> = None;
+            for source in sources.iter_mut() {
+                match source.peek() {
+                    Some(Ok((k, _)))
+                        if min_key.as_deref().map(|m| k.as_slice() < m).unwrap_or(true) =>
+                    {
+                        min_key = Some(k.clone());
+                    }
+                    Some(Ok(_)) => {}
+                    Some(Err(_)) => {
+                        return Err(source.next().expect("peeked").expect_err("peeked error"));
+                    }
+                    None => {}
+                }
+            }
+            let Some(key) = min_key else { break };
+            let mut newest: Option<Option<Vec<u8>>> = None;
+            for source in sources.iter_mut() {
+                if matches!(source.peek(), Some(Ok((k, _))) if *k == key) {
+                    let (_, v) = source.next().expect("peeked").expect("peeked ok");
+                    newest = Some(v);
+                }
+            }
+            if newest.expect("some source held the min key").is_some() {
+                live += 1;
+            }
+        }
+        Ok(live)
     }
 
     /// Number of frozen runs currently held (for tests and diagnostics).
@@ -228,7 +806,9 @@ impl KvStore {
         self.runs.len()
     }
 
-    /// Approximate memory footprint in bytes (keys + values + Bloom bits).
+    /// Approximate *resident* memory footprint in bytes: memtable entries,
+    /// Bloom filters, and — for disk runs — fence pointers plus the block
+    /// cache, rather than the spilled data itself.
     pub fn approximate_size(&self) -> usize {
         let memtable: usize = self
             .memtable
@@ -239,19 +819,31 @@ impl KvStore {
             .runs
             .iter()
             .map(|r| {
-                r.entries
-                    .iter()
-                    .map(|(k, v)| k.len() + v.as_ref().map_or(0, |v| v.len()))
-                    .sum::<usize>()
-                    + r.bloom.num_bits() / 8
+                let data = match &r.data {
+                    RunData::Memory(entries) => entries
+                        .iter()
+                        .map(|(k, v)| k.len() + v.as_ref().map_or(0, |v| v.len()))
+                        .sum::<usize>(),
+                    RunData::Disk(handle) => handle.meta_bytes(),
+                };
+                data + r.bloom.num_bits() / 8
             })
             .sum();
-        memtable + runs
+        let cache = self
+            .disk
+            .as_ref()
+            .map(|env| env.cache.current_bytes())
+            .unwrap_or(0);
+        memtable + runs + cache
     }
 
     fn maybe_flush(&mut self) {
         if self.memtable.len() >= self.config.memtable_capacity {
-            self.flush();
+            if let Err(_e) = self.try_flush() {
+                // Keep the memtable (no data loss) and retry on the next
+                // mutation; durability is provided by the server WAL above.
+                self.stats.flush_failures += 1;
+            }
         }
     }
 }
@@ -259,6 +851,7 @@ impl KvStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cdstore_storage::MemoryBackend;
     use proptest::prelude::*;
     use rand::{Rng, SeedableRng};
 
@@ -266,112 +859,152 @@ mod tests {
         KvStoreConfig {
             memtable_capacity: 16,
             max_runs: 3,
-            bloom_bits_per_key: 10,
+            ..KvStoreConfig::default()
         }
+    }
+
+    /// Runs the same scenario against a memory store and a fresh disk store.
+    fn both_modes(test: impl Fn(KvStore)) {
+        test(KvStore::with_config(small_config()));
+        let backend: Arc<dyn StorageBackend> = Arc::new(MemoryBackend::new());
+        test(KvStore::create(backend, "test", small_config()).unwrap());
     }
 
     #[test]
     fn put_get_delete_round_trip() {
-        let mut store = KvStore::new();
-        store.put(b"k1".to_vec(), b"v1".to_vec());
-        store.put(b"k2".to_vec(), b"v2".to_vec());
-        assert_eq!(store.get(b"k1"), Some(b"v1".to_vec()));
-        assert_eq!(store.get(b"k2"), Some(b"v2".to_vec()));
-        assert_eq!(store.get(b"k3"), None);
-        store.delete(b"k1");
-        assert_eq!(store.get(b"k1"), None);
-        assert_eq!(store.len(), 1);
+        both_modes(|mut store| {
+            store.put(b"k1".to_vec(), b"v1".to_vec());
+            store.put(b"k2".to_vec(), b"v2".to_vec());
+            assert_eq!(store.get(b"k1"), Some(b"v1".to_vec()));
+            assert_eq!(store.get(b"k2"), Some(b"v2".to_vec()));
+            assert_eq!(store.get(b"k3"), None);
+            store.delete(b"k1");
+            assert_eq!(store.get(b"k1"), None);
+            assert_eq!(store.len(), 1);
+        });
     }
 
     #[test]
     fn overwrites_return_latest_value() {
-        let mut store = KvStore::with_config(small_config());
-        for round in 0..5u8 {
-            for i in 0..50u8 {
-                store.put(vec![i], vec![round, i]);
+        both_modes(|mut store| {
+            for round in 0..5u8 {
+                for i in 0..50u8 {
+                    store.put(vec![i], vec![round, i]);
+                }
             }
-        }
-        for i in 0..50u8 {
-            assert_eq!(store.get(&[i]), Some(vec![4, i]));
-        }
+            for i in 0..50u8 {
+                assert_eq!(store.get(&[i]), Some(vec![4, i]));
+            }
+            assert_eq!(store.len(), 50);
+        });
     }
 
     #[test]
     fn values_survive_flush_and_compaction() {
-        let mut store = KvStore::with_config(small_config());
-        for i in 0..200u32 {
-            store.put(i.to_be_bytes().to_vec(), (i * 3).to_be_bytes().to_vec());
-        }
-        assert!(store.stats().flushes > 0);
-        assert!(store.stats().compactions > 0);
-        for i in 0..200u32 {
-            assert_eq!(
-                store.get(&i.to_be_bytes()),
-                Some((i * 3).to_be_bytes().to_vec())
-            );
-        }
-        assert_eq!(store.len(), 200);
+        both_modes(|mut store| {
+            for i in 0..200u32 {
+                store.put(i.to_be_bytes().to_vec(), (i * 3).to_be_bytes().to_vec());
+            }
+            assert!(store.stats().flushes > 0);
+            assert!(store.stats().compactions > 0);
+            for i in 0..200u32 {
+                assert_eq!(
+                    store.get(&i.to_be_bytes()),
+                    Some((i * 3).to_be_bytes().to_vec())
+                );
+            }
+            assert_eq!(store.len(), 200);
+        });
     }
 
     #[test]
     fn deletes_survive_flush_and_compaction() {
-        let mut store = KvStore::with_config(small_config());
-        for i in 0..100u32 {
-            store.put(i.to_be_bytes().to_vec(), b"x".to_vec());
-        }
-        for i in (0..100u32).step_by(2) {
-            store.delete(&i.to_be_bytes());
-        }
-        store.flush();
-        store.compact();
-        for i in 0..100u32 {
-            let expected = i % 2 == 1;
-            assert_eq!(store.contains(&i.to_be_bytes()), expected, "key {i}");
-        }
-        assert_eq!(store.len(), 50);
+        both_modes(|mut store| {
+            for i in 0..100u32 {
+                store.put(i.to_be_bytes().to_vec(), b"x".to_vec());
+            }
+            for i in (0..100u32).step_by(2) {
+                store.delete(&i.to_be_bytes());
+            }
+            store.flush();
+            store.compact();
+            for i in 0..100u32 {
+                let expected = i % 2 == 1;
+                assert_eq!(store.contains(&i.to_be_bytes()), expected, "key {i}");
+            }
+            assert_eq!(store.len(), 50);
+        });
     }
 
     #[test]
     fn compaction_reclaims_tombstones_and_merges_runs() {
-        let mut store = KvStore::with_config(small_config());
-        for i in 0..64u32 {
-            store.put(i.to_be_bytes().to_vec(), b"payload".to_vec());
+        both_modes(|mut store| {
+            for i in 0..64u32 {
+                store.put(i.to_be_bytes().to_vec(), b"payload".to_vec());
+            }
+            store.flush();
+            let runs_before = store.run_count();
+            store.compact();
+            assert!(store.run_count() <= runs_before);
+            assert!(store.run_count() <= 1);
+        });
+    }
+
+    #[test]
+    fn tiered_compaction_bounds_run_count_without_full_merges() {
+        let mut store = KvStore::with_config(KvStoreConfig {
+            memtable_capacity: 8,
+            max_runs: 4,
+            compaction_fanin: 2,
+            ..KvStoreConfig::default()
+        });
+        for i in 0..400u32 {
+            store.put(i.to_be_bytes().to_vec(), vec![0u8; 16]);
         }
-        store.flush();
-        let runs_before = store.run_count();
-        store.compact();
-        assert!(store.run_count() <= runs_before);
-        assert!(store.run_count() <= 1);
+        // Auto-compaction keeps the run count bounded...
+        assert!(store.run_count() <= 4);
+        // ...without collapsing everything into one run every time.
+        assert!(store.run_count() > 1);
+        assert!(store.stats().compactions > 0);
+        for i in 0..400u32 {
+            assert!(store.contains(&i.to_be_bytes()), "key {i}");
+        }
     }
 
     #[test]
     fn snapshot_and_prefix_scan() {
-        let mut store = KvStore::with_config(small_config());
-        store.put(b"user1/file-a".to_vec(), b"1".to_vec());
-        store.put(b"user1/file-b".to_vec(), b"2".to_vec());
-        store.put(b"user2/file-a".to_vec(), b"3".to_vec());
-        store.flush();
-        store.put(b"user1/file-c".to_vec(), b"4".to_vec());
-        let user1 = store.scan_prefix(b"user1/");
-        assert_eq!(user1.len(), 3);
-        assert_eq!(store.snapshot().len(), 4);
+        both_modes(|mut store| {
+            store.put(b"user1/file-a".to_vec(), b"1".to_vec());
+            store.put(b"user1/file-b".to_vec(), b"2".to_vec());
+            store.put(b"user2/file-a".to_vec(), b"3".to_vec());
+            store.flush();
+            store.put(b"user1/file-c".to_vec(), b"4".to_vec());
+            let user1 = store.scan_prefix(b"user1/");
+            assert_eq!(user1.len(), 3);
+            assert_eq!(store.snapshot().len(), 4);
+            // Deleted keys drop out of scans.
+            store.delete(b"user1/file-b");
+            assert_eq!(store.scan_prefix(b"user1/").len(), 2);
+            assert_eq!(store.scan_prefix(b"user3/"), vec![]);
+        });
     }
 
     #[test]
     fn bloom_filters_skip_runs_for_absent_keys() {
-        let mut store = KvStore::with_config(small_config());
-        for i in 0..64u32 {
-            store.put(i.to_be_bytes().to_vec(), b"v".to_vec());
-        }
-        store.flush();
-        for i in 1000..1200u32 {
-            let _ = store.get(&i.to_be_bytes());
-        }
-        assert!(
-            store.stats().bloom_skips > 100,
-            "bloom skips: {}",
-            store.stats().bloom_skips
-        );
+        both_modes(|mut store| {
+            for i in 0..64u32 {
+                store.put(i.to_be_bytes().to_vec(), b"v".to_vec());
+            }
+            store.flush();
+            for i in 1000..1200u32 {
+                let _ = store.get(&i.to_be_bytes());
+            }
+            assert!(
+                store.stats().bloom_skips > 100,
+                "bloom skips: {}",
+                store.stats().bloom_skips
+            );
+        });
     }
 
     #[test]
@@ -382,6 +1015,155 @@ mod tests {
             store.put(i.to_be_bytes().to_vec(), vec![0u8; 100]);
         }
         assert!(store.approximate_size() > empty + 100 * 100);
+    }
+
+    #[test]
+    fn disk_store_reopens_with_its_data() {
+        let backend: Arc<dyn StorageBackend> = Arc::new(MemoryBackend::new());
+        let mut store = KvStore::create(backend.clone(), "idx", small_config()).unwrap();
+        for i in 0..300u32 {
+            store.put(i.to_be_bytes().to_vec(), (i * 7).to_be_bytes().to_vec());
+        }
+        for i in (0..300u32).step_by(3) {
+            store.delete(&i.to_be_bytes());
+        }
+        store.flush();
+        let expected = store.snapshot();
+        let live = store.len();
+        drop(store);
+
+        let mut reopened = KvStore::open(backend, "idx", small_config()).unwrap();
+        assert!(reopened.is_disk_backed());
+        assert_eq!(reopened.open_stats().runs_dropped, 0);
+        assert_eq!(reopened.len(), live);
+        assert_eq!(reopened.snapshot(), expected);
+        for i in 0..300u32 {
+            let want = if i % 3 == 0 {
+                None
+            } else {
+                Some((i * 7).to_be_bytes().to_vec())
+            };
+            assert_eq!(reopened.get(&i.to_be_bytes()), want);
+        }
+    }
+
+    #[test]
+    fn unflushed_memtable_is_lost_on_reopen_but_state_is_consistent() {
+        let backend: Arc<dyn StorageBackend> = Arc::new(MemoryBackend::new());
+        let mut store = KvStore::create(backend.clone(), "idx", small_config()).unwrap();
+        for i in 0..40u32 {
+            store.put(i.to_be_bytes().to_vec(), b"flushed".to_vec());
+        }
+        store.flush();
+        // These stay in the memtable (capacity 16 not reached after flush).
+        for i in 100..105u32 {
+            store.put(i.to_be_bytes().to_vec(), b"volatile".to_vec());
+        }
+        drop(store);
+        let mut reopened = KvStore::open(backend, "idx", small_config()).unwrap();
+        assert_eq!(reopened.len(), 40);
+        assert_eq!(reopened.get(&100u32.to_be_bytes()), None);
+        assert_eq!(reopened.get(&5u32.to_be_bytes()), Some(b"flushed".to_vec()));
+        assert_eq!(reopened.len(), reopened.snapshot().len());
+    }
+
+    #[test]
+    fn create_discards_previous_incarnation() {
+        let backend: Arc<dyn StorageBackend> = Arc::new(MemoryBackend::new());
+        let mut store = KvStore::create(backend.clone(), "idx", small_config()).unwrap();
+        store.put(b"old".to_vec(), b"state".to_vec());
+        store.flush();
+        drop(store);
+        let mut fresh = KvStore::create(backend.clone(), "idx", small_config()).unwrap();
+        assert_eq!(fresh.get(b"old"), None);
+        assert_eq!(fresh.len(), 0);
+        // The old objects are gone from the backend too.
+        assert!(backend.list().unwrap().is_empty());
+    }
+
+    #[test]
+    fn orphan_runs_are_swept_on_open() {
+        let backend: Arc<dyn StorageBackend> = Arc::new(MemoryBackend::new());
+        let mut store = KvStore::create(backend.clone(), "idx", small_config()).unwrap();
+        store.put(b"a".to_vec(), b"1".to_vec());
+        store.flush();
+        drop(store);
+        // A half-written run object from an interrupted flush.
+        backend
+            .put("idx-idx-r-00000000000000ff", b"torn garbage")
+            .unwrap();
+        let reopened = KvStore::open(backend.clone(), "idx", small_config()).unwrap();
+        assert_eq!(reopened.open_stats().orphans_swept, 1);
+        assert!(!backend.exists("idx-idx-r-00000000000000ff").unwrap());
+        assert_eq!(reopened.len(), 1);
+    }
+
+    #[test]
+    fn torn_manifest_listed_run_is_dropped_consistently() {
+        let backend: Arc<dyn StorageBackend> = Arc::new(MemoryBackend::new());
+        let config = KvStoreConfig {
+            memtable_capacity: 100,
+            ..KvStoreConfig::default()
+        };
+        let mut store = KvStore::create(backend.clone(), "idx", config).unwrap();
+        for i in 0..20u32 {
+            store.put(i.to_be_bytes().to_vec(), b"first".to_vec());
+        }
+        store.flush();
+        for i in 20..40u32 {
+            store.put(i.to_be_bytes().to_vec(), b"second".to_vec());
+        }
+        store.flush();
+        assert_eq!(store.run_count(), 2);
+        drop(store);
+        // Truncate the second run's object to a prefix.
+        let keys: Vec<String> = backend
+            .list()
+            .unwrap()
+            .into_iter()
+            .filter(|k| k.starts_with("idx-idx-r-"))
+            .collect();
+        assert_eq!(keys.len(), 2);
+        let victim = keys.last().unwrap();
+        let data = backend.get(victim).unwrap();
+        backend.put(victim, &data[..data.len() / 2]).unwrap();
+
+        let mut reopened = KvStore::open(backend, "idx", small_config()).unwrap();
+        assert_eq!(reopened.open_stats().runs_dropped, 1);
+        assert_eq!(reopened.open_stats().runs_loaded, 1);
+        // The surviving run's keys read back; the dropped run's are gone;
+        // the live count was recounted to match.
+        assert_eq!(reopened.len(), 20);
+        assert_eq!(reopened.len(), reopened.snapshot().len());
+        assert_eq!(reopened.get(&5u32.to_be_bytes()), Some(b"first".to_vec()));
+        assert_eq!(reopened.get(&25u32.to_be_bytes()), None);
+    }
+
+    #[test]
+    fn block_cache_serves_hot_reads_within_budget() {
+        let config = KvStoreConfig {
+            memtable_capacity: 64,
+            block_cache_bytes: 16 * 1024,
+            ..KvStoreConfig::default()
+        };
+        let backend: Arc<dyn StorageBackend> = Arc::new(MemoryBackend::new());
+        let mut store = KvStore::create(backend, "idx", config).unwrap();
+        for i in 0..2000u32 {
+            store.put(i.to_be_bytes().to_vec(), vec![0xabu8; 64]);
+        }
+        store.flush();
+        // Cold pass misses, hot pass hits.
+        for i in 0..50u32 {
+            assert!(store.contains(&i.to_be_bytes()));
+        }
+        let cold = store.cache_stats().unwrap();
+        for i in 0..50u32 {
+            assert!(store.contains(&i.to_be_bytes()));
+        }
+        let hot = store.cache_stats().unwrap();
+        assert!(hot.hits > cold.hits);
+        assert_eq!(hot.misses, cold.misses);
+        assert!(hot.peak_bytes <= hot.capacity_bytes);
     }
 
     proptest! {
@@ -395,6 +1177,7 @@ mod tests {
                 memtable_capacity: 7,
                 max_runs: 2,
                 bloom_bits_per_key: 8,
+                ..KvStoreConfig::default()
             });
             let mut model: std::collections::BTreeMap<Vec<u8>, Vec<u8>> = Default::default();
             for (key_byte, maybe_value) in ops {
@@ -410,6 +1193,7 @@ mod tests {
                     }
                 }
             }
+            prop_assert_eq!(store.len(), model.len());
             for k in 0..32u8 {
                 prop_assert_eq!(store.get(&[k]), model.get(&vec![k]).cloned());
             }
@@ -433,6 +1217,7 @@ mod tests {
                     model.remove(&key);
                 }
             }
+            prop_assert_eq!(store.len(), model.len());
             prop_assert_eq!(store.snapshot(), model);
         }
     }

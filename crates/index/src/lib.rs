@@ -33,12 +33,13 @@
 pub mod bloom;
 pub mod file_index;
 pub mod kvstore;
+mod run;
 pub mod sharded;
 pub mod share_index;
 
 pub use bloom::BloomFilter;
 pub use file_index::{FileEntry, FileIndex, FileKey};
-pub use kvstore::{KvStore, KvStoreConfig, KvStoreStats};
+pub use kvstore::{BlockCacheStats, KvStore, KvStoreConfig, KvStoreOpenStats, KvStoreStats};
 pub use sharded::{
     FilePutOutcome, ShardedFileIndex, ShardedKvStore, ShardedShareIndex, StoreOutcome,
 };

@@ -18,15 +18,42 @@
 //! on the same fingerprint store the share's physical bytes exactly once —
 //! the invariant inter-user deduplication depends on.
 
+use std::sync::Arc;
+
 use cdstore_crypto::Fingerprint;
+use cdstore_storage::{StorageBackend, StorageError};
 use parking_lot::Mutex;
 
 use crate::file_index::{FileEntry, FileIndex, FileKey};
-use crate::kvstore::{KvStore, KvStoreConfig};
+use crate::kvstore::{BlockCacheStats, KvStore, KvStoreConfig};
 use crate::share_index::{ReleaseReport, ShareEntry, ShareIndex, ShareLocation};
 
 /// Default number of lock stripes per index.
 pub const DEFAULT_SHARDS: usize = 16;
+
+/// Store name of one stripe of a disk-backed sharded index. Open must use
+/// the same stripe count as create (the wrappers here fix it to
+/// [`DEFAULT_SHARDS`] in their disk constructors for exactly that reason).
+fn stripe_name(name: &str, i: usize) -> String {
+    format!("{name}-{i:02}")
+}
+
+/// Sums per-stripe block-cache counters; `None` if no stripe is disk-backed.
+fn combined_cache_stats(
+    stats: impl Iterator<Item = Option<BlockCacheStats>>,
+) -> Option<BlockCacheStats> {
+    let mut total: Option<BlockCacheStats> = None;
+    for s in stats.flatten() {
+        let t = total.get_or_insert_with(BlockCacheStats::default);
+        t.hits += s.hits;
+        t.misses += s.misses;
+        t.evictions += s.evictions;
+        t.current_bytes += s.current_bytes;
+        t.peak_bytes += s.peak_bytes;
+        t.capacity_bytes += s.capacity_bytes;
+    }
+    total
+}
 
 /// Outcome of [`ShardedShareIndex::add_reference_or_store`].
 ///
@@ -99,11 +126,21 @@ struct Striped<T> {
 impl<T> Striped<T> {
     /// Builds (at least) `requested` stripes, rounded up to a power of two.
     fn new(requested: usize, make: impl Fn() -> T) -> Self {
+        infallible(Self::try_new(requested, |_| Ok(make())))
+    }
+
+    /// Fallible variant of [`Striped::new`]; `make` receives the stripe
+    /// number (disk-backed stripes derive their object names from it).
+    fn try_new<E>(requested: usize, make: impl Fn(usize) -> Result<T, E>) -> Result<Self, E> {
         let count = requested.max(1).next_power_of_two();
-        Striped {
-            shards: (0..count).map(|_| Mutex::new(make())).collect(),
-            mask: count as u64 - 1,
+        let mut shards = Vec::with_capacity(count);
+        for i in 0..count {
+            shards.push(Mutex::new(make(i)?));
         }
+        Ok(Striped {
+            shards,
+            mask: count as u64 - 1,
+        })
     }
 
     fn len(&self) -> usize {
@@ -144,6 +181,48 @@ impl ShardedShareIndex {
         ShardedShareIndex {
             stripes: Striped::new(shards, ShareIndex::new),
         }
+    }
+
+    /// Creates a *fresh* disk-backed index named `name` on the backend
+    /// ([`DEFAULT_SHARDS`] stripes, one store per stripe), discarding any
+    /// previous incarnation of the same name.
+    pub fn create(
+        backend: Arc<dyn StorageBackend>,
+        name: &str,
+        config: KvStoreConfig,
+    ) -> Result<Self, StorageError> {
+        Ok(ShardedShareIndex {
+            stripes: Striped::try_new(DEFAULT_SHARDS, |i| {
+                ShareIndex::create(backend.clone(), &stripe_name(name, i), config)
+            })?,
+        })
+    }
+
+    /// Opens the disk-backed index previously persisted under `name`,
+    /// resuming every stripe's runs.
+    pub fn open(
+        backend: Arc<dyn StorageBackend>,
+        name: &str,
+        config: KvStoreConfig,
+    ) -> Result<Self, StorageError> {
+        Ok(ShardedShareIndex {
+            stripes: Striped::try_new(DEFAULT_SHARDS, |i| {
+                ShareIndex::open(backend.clone(), &stripe_name(name, i), config)
+            })?,
+        })
+    }
+
+    /// Freezes every stripe's buffered writes into durable runs (disk mode).
+    pub fn flush_runs(&self) -> Result<(), StorageError> {
+        for stripe in &self.stripes.shards {
+            stripe.lock().flush_runs()?;
+        }
+        Ok(())
+    }
+
+    /// Summed block-cache counters over all stripes (`None` in memory mode).
+    pub fn cache_stats(&self) -> Option<BlockCacheStats> {
+        combined_cache_stats(self.stripes.shards.iter().map(|s| s.lock().cache_stats()))
     }
 
     /// Number of lock stripes.
@@ -376,6 +455,48 @@ impl ShardedFileIndex {
         }
     }
 
+    /// Creates a *fresh* disk-backed index named `name` on the backend
+    /// ([`DEFAULT_SHARDS`] stripes, one store per stripe), discarding any
+    /// previous incarnation of the same name.
+    pub fn create(
+        backend: Arc<dyn StorageBackend>,
+        name: &str,
+        config: KvStoreConfig,
+    ) -> Result<Self, StorageError> {
+        Ok(ShardedFileIndex {
+            stripes: Striped::try_new(DEFAULT_SHARDS, |i| {
+                FileIndex::create(backend.clone(), &stripe_name(name, i), config)
+            })?,
+        })
+    }
+
+    /// Opens the disk-backed index previously persisted under `name`,
+    /// resuming every stripe's runs.
+    pub fn open(
+        backend: Arc<dyn StorageBackend>,
+        name: &str,
+        config: KvStoreConfig,
+    ) -> Result<Self, StorageError> {
+        Ok(ShardedFileIndex {
+            stripes: Striped::try_new(DEFAULT_SHARDS, |i| {
+                FileIndex::open(backend.clone(), &stripe_name(name, i), config)
+            })?,
+        })
+    }
+
+    /// Freezes every stripe's buffered writes into durable runs (disk mode).
+    pub fn flush_runs(&self) -> Result<(), StorageError> {
+        for stripe in &self.stripes.shards {
+            stripe.lock().flush_runs()?;
+        }
+        Ok(())
+    }
+
+    /// Summed block-cache counters over all stripes (`None` in memory mode).
+    pub fn cache_stats(&self) -> Option<BlockCacheStats> {
+        combined_cache_stats(self.stripes.shards.iter().map(|s| s.lock().cache_stats()))
+    }
+
     fn shard(&self, key: &FileKey) -> &Mutex<FileIndex> {
         self.stripes.shard(fingerprint_hash(key.as_bytes()))
     }
@@ -500,6 +621,48 @@ impl ShardedKvStore {
         ShardedKvStore {
             stripes: Striped::new(shards, || KvStore::with_config(config)),
         }
+    }
+
+    /// Creates a *fresh* disk-backed store named `name` on the backend
+    /// ([`DEFAULT_SHARDS`] stripes, one store per stripe), discarding any
+    /// previous incarnation of the same name.
+    pub fn create(
+        backend: Arc<dyn StorageBackend>,
+        name: &str,
+        config: KvStoreConfig,
+    ) -> Result<Self, StorageError> {
+        Ok(ShardedKvStore {
+            stripes: Striped::try_new(DEFAULT_SHARDS, |i| {
+                KvStore::create(backend.clone(), &stripe_name(name, i), config)
+            })?,
+        })
+    }
+
+    /// Opens the disk-backed store previously persisted under `name`,
+    /// resuming every stripe's runs.
+    pub fn open(
+        backend: Arc<dyn StorageBackend>,
+        name: &str,
+        config: KvStoreConfig,
+    ) -> Result<Self, StorageError> {
+        Ok(ShardedKvStore {
+            stripes: Striped::try_new(DEFAULT_SHARDS, |i| {
+                KvStore::open(backend.clone(), &stripe_name(name, i), config)
+            })?,
+        })
+    }
+
+    /// Freezes every stripe's buffered writes into durable runs (disk mode).
+    pub fn flush_runs(&self) -> Result<(), StorageError> {
+        for stripe in &self.stripes.shards {
+            stripe.lock().try_flush()?;
+        }
+        Ok(())
+    }
+
+    /// Summed block-cache counters over all stripes (`None` in memory mode).
+    pub fn cache_stats(&self) -> Option<BlockCacheStats> {
+        combined_cache_stats(self.stripes.shards.iter().map(|s| s.lock().cache_stats()))
     }
 
     fn shard(&self, key: &[u8]) -> &Mutex<KvStore> {
@@ -794,6 +957,7 @@ mod tests {
                 memtable_capacity: 8,
                 max_runs: 2,
                 bloom_bits_per_key: 8,
+                ..KvStoreConfig::default()
             },
             4,
         );
@@ -811,6 +975,37 @@ mod tests {
         assert!(!store.contains(&7u32.to_be_bytes()));
         assert_eq!(store.len(), 299);
         assert!(!store.is_empty());
+    }
+
+    #[test]
+    fn disk_backed_stripes_persist_across_reopen() {
+        use cdstore_storage::MemoryBackend;
+        let backend: Arc<dyn StorageBackend> = Arc::new(MemoryBackend::new());
+        let config = KvStoreConfig {
+            memtable_capacity: 8,
+            ..KvStoreConfig::default()
+        };
+        let index = ShardedShareIndex::create(backend.clone(), "share", config).unwrap();
+        for i in 0..200u32 {
+            index
+                .add_reference_or_store::<()>(&fp(i), (i % 5) as u64, || Ok(loc(i as u64, 64)))
+                .unwrap();
+        }
+        index.flush_runs().unwrap();
+        drop(index);
+
+        let reopened = ShardedShareIndex::open(backend.clone(), "share", config).unwrap();
+        assert_eq!(reopened.unique_shares(), 200);
+        for i in (0..200u32).step_by(17) {
+            let entry = reopened.lookup(&fp(i)).unwrap();
+            assert_eq!(entry.location, loc(i as u64, 64));
+            assert!(entry.owned_by((i % 5) as u64));
+        }
+        assert!(reopened.cache_stats().is_some());
+
+        // A fresh create of the same name discards the persisted state.
+        let fresh = ShardedShareIndex::create(backend, "share", config).unwrap();
+        assert_eq!(fresh.unique_shares(), 0);
     }
 
     #[test]

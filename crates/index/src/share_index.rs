@@ -7,20 +7,14 @@
 //! of user identifiers to distinguish who owns the share, as well as a
 //! reference count for each user to support deletion." (§4.4)
 
+use std::sync::Arc;
+
 use cdstore_crypto::Fingerprint;
+use cdstore_storage::{StorageBackend, StorageError};
 
-use crate::kvstore::{KvStore, KvStoreConfig};
+use crate::kvstore::{BlockCacheStats, KvStore, KvStoreConfig};
 
-/// Where a share is physically stored at the cloud backend.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct ShareLocation {
-    /// Identifier of the container holding the share.
-    pub container_id: u64,
-    /// Byte offset of the share inside the container.
-    pub offset: u32,
-    /// Size of the share in bytes.
-    pub size: u32,
-}
+pub use cdstore_storage::ShareLocation;
 
 /// One share-index entry.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -145,6 +139,46 @@ impl ShareIndex {
         ShareIndex {
             store: KvStore::with_config(config),
         }
+    }
+
+    /// Creates a *fresh* disk-backed share index named `name` on the
+    /// backend, discarding any previous incarnation of the same name.
+    pub fn create(
+        backend: Arc<dyn StorageBackend>,
+        name: &str,
+        config: KvStoreConfig,
+    ) -> Result<Self, StorageError> {
+        Ok(ShareIndex {
+            store: KvStore::create(backend, name, config)?,
+        })
+    }
+
+    /// Opens the disk-backed share index previously persisted under `name`,
+    /// resuming the runs its manifest describes.
+    pub fn open(
+        backend: Arc<dyn StorageBackend>,
+        name: &str,
+        config: KvStoreConfig,
+    ) -> Result<Self, StorageError> {
+        Ok(ShareIndex {
+            store: KvStore::open(backend, name, config)?,
+        })
+    }
+
+    /// Freezes buffered writes into a durable run (disk mode; a cheap no-op
+    /// when the write buffer is empty).
+    pub fn flush_runs(&mut self) -> Result<(), StorageError> {
+        self.store.try_flush()
+    }
+
+    /// Whether index runs spill to a storage backend.
+    pub fn is_disk_backed(&self) -> bool {
+        self.store.is_disk_backed()
+    }
+
+    /// Block-cache counters (`None` in memory mode).
+    pub fn cache_stats(&self) -> Option<BlockCacheStats> {
+        self.store.cache_stats()
     }
 
     /// Looks up the entry for a share fingerprint.

@@ -79,6 +79,17 @@ pub trait StorageBackend: Send + Sync {
         Ok(self.get(key)?.len() as u64)
     }
 
+    /// Reads `len` bytes starting at `offset` within an object — the random
+    /// read primitive behind the disk-resident index's block fetches. The
+    /// default reads the whole object and slices; backends with positioned
+    /// reads (local files, in-memory buffers) override it. A range reaching
+    /// past the end of the object is a [`StorageError::Corrupt`] error, not
+    /// a short read: callers always know the exact extent they framed.
+    fn read_range(&self, key: &str, offset: u64, len: usize) -> Result<Vec<u8>, StorageError> {
+        let data = self.get(key)?;
+        range_of(&data, key, offset, len)
+    }
+
     /// Total bytes stored across all objects.
     fn total_bytes(&self) -> Result<u64, StorageError> {
         let mut total = 0u64;
@@ -87,6 +98,18 @@ pub trait StorageBackend: Send + Sync {
         }
         Ok(total)
     }
+}
+
+/// Slices `data[offset..offset + len]`, mapping out-of-bounds ranges to
+/// [`StorageError::Corrupt`].
+fn range_of(data: &[u8], key: &str, offset: u64, len: usize) -> Result<Vec<u8>, StorageError> {
+    let start = usize::try_from(offset).map_err(|_| StorageError::Corrupt(key.to_string()))?;
+    let end = start
+        .checked_add(len)
+        .ok_or_else(|| StorageError::Corrupt(key.to_string()))?;
+    data.get(start..end)
+        .map(|s| s.to_vec())
+        .ok_or_else(|| StorageError::Corrupt(key.to_string()))
 }
 
 /// An in-memory backend for tests, benchmarks, and the cloud simulator.
@@ -162,6 +185,14 @@ impl StorageBackend for MemoryBackend {
             .get(key)
             .map(|v| v.len() as u64)
             .ok_or_else(|| StorageError::NotFound(key.to_string()))
+    }
+
+    fn read_range(&self, key: &str, offset: u64, len: usize) -> Result<Vec<u8>, StorageError> {
+        let objects = self.objects.read();
+        let data = objects
+            .get(key)
+            .ok_or_else(|| StorageError::NotFound(key.to_string()))?;
+        range_of(data, key, offset, len)
     }
 
     fn total_bytes(&self) -> Result<u64, StorageError> {
@@ -278,6 +309,18 @@ impl StorageBackend for DirBackend {
         }
     }
 
+    fn read_range(&self, key: &str, offset: u64, len: usize) -> Result<Vec<u8>, StorageError> {
+        use std::io::{Seek, SeekFrom};
+        let path = self.path_for(key);
+        let mut file =
+            fs::File::open(&path).map_err(|_| StorageError::NotFound(key.to_string()))?;
+        file.seek(SeekFrom::Start(offset))?;
+        let mut buf = vec![0u8; len];
+        file.read_exact(&mut buf)
+            .map_err(|_| StorageError::Corrupt(key.to_string()))?;
+        Ok(buf)
+    }
+
     fn exists(&self, key: &str) -> Result<bool, StorageError> {
         Ok(self.path_for(key).exists())
     }
@@ -370,6 +413,41 @@ mod tests {
             backend.object_size("missing"),
             Err(StorageError::NotFound(_))
         ));
+    }
+
+    fn exercise_read_range(backend: &dyn StorageBackend) {
+        backend.put("obj", b"0123456789").unwrap();
+        assert_eq!(backend.read_range("obj", 0, 4).unwrap(), b"0123");
+        assert_eq!(backend.read_range("obj", 6, 4).unwrap(), b"6789");
+        assert_eq!(backend.read_range("obj", 3, 0).unwrap(), b"");
+        // Ranges past the end are corruption, not short reads.
+        assert!(matches!(
+            backend.read_range("obj", 8, 4),
+            Err(StorageError::Corrupt(_))
+        ));
+        assert!(matches!(
+            backend.read_range("obj", 11, 1),
+            Err(StorageError::Corrupt(_))
+        ));
+        assert!(matches!(
+            backend.read_range("missing", 0, 1),
+            Err(StorageError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn memory_backend_read_range_semantics() {
+        exercise_read_range(&MemoryBackend::new());
+    }
+
+    #[test]
+    fn dir_backend_read_range_semantics() {
+        let dir =
+            std::env::temp_dir().join(format!("cdstore-backend-range-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let backend = DirBackend::new(&dir).unwrap();
+        exercise_read_range(&backend);
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -71,7 +71,7 @@ impl Container {
     }
 
     /// Returns the blob at a known offset/length (avoids the entry scan when
-    /// the caller has a [`cdstore_index::ShareLocation`]).
+    /// the caller has a [`crate::store::ShareLocation`]).
     pub fn get_at(&self, offset: u32, length: u32) -> Option<&[u8]> {
         let end = offset.checked_add(length)? as usize;
         self.payload.get(offset as usize..end)

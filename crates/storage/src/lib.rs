@@ -28,4 +28,4 @@ pub use backend::{DirBackend, MemoryBackend, StorageBackend, StorageError};
 pub use cache::LruCache;
 pub use container::{Container, ContainerBuilder, ContainerKind, CONTAINER_CAPACITY};
 pub use journal::{Journal, LoadedJournal};
-pub use store::{ContainerStore, ContainerUsage, StoreStats, StoreUtilisation};
+pub use store::{ContainerStore, ContainerUsage, ShareLocation, StoreStats, StoreUtilisation};

@@ -20,12 +20,26 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use cdstore_crypto::Fingerprint;
-use cdstore_index::ShareLocation;
 use parking_lot::{Mutex, RwLock};
 
 use crate::backend::{StorageBackend, StorageError};
 use crate::cache::LruCache;
 use crate::container::{Container, ContainerBuilder, ContainerKind};
+
+/// Where a share is physically stored at the cloud backend.
+///
+/// Defined here, next to the container store that mints locations; the index
+/// crate re-exports it (`cdstore_index::ShareLocation`) for the entries that
+/// embed one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShareLocation {
+    /// Identifier of the container holding the share.
+    pub container_id: u64,
+    /// Byte offset of the share inside the container.
+    pub offset: u32,
+    /// Size of the share in bytes.
+    pub size: u32,
+}
 
 /// Default size of the container read cache (64 MB, i.e. sixteen 4 MB
 /// containers).

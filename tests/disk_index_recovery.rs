@@ -1,0 +1,256 @@
+//! Recovery acceptance suite for disk-resident indexes: deployments whose
+//! dedup metadata lives in on-disk LSM runs must recover byte-exact from
+//! backend-only state, whether the crash fell before or after the external
+//! checkpoint marker, and must interoperate with memory-mode incarnations
+//! (upgrade installs the inline checkpoint into fresh runs; downgrade onto
+//! an external marker is refused).
+
+use std::sync::Arc;
+
+use cdstore_core::{CdStore, CdStoreConfig, CdStoreError, CdStoreServer, IndexMode};
+use cdstore_index::KvStoreConfig;
+use cdstore_storage::{MemoryBackend, StorageBackend};
+
+const N: usize = 4;
+const K: usize = 3;
+const FILE_BYTES: usize = if cfg!(debug_assertions) {
+    40_000
+} else {
+    150_000
+};
+
+fn payload(len: usize, seed: u64) -> Vec<u8> {
+    (0..len)
+        .map(|i| ((i / 512) as u8).wrapping_mul(37).wrapping_add(seed as u8))
+        .collect()
+}
+
+/// A disk-index config with a small write buffer so even test-sized
+/// workloads actually spill runs to the backend.
+fn disk_config() -> CdStoreConfig {
+    CdStoreConfig::new(N, K)
+        .unwrap()
+        .with_index_mode(IndexMode::Disk(KvStoreConfig {
+            memtable_capacity: 64,
+            max_runs: 4,
+            ..KvStoreConfig::default()
+        }))
+}
+
+fn memory_config() -> CdStoreConfig {
+    CdStoreConfig::new(N, K).unwrap()
+}
+
+fn new_backends() -> Vec<Arc<MemoryBackend>> {
+    (0..N).map(|_| Arc::new(MemoryBackend::new())).collect()
+}
+
+fn as_dyn(backends: &[Arc<MemoryBackend>]) -> Vec<Arc<dyn StorageBackend>> {
+    backends
+        .iter()
+        .map(|b| b.clone() as Arc<dyn StorageBackend>)
+        .collect()
+}
+
+/// Backs up a mixed multi-user workload and returns the surviving
+/// `(user, path, data)` set after one delete per user.
+fn seed_workload(store: &CdStore) -> Vec<(u64, String, Vec<u8>)> {
+    let shared = payload(FILE_BYTES / 4, 7);
+    let mut survivors = Vec::new();
+    for user in 1..=3u64 {
+        for file in 0..3u64 {
+            let mut data = payload(FILE_BYTES, 100 + user * 10 + file);
+            data.extend_from_slice(&shared);
+            let path = format!("/u{user}/f{file}.tar");
+            store.backup(user, &path, &data).unwrap();
+            survivors.push((user, path, data));
+        }
+        assert!(store.delete(user, &format!("/u{user}/f2.tar")).unwrap());
+        survivors.retain(|(u, p, _)| !(*u == user && p == &format!("/u{user}/f2.tar")));
+    }
+    survivors
+}
+
+fn assert_restores(store: &CdStore, survivors: &[(u64, String, Vec<u8>)]) {
+    for (user, path, data) in survivors {
+        assert_eq!(&store.restore(*user, path).unwrap(), data, "{path}");
+    }
+    assert!(store.restore(1, "/u1/f2.tar").is_err(), "stays deleted");
+}
+
+fn checkpoint_all(store: &CdStore) {
+    store.with_servers(|servers| {
+        for server in servers {
+            server.checkpoint().unwrap();
+        }
+    });
+}
+
+#[test]
+fn disk_mode_deployment_recovers_byte_exact() {
+    let backends = new_backends();
+    let store = CdStore::with_backends(disk_config(), as_dyn(&backends)).unwrap();
+    store.with_servers(|servers| {
+        for server in servers {
+            assert!(matches!(server.index_mode(), IndexMode::Disk(_)));
+            assert!(server.index_cache_stats().is_some());
+        }
+    });
+
+    let survivors = seed_workload(&store);
+    store.flush().unwrap();
+    checkpoint_all(&store);
+    let unique_before = store.with_servers(|servers| {
+        servers
+            .iter()
+            .map(|s| s.unique_shares())
+            .collect::<Vec<_>>()
+    });
+    drop(store);
+
+    let (revived, reports) = CdStore::open(disk_config(), as_dyn(&backends)).unwrap();
+    for report in &reports {
+        assert!(!report.pruned_anything(), "flushed state loses nothing");
+        assert!(!report.torn_tail);
+    }
+    assert_restores(&revived, &survivors);
+    revived.with_servers(|servers| {
+        for (i, server) in servers.iter().enumerate() {
+            assert!(matches!(server.index_mode(), IndexMode::Disk(_)));
+            assert_eq!(server.unique_shares(), unique_before[i], "server {i}");
+        }
+    });
+}
+
+#[test]
+fn auto_detection_reopens_disk_indexes_under_memory_config() {
+    let backends = new_backends();
+    let store = CdStore::with_backends(disk_config(), as_dyn(&backends)).unwrap();
+    let survivors = seed_workload(&store);
+    store.flush().unwrap();
+    checkpoint_all(&store);
+    drop(store);
+
+    // A plain (memory-default) config must still find the run/manifest
+    // objects on the backend and come back disk-resident.
+    let (revived, _) = CdStore::open(memory_config(), as_dyn(&backends)).unwrap();
+    revived.with_servers(|servers| {
+        for server in servers {
+            assert!(matches!(server.index_mode(), IndexMode::Disk(_)));
+        }
+    });
+    assert_restores(&revived, &survivors);
+}
+
+#[test]
+fn journal_suffix_replays_over_checkpointed_runs() {
+    let backends = new_backends();
+    let store = CdStore::with_backends(disk_config(), as_dyn(&backends)).unwrap();
+
+    // Phase 1 is checkpointed (external marker + flushed runs)...
+    let mut survivors = seed_workload(&store);
+    store.flush().unwrap();
+    checkpoint_all(&store);
+
+    // ...phase 2 lands only in sealed containers + the journal suffix, and
+    // overwrites/deletes phase-1 state so replay must reconcile the runs.
+    for user in 1..=3u64 {
+        let data = payload(FILE_BYTES, 900 + user);
+        let path = format!("/u{user}/f0.tar");
+        store.backup(user, &path, &data).unwrap();
+        survivors.retain(|(u, p, _)| !(*u == user && p == &path));
+        survivors.push((user, path, data));
+        assert!(store.delete(user, &format!("/u{user}/f1.tar")).unwrap());
+        survivors.retain(|(u, p, _)| !(*u == user && p == &format!("/u{user}/f1.tar")));
+    }
+    store.flush().unwrap();
+    drop(store);
+
+    let (revived, reports) = CdStore::open(disk_config(), as_dyn(&backends)).unwrap();
+    for report in &reports {
+        assert!(!report.pruned_anything(), "flushed state loses nothing");
+    }
+    assert_restores(&revived, &survivors);
+    for user in 1..=3u64 {
+        assert!(revived.restore(user, &format!("/u{user}/f1.tar")).is_err());
+    }
+}
+
+#[test]
+fn memory_deployment_upgrades_to_disk_and_back_detects() {
+    let backends = new_backends();
+    let store = CdStore::with_backends(memory_config(), as_dyn(&backends)).unwrap();
+    let survivors = seed_workload(&store);
+    store.flush().unwrap();
+    checkpoint_all(&store);
+    drop(store);
+
+    // Upgrade: reopening in disk mode installs the inline checkpoint bodies
+    // into fresh runs, then the next checkpoint commits the external marker.
+    let (upgraded, _) = CdStore::open(disk_config(), as_dyn(&backends)).unwrap();
+    assert_restores(&upgraded, &survivors);
+    upgraded.flush().unwrap();
+    checkpoint_all(&upgraded);
+    drop(upgraded);
+
+    // From here auto-detection takes over even with a memory-default config.
+    let (revived, _) = CdStore::open(memory_config(), as_dyn(&backends)).unwrap();
+    revived.with_servers(|servers| {
+        for server in servers {
+            assert!(matches!(server.index_mode(), IndexMode::Disk(_)));
+        }
+    });
+    assert_restores(&revived, &survivors);
+}
+
+#[test]
+fn explicit_memory_reopen_of_external_checkpoint_is_refused() {
+    let backends = new_backends();
+    let store = CdStore::with_backends(disk_config(), as_dyn(&backends)).unwrap();
+    seed_workload(&store);
+    store.flush().unwrap();
+    checkpoint_all(&store);
+    drop(store);
+
+    // The external marker carries no index bodies, so forcing memory mode
+    // (bypassing auto-detection) must fail loudly instead of opening empty.
+    let err = CdStoreServer::open_with_index(
+        0,
+        backends[0].clone() as Arc<dyn StorageBackend>,
+        IndexMode::Memory,
+    )
+    .err()
+    .expect("memory-mode open over an external checkpoint must fail");
+    assert!(
+        matches!(err, CdStoreError::InconsistentMetadata(_)),
+        "{err}"
+    );
+}
+
+#[test]
+fn server_restarts_mid_workload_keep_disk_indexes() {
+    let backends = new_backends();
+    let store = CdStore::with_backends(disk_config(), as_dyn(&backends)).unwrap();
+    let mut survivors = seed_workload(&store);
+    store.flush().unwrap();
+
+    for i in 0..N {
+        let report = store.restart_server(i).unwrap();
+        assert!(
+            !report.pruned_anything(),
+            "server {i} restart loses nothing"
+        );
+        // The deployment keeps absorbing traffic between restarts.
+        let data = payload(FILE_BYTES / 2, 1000 + i as u64);
+        let path = format!("/u9/after-restart-{i}.tar");
+        store.backup(9, &path, &data).unwrap();
+        survivors.push((9, path, data));
+        store.flush().unwrap();
+    }
+    store.with_servers(|servers| {
+        for server in servers {
+            assert!(matches!(server.index_mode(), IndexMode::Disk(_)));
+        }
+    });
+    assert_restores(&store, &survivors);
+}
