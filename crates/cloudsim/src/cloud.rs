@@ -3,7 +3,9 @@
 use std::fmt;
 use std::sync::Arc;
 
-use cdstore_storage::{MemoryBackend, StorageBackend, StorageError};
+use cdstore_storage::{
+    FaultConfig, FaultPlan, FaultyBackend, MemoryBackend, StorageBackend, StorageError,
+};
 use parking_lot::Mutex;
 
 use crate::profile::{CloudProfile, Direction};
@@ -51,26 +53,44 @@ pub struct CloudStats {
     pub download_seconds: f64,
 }
 
-/// One simulated cloud: an object store plus a bandwidth profile and an
-/// availability flag for failure injection.
+/// One simulated cloud: an object store plus a bandwidth profile and a
+/// [`FaultPlan`] for failure injection — the same fault model the chaos
+/// harness drives, so the simulator and the chaos suite cannot diverge.
 pub struct SimCloud {
     index: usize,
     profile: CloudProfile,
     backend: Arc<MemoryBackend>,
-    available: Mutex<bool>,
+    faulty: FaultyBackend,
+    plan: Arc<FaultPlan>,
     stats: Mutex<CloudStats>,
     /// Request unit used for latency accounting (4 MB batches, §4.1).
     unit_bytes: u64,
 }
 
 impl SimCloud {
-    /// Creates a simulated cloud with the given index and profile.
+    /// Creates a simulated cloud with the given index and profile, using a
+    /// clean fault plan (no injected faults until configured).
     pub fn new(index: usize, profile: CloudProfile) -> Self {
+        Self::with_fault_plan(
+            index,
+            profile,
+            Arc::new(FaultPlan::new(FaultConfig::clean(index as u64))),
+        )
+    }
+
+    /// Creates a simulated cloud whose WAN transfers run through the given
+    /// fault plan (transient errors, torn writes, outage windows). The
+    /// simulator keeps its own simulated-time accounting, so plans used here
+    /// normally leave `shaping` unset.
+    pub fn with_fault_plan(index: usize, profile: CloudProfile, plan: Arc<FaultPlan>) -> Self {
+        let backend = Arc::new(MemoryBackend::new());
+        let faulty = FaultyBackend::new(backend.clone(), plan.clone());
         SimCloud {
             index,
             profile,
-            backend: Arc::new(MemoryBackend::new()),
-            available: Mutex::new(true),
+            backend,
+            faulty,
+            plan,
             stats: Mutex::new(CloudStats::default()),
             unit_bytes: 4 * 1024 * 1024,
         }
@@ -93,14 +113,21 @@ impl SimCloud {
         self.backend.clone()
     }
 
-    /// Marks the cloud available or unavailable (failure injection).
-    pub fn set_available(&self, available: bool) {
-        *self.available.lock() = available;
+    /// The fault plan driving this cloud's WAN transfers.
+    pub fn fault_plan(&self) -> Arc<FaultPlan> {
+        self.plan.clone()
     }
 
-    /// Whether the cloud is currently reachable.
+    /// Marks the cloud available or unavailable (failure injection) by
+    /// forcing or lifting an outage on the fault plan.
+    pub fn set_available(&self, available: bool) {
+        self.plan.set_outage(!available);
+    }
+
+    /// Whether the cloud is currently reachable (no forced or scheduled
+    /// outage on its fault plan).
     pub fn is_available(&self) -> bool {
-        *self.available.lock()
+        !self.plan.outage_active()
     }
 
     /// Accumulated statistics.
@@ -117,10 +144,12 @@ impl SimCloud {
     }
 
     /// Uploads an object over the simulated WAN, returning the simulated
-    /// transfer time in seconds.
+    /// transfer time in seconds. The write runs through the cloud's fault
+    /// plan, so transient errors and torn writes surface as
+    /// [`CloudError::Storage`].
     pub fn upload(&self, key: &str, data: &[u8]) -> Result<f64, CloudError> {
         self.ensure_available()?;
-        self.backend.put(key, data)?;
+        self.faulty.put(key, data)?;
         let seconds =
             self.profile
                 .transfer_seconds(data.len() as u64, Direction::Upload, self.unit_bytes);
@@ -135,7 +164,7 @@ impl SimCloud {
     /// simulated transfer time in seconds.
     pub fn download(&self, key: &str) -> Result<(Vec<u8>, f64), CloudError> {
         self.ensure_available()?;
-        let data = self.backend.get(key)?;
+        let data = self.faulty.get(key)?;
         let seconds =
             self.profile
                 .transfer_seconds(data.len() as u64, Direction::Download, self.unit_bytes);
@@ -260,6 +289,31 @@ mod tests {
         ));
         cloud.set_available(true);
         assert!(cloud.download("x").is_ok());
+    }
+
+    #[test]
+    fn fault_plan_injects_transient_errors_into_wan_transfers() {
+        let plan = Arc::new(FaultPlan::new(FaultConfig::clean(21).with_error_rate(0.5)));
+        let cloud = SimCloud::with_fault_plan(0, CloudProfile::LAN, plan.clone());
+        let mut failures = 0;
+        for i in 0..100 {
+            match cloud.upload(&format!("o{i}"), b"data") {
+                Ok(_) => {}
+                Err(CloudError::Storage(StorageError::Io(_))) => failures += 1,
+                Err(other) => panic!("unexpected error {other}"),
+            }
+        }
+        assert!((20..=80).contains(&failures), "got {failures} failures");
+        assert_eq!(plan.schedule().len(), failures);
+        // The availability flag and the plan are the same fault model.
+        cloud.set_available(false);
+        assert!(plan.outage_active());
+        assert!(matches!(
+            cloud.download("o0"),
+            Err(CloudError::Unavailable(_))
+        ));
+        cloud.set_available(true);
+        assert!(!plan.outage_active());
     }
 
     #[test]

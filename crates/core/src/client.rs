@@ -23,6 +23,7 @@ use crate::dedup::DedupStats;
 use crate::error::CdStoreError;
 use crate::metadata::{FileRecipe, RecipeEntry, ShareMetadata};
 use crate::pipeline::{encode_stream, EncodedSecret, PipelineConfig};
+use crate::retry::{is_transient, RetryPolicy};
 use crate::transport::ServerTransport;
 
 /// Size of the per-cloud upload buffer: shares are batched into 4 MB units
@@ -87,6 +88,7 @@ pub struct CdStoreClient {
     k: usize,
     scheme: CaontRs,
     chunker: Box<dyn Chunker + Send + Sync>,
+    retry: RetryPolicy,
 }
 
 impl CdStoreClient {
@@ -123,7 +125,20 @@ impl CdStoreClient {
             k,
             scheme,
             chunker: kind.build(chunker),
+            retry: RetryPolicy::default(),
         })
+    }
+
+    /// Sets the bounded retry-with-backoff policy applied to transient cloud
+    /// faults during uploads and restores (see [`crate::retry`]).
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// The transient-fault retry policy in use.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
     }
 
     /// The user this client acts for.
@@ -331,41 +346,26 @@ impl CdStoreClient {
         let mut uploaded_per_cloud: Vec<Vec<Fingerprint>> = vec![Vec::new(); self.n];
 
         for (cloud, server) in servers.iter().enumerate() {
-            // Second stage of intra-user dedup: ask the server which of the
-            // candidate shares this user has uploaded in previous backups.
-            let fps: Vec<Fingerprint> = pending[cloud].iter().map(|(m, _)| m.fingerprint).collect();
-            let already = match server.intra_user_query(self.user, &fps) {
-                Ok(already) => already,
+            // Second-stage intra-user dedup query + share transfer, with
+            // bounded retry on transient faults (each retry rolls the failed
+            // attempt's references back and redoes the query).
+            match ship_batch(server, self.user, &self.retry, &mut pending[cloud], None) {
+                Ok(shipment) => {
+                    transferred_per_cloud[cloud] = shipment.transferred;
+                    batches_per_cloud[cloud] =
+                        shipment.transferred.div_ceil(UPLOAD_BATCH_BYTES).max(1);
+                    dedup.transferred_share_bytes += shipment.transferred;
+                    physical_per_cloud[cloud] = shipment.new_bytes;
+                    dedup.physical_share_bytes += shipment.new_bytes;
+                    uploaded_per_cloud[cloud] = shipment.uploaded;
+                }
                 Err(e) => {
-                    // Same abandonment path as a failed share batch below:
-                    // this cloud holds no references yet, earlier ones do.
+                    // Abandon the upload without leaking: the failing cloud
+                    // holds no references (ship_batch rolled them back), but
+                    // earlier clouds still hold their transient per-upload
+                    // references — drop those so the shares become
+                    // reclaimable.
                     for done in 0..cloud {
-                        let _ = servers[done].release_uploads(self.user, &uploaded_per_cloud[done]);
-                    }
-                    return Err(e);
-                }
-            };
-            let to_upload: Vec<(ShareMetadata, Vec<u8>)> = pending[cloud]
-                .drain(..)
-                .zip(already)
-                .filter_map(|(item, dup)| (!dup).then_some(item))
-                .collect();
-            let bytes: u64 = to_upload.iter().map(|(_, d)| d.len() as u64).sum();
-            transferred_per_cloud[cloud] = bytes;
-            batches_per_cloud[cloud] = bytes.div_ceil(UPLOAD_BATCH_BYTES).max(1);
-            dedup.transferred_share_bytes += bytes;
-            uploaded_per_cloud[cloud] = to_upload.iter().map(|(m, _)| m.fingerprint).collect();
-            match server.store_shares(self.user, &to_upload) {
-                Ok(receipt) => {
-                    physical_per_cloud[cloud] = receipt.new_bytes;
-                    dedup.physical_share_bytes += receipt.new_bytes;
-                }
-                Err(e) => {
-                    // Abandon the upload without leaking: drop the transient
-                    // per-upload references already taken on this and earlier
-                    // clouds so the shares become reclaimable (release is a
-                    // no-op for shares the failing batch never reached).
-                    for done in 0..=cloud {
                         let _ = servers[done].release_uploads(self.user, &uploaded_per_cloud[done]);
                     }
                     return Err(e);
@@ -443,20 +443,40 @@ impl CdStoreClient {
                 self.n
             )));
         }
-        let chosen: Vec<usize> = (0..self.n).filter(|&i| available[i]).take(self.k).collect();
-        if chosen.len() < self.k {
+        let mut candidates: Vec<usize> = (0..self.n).filter(|&i| available[i]).collect();
+        if candidates.len() < self.k {
             return Err(CdStoreError::NotEnoughClouds {
                 needed: self.k,
-                available: chosen.len(),
+                available: candidates.len(),
             });
         }
+        // The first k available clouds serve the restore; the rest stand by
+        // as spares. When a chosen cloud keeps failing transiently (its
+        // availability flag lagging behind reality), the restore fails over
+        // to a spare instead of giving up — k-of-n reads survive a
+        // single-cloud outage even when nobody flagged the cloud down.
+        let mut spares: Vec<usize> = candidates.split_off(self.k);
+        spares.reverse(); // pop() takes the lowest index first
         let encoded_paths = self.encode_pathname(pathname)?;
 
         // Fetch the per-cloud recipes. (Metadata is a few dozen bytes per
         // secret; only share payloads are windowed.)
+        let fetch_recipe = |cloud: usize| {
+            self.retry
+                .run(|_| servers[cloud].get_recipe(self.user, &encoded_paths[cloud]))
+        };
         let mut recipes: Vec<(usize, FileRecipe)> = Vec::with_capacity(self.k);
-        for &cloud in &chosen {
-            let recipe = servers[cloud].get_recipe(self.user, &encoded_paths[cloud])?;
+        for mut cloud in candidates {
+            let recipe = loop {
+                match fetch_recipe(cloud) {
+                    Ok(recipe) => break recipe,
+                    Err(e) if is_transient(&e) => match spares.pop() {
+                        Some(spare) => cloud = spare,
+                        None => return Err(e),
+                    },
+                    Err(e) => return Err(e),
+                }
+            };
             recipes.push((cloud, recipe));
         }
         let num_secrets = recipes[0].1.num_secrets();
@@ -477,13 +497,46 @@ impl CdStoreClient {
         while window_start < num_secrets {
             let window_end = (window_start + RESTORE_WINDOW_SECRETS).min(num_secrets);
             let mut shares_by_cloud: Vec<(usize, Vec<Vec<u8>>)> = Vec::with_capacity(self.k);
-            for (cloud, recipe) in &recipes {
-                let fps: Vec<Fingerprint> = recipe.entries[window_start..window_end]
-                    .iter()
-                    .map(|e| e.share_fingerprint)
-                    .collect();
-                let shares = servers[*cloud].fetch_shares(self.user, &fps)?;
-                shares_by_cloud.push((*cloud, shares));
+            // Indexing, not iterating: the failover arm below reassigns
+            // `recipes[slot]`, which an element iterator would hold borrowed.
+            #[allow(clippy::needless_range_loop)]
+            for slot in 0..self.k {
+                let shares = loop {
+                    let (cloud, fps) = {
+                        let (cloud, recipe) = &recipes[slot];
+                        let fps: Vec<Fingerprint> = recipe.entries[window_start..window_end]
+                            .iter()
+                            .map(|e| e.share_fingerprint)
+                            .collect();
+                        (*cloud, fps)
+                    };
+                    match self
+                        .retry
+                        .run(|_| servers[cloud].fetch_shares(self.user, &fps))
+                    {
+                        Ok(shares) => break shares,
+                        Err(e) if is_transient(&e) => {
+                            // Mid-file failover: swap the failing cloud for a
+                            // spare whose recipe agrees, then refetch this
+                            // window from it. Earlier windows are already
+                            // decoded and written; every window decodes from
+                            // any k clouds independently.
+                            let Some(spare) = spares.pop() else {
+                                return Err(e);
+                            };
+                            let recipe = fetch_recipe(spare)?;
+                            if recipe.num_secrets() != num_secrets || recipe.file_size != file_size
+                            {
+                                return Err(CdStoreError::InconsistentMetadata(
+                                    "failover server disagrees on the file recipe".into(),
+                                ));
+                            }
+                            recipes[slot] = (spare, recipe);
+                        }
+                        Err(e) => return Err(e),
+                    }
+                };
+                shares_by_cloud.push((recipes[slot].0, shares));
             }
             for seq in window_start..window_end {
                 let mut share_slots: Vec<Option<Vec<u8>>> = vec![None; self.n];
@@ -510,6 +563,90 @@ impl CdStoreClient {
         }
         Ok(written)
     }
+}
+
+/// What one successfully shipped batch did: the fingerprints physically
+/// sent (holding transient per-upload references), the share bytes
+/// transferred, and the bytes newly stored after inter-user dedup.
+#[derive(Default)]
+struct BatchShipment {
+    uploaded: Vec<Fingerprint>,
+    transferred: u64,
+    new_bytes: u64,
+}
+
+/// Ships one batch of candidate shares to one server: second-stage
+/// intra-user dedup query, then `store_shares` for the survivors, with
+/// bounded retry-with-backoff on transient faults.
+///
+/// A failed `store_shares` may have taken per-upload references on shares it
+/// reached before the fault, and a blind replay would double-count them
+/// (duplicate outcomes still add references). Every retry therefore first
+/// releases the failed attempt's references and redoes the dedup query from
+/// scratch — release is a tolerant no-op for shares the attempt never
+/// reached.
+///
+/// On success the batch is consumed (buffers recycled through `pool` when
+/// given); on a permanent failure the batch is left intact and the failing
+/// server holds no references from it.
+fn ship_batch<T: ServerTransport>(
+    server: &T,
+    user: u64,
+    retry: &RetryPolicy,
+    batch: &mut Vec<(ShareMetadata, Vec<u8>)>,
+    pool: Option<&BufferPool>,
+) -> Result<BatchShipment, CdStoreError> {
+    if batch.is_empty() {
+        return Ok(BatchShipment::default());
+    }
+    let shipment = retry.run(|_| {
+        let fps: Vec<Fingerprint> = batch.iter().map(|(m, _)| m.fingerprint).collect();
+        let already = server.intra_user_query(user, &fps)?;
+        // Move the non-duplicate shares out of the batch for the transfer;
+        // the slots stay in place so a failed attempt can put them back.
+        let mut to_upload: Vec<(ShareMetadata, Vec<u8>)> = Vec::new();
+        let mut taken: Vec<usize> = Vec::new();
+        for (i, dup) in already.into_iter().enumerate() {
+            if !dup {
+                to_upload.push((batch[i].0.clone(), std::mem::take(&mut batch[i].1)));
+                taken.push(i);
+            }
+        }
+        match server.store_shares(user, &to_upload) {
+            Ok(receipt) => {
+                let transferred: u64 = to_upload.iter().map(|(_, d)| d.len() as u64).sum();
+                let uploaded: Vec<Fingerprint> =
+                    to_upload.iter().map(|(m, _)| m.fingerprint).collect();
+                if let Some(pool) = pool {
+                    for (_, share) in to_upload {
+                        pool.put(share);
+                    }
+                }
+                Ok(BatchShipment {
+                    uploaded,
+                    transferred,
+                    new_bytes: receipt.new_bytes,
+                })
+            }
+            Err(e) => {
+                let sent: Vec<Fingerprint> = to_upload.iter().map(|(m, _)| m.fingerprint).collect();
+                let _ = server.release_uploads(user, &sent);
+                for (idx, (_, share)) in taken.into_iter().zip(to_upload) {
+                    batch[idx].1 = share;
+                }
+                Err(e)
+            }
+        }
+    })?;
+    // Recycle the remaining (duplicate) share buffers and empty the batch.
+    for (_, share) in batch.drain(..) {
+        if let Some(pool) = pool {
+            if !share.is_empty() {
+                pool.put(share);
+            }
+        }
+    }
+    Ok(shipment)
 }
 
 /// The store half of a streamed upload: accumulates per-cloud 4 MB batches
@@ -610,34 +747,27 @@ impl<'a, T: ServerTransport> StreamCommitter<'a, T> {
     }
 
     /// Ships cloud `cloud`'s current batch: second-stage intra-user dedup
-    /// query, then `store_shares` for the survivors.
+    /// query, then `store_shares` for the survivors, with bounded retry on
+    /// transient faults (see [`ship_batch`]).
     fn flush(&mut self, cloud: usize) -> Result<(), CdStoreError> {
-        let batch = std::mem::take(&mut self.batches[cloud]);
+        let mut batch = std::mem::take(&mut self.batches[cloud]);
         self.batch_fill[cloud] = 0;
         if batch.is_empty() {
             return Ok(());
         }
-        let fps: Vec<Fingerprint> = batch.iter().map(|(m, _)| m.fingerprint).collect();
-        let already = self.servers[cloud].intra_user_query(self.client.user, &fps)?;
-        let mut to_upload: Vec<(ShareMetadata, Vec<u8>)> = Vec::with_capacity(batch.len());
-        for ((meta, share), dup) in batch.into_iter().zip(already) {
-            if dup {
-                self.pool.put(share);
-            } else {
-                to_upload.push((meta, share));
-            }
-        }
-        let bytes: u64 = to_upload.iter().map(|(_, d)| d.len() as u64).sum();
-        self.transferred_per_cloud[cloud] += bytes;
-        self.dedup.transferred_share_bytes += bytes;
+        let shipment = ship_batch(
+            &self.servers[cloud],
+            self.client.user,
+            &self.client.retry,
+            &mut batch,
+            Some(&self.pool),
+        )?;
+        self.transferred_per_cloud[cloud] += shipment.transferred;
+        self.dedup.transferred_share_bytes += shipment.transferred;
         self.batches_per_cloud[cloud] += 1;
-        self.uploaded[cloud].extend(to_upload.iter().map(|(m, _)| m.fingerprint));
-        let receipt = self.servers[cloud].store_shares(self.client.user, &to_upload)?;
-        self.physical_per_cloud[cloud] += receipt.new_bytes;
-        self.dedup.physical_share_bytes += receipt.new_bytes;
-        for (_, share) in to_upload {
-            self.pool.put(share);
-        }
+        self.uploaded[cloud].extend(shipment.uploaded);
+        self.physical_per_cloud[cloud] += shipment.new_bytes;
+        self.dedup.physical_share_bytes += shipment.new_bytes;
         Ok(())
     }
 

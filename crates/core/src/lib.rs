@@ -61,6 +61,7 @@ pub mod dedup;
 pub mod error;
 pub mod metadata;
 pub mod pipeline;
+pub mod retry;
 pub mod server;
 pub mod system;
 pub mod transport;
@@ -75,6 +76,7 @@ pub use metadata::{FileRecipe, RecipeEntry, ShareMetadata};
 pub use pipeline::{
     encode_stream, EncodeStreamReport, EncodedSecret, ParallelCoder, PipelineConfig,
 };
+pub use retry::{is_transient, RetryPolicy};
 pub use server::{CdStoreServer, GcConfig, GcReport, IndexMode, RecoveryReport, ServerStats};
 pub use system::{CdStore, CdStoreConfig, SystemStats};
 pub use transport::{ServerProbe, ServerTransport, ShareVerdict, StoreReceipt};

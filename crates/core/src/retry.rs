@@ -1,0 +1,206 @@
+//! Bounded retry with exponential backoff for transient cloud faults.
+//!
+//! The paper's stance (§3.1) is that clouds misbehave routinely — requests
+//! time out, connections drop, writes land partially — and that the client
+//! must ride through such *transient* faults so a degraded cloud causes
+//! slowdown, not failure. This module centralises that policy: what counts
+//! as transient ([`is_transient`]), and how often/how long to retry
+//! ([`RetryPolicy`]). The upload path retries per 4 MB batch (after rolling
+//! back the failed batch's share references), the façade retries whole
+//! replayable operations, and restores fail over to spare clouds — all
+//! driven by the same policy carried in `CdStoreConfig::retry`.
+
+use std::time::Duration;
+
+use crate::error::CdStoreError;
+
+/// How many times to attempt an operation and how long to sleep in between.
+///
+/// Backoff is exponential: attempt `i` (1-based) sleeps
+/// `base_delay * 2^(i-1)` before retrying, capped at `max_delay`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (`1` disables retries).
+    pub max_attempts: u32,
+    /// Sleep before the first retry.
+    pub base_delay: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    /// Three attempts, 5 ms → 10 ms backoff: enough to ride out transient
+    /// request failures without stalling a genuinely dead cloud for long
+    /// (outages are handled by availability flags and restore failover, not
+    /// by retrying forever).
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_delay: Duration::from_millis(5),
+            max_delay: Duration::from_millis(200),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (every fault surfaces immediately).
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+        }
+    }
+
+    /// A policy with `max_attempts` attempts and the default backoff.
+    pub fn with_attempts(max_attempts: u32) -> Self {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            ..Default::default()
+        }
+    }
+
+    /// The backoff sleep after 1-based attempt `attempt` failed.
+    pub fn backoff_delay(&self, attempt: u32) -> Duration {
+        let factor = 1u32 << attempt.saturating_sub(1).min(16);
+        self.base_delay.saturating_mul(factor).min(self.max_delay)
+    }
+
+    /// Whether 1-based attempt `attempt` failing with `error` should be
+    /// retried, i.e. the error is transient and attempts remain.
+    pub fn should_retry(&self, error: &CdStoreError, attempt: u32) -> bool {
+        attempt < self.max_attempts && is_transient(error)
+    }
+
+    /// Runs `op` under this policy: `op` is called with the 1-based attempt
+    /// number and re-invoked (after a backoff sleep) while it fails with a
+    /// transient error and attempts remain. `op` must leave the system in a
+    /// replayable state whenever it fails — roll back partial effects first.
+    pub fn run<R>(
+        &self,
+        mut op: impl FnMut(u32) -> Result<R, CdStoreError>,
+    ) -> Result<R, CdStoreError> {
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            match op(attempt) {
+                Ok(value) => return Ok(value),
+                Err(e) if self.should_retry(&e, attempt) => {
+                    std::thread::sleep(self.backoff_delay(attempt));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// Whether an error is plausibly transient — the fault classes a retry can
+/// ride out:
+///
+/// * [`CdStoreError::Storage`] with an I/O error — a backend request failed
+///   (injected faults, network hiccups to the object store);
+/// * [`CdStoreError::Remote`] — the TCP transport failed or timed out; the
+///   wire protocol also folds server-side storage/cloud errors into this
+///   variant, so it covers the same classes over `cdstore_net`.
+///
+/// Everything else — corrupt data, missing files or shares, integrity or
+/// metadata failures, configuration errors, unavailable-cloud counts — is a
+/// state the retry would only reproduce, and surfaces immediately.
+pub fn is_transient(error: &CdStoreError) -> bool {
+    matches!(
+        error,
+        CdStoreError::Storage(cdstore_storage::StorageError::Io(_)) | CdStoreError::Remote(_)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdstore_storage::StorageError;
+
+    fn transient() -> CdStoreError {
+        CdStoreError::Storage(StorageError::Io(std::io::Error::other("flaky")))
+    }
+
+    #[test]
+    fn transient_classification() {
+        assert!(is_transient(&transient()));
+        assert!(is_transient(&CdStoreError::Remote("timeout".into())));
+        assert!(!is_transient(&CdStoreError::FileNotFound("/f".into())));
+        assert!(!is_transient(&CdStoreError::Storage(
+            StorageError::NotFound("k".into())
+        )));
+        assert!(!is_transient(&CdStoreError::NotEnoughClouds {
+            needed: 3,
+            available: 2
+        }));
+        assert!(!is_transient(&CdStoreError::IntegrityFailure("bad".into())));
+    }
+
+    #[test]
+    fn run_retries_transient_failures_up_to_the_attempt_budget() {
+        let policy = RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+        };
+        // Succeeds on the third attempt.
+        let mut calls = 0;
+        let out = policy.run(|attempt| {
+            calls += 1;
+            assert_eq!(attempt, calls);
+            if attempt < 3 {
+                Err(transient())
+            } else {
+                Ok("done")
+            }
+        });
+        assert_eq!(out.unwrap(), "done");
+        assert_eq!(calls, 3);
+
+        // Never succeeds: exactly max_attempts calls, then the error.
+        let mut calls = 0;
+        let out: Result<(), _> = policy.run(|_| {
+            calls += 1;
+            Err(transient())
+        });
+        assert!(out.is_err());
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn run_does_not_retry_permanent_errors() {
+        let mut calls = 0;
+        let out: Result<(), _> = RetryPolicy::default().run(|_| {
+            calls += 1;
+            Err(CdStoreError::FileNotFound("/gone".into()))
+        });
+        assert!(matches!(out, Err(CdStoreError::FileNotFound(_))));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn none_policy_surfaces_the_first_failure() {
+        let mut calls = 0;
+        let out: Result<(), _> = RetryPolicy::none().run(|_| {
+            calls += 1;
+            Err(transient())
+        });
+        assert!(out.is_err());
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_saturates() {
+        let policy = RetryPolicy {
+            max_attempts: 10,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(60),
+        };
+        assert_eq!(policy.backoff_delay(1), Duration::from_millis(10));
+        assert_eq!(policy.backoff_delay(2), Duration::from_millis(20));
+        assert_eq!(policy.backoff_delay(3), Duration::from_millis(40));
+        assert_eq!(policy.backoff_delay(4), Duration::from_millis(60));
+        assert_eq!(policy.backoff_delay(31), Duration::from_millis(60));
+    }
+}

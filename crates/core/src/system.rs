@@ -27,6 +27,7 @@ use crate::client::{CdStoreClient, UploadReport};
 use crate::dedup::DedupStats;
 use crate::error::CdStoreError;
 use crate::pipeline::PipelineConfig;
+use crate::retry::RetryPolicy;
 use crate::server::{CdStoreServer, GcConfig, GcReport, IndexMode, RecoveryReport, ServerStats};
 use crate::transport::{ServerProbe, ServerTransport};
 
@@ -45,6 +46,11 @@ pub struct CdStoreConfig {
     /// Where each server keeps its metadata indexes (memory-resident by
     /// default; see [`IndexMode::Disk`]).
     pub index_mode: IndexMode,
+    /// Bounded retry-with-backoff for transient cloud faults, applied per
+    /// upload batch, per replayable façade operation, and per restore fetch
+    /// (see [`crate::retry`]). [`RetryPolicy::none`] surfaces every fault
+    /// immediately.
+    pub retry: RetryPolicy,
 }
 
 impl CdStoreConfig {
@@ -61,6 +67,7 @@ impl CdStoreConfig {
             chunker: ChunkerConfig::default(),
             chunker_kind: ChunkerKind::Rabin,
             index_mode: IndexMode::default(),
+            retry: RetryPolicy::default(),
         })
     }
 
@@ -86,6 +93,13 @@ impl CdStoreConfig {
     /// Sets an explicit [`IndexMode`] for every server.
     pub fn with_index_mode(mut self, mode: IndexMode) -> Self {
         self.index_mode = mode;
+        self
+    }
+
+    /// Sets the transient-fault retry policy for clients and façade
+    /// operations.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
         self
     }
 }
@@ -363,13 +377,14 @@ impl<T: ServerTransport> CdStore<T> {
     /// Builds a client handle for a user.
     pub fn client(&self, user: u64) -> Result<CdStoreClient, CdStoreError> {
         let config = &self.shared.config;
-        CdStoreClient::with_chunker_kind(
+        Ok(CdStoreClient::with_chunker_kind(
             user,
             config.n,
             config.k,
             config.chunker_kind,
             config.chunker,
-        )
+        )?
+        .with_retry_policy(config.retry))
     }
 
     /// The lock covering one `(user, pathname)` file.
@@ -380,14 +395,23 @@ impl<T: ServerTransport> CdStore<T> {
     }
 
     /// Backs up a file for a user. Thin wrapper over
-    /// [`CdStore::backup_stream`] — a slice is one shape of `Read` source.
+    /// [`CdStore::backup_stream`] — a slice is one shape of `Read` source —
+    /// with whole-operation retry on transient faults: a slice source is
+    /// replayable and a failed upload rolls back to a replay-safe state, so
+    /// this also rides out transient faults that escape the per-batch retry
+    /// (e.g. during the metadata offload). Generic-reader callers use
+    /// [`CdStore::backup_stream`] directly, which only retries per batch —
+    /// an arbitrary `Read` source cannot be rewound.
     pub fn backup(
         &self,
         user: u64,
         pathname: &str,
         data: &[u8],
     ) -> Result<UploadReport, CdStoreError> {
-        self.backup_stream(user, pathname, data)
+        self.shared
+            .config
+            .retry
+            .run(|_| self.backup_stream(user, pathname, data))
     }
 
     /// Backs up a file pulled incrementally from `reader` through the
@@ -434,11 +458,15 @@ impl<T: ServerTransport> CdStore<T> {
     ) -> Result<UploadReport, CdStoreError> {
         self.ensure_all_clouds_up()?;
         let client = self.client(user)?;
-        let prepared = client.prepare_chunks(chunks)?;
-        let _file = self.path_lock(user, pathname).write();
-        let servers = self.shared.servers.read();
-        let report = client.commit(&servers, pathname, prepared)?;
-        drop(servers);
+        // Whole-operation retry on transient faults (pre-chunked input is
+        // replayable; a failed commit rolls back to a replay-safe state).
+        // Each attempt re-encodes outside the lock and re-commits under it.
+        let report = self.shared.config.retry.run(|_| {
+            let prepared = client.prepare_chunks(chunks)?;
+            let _file = self.path_lock(user, pathname).write();
+            let servers = self.shared.servers.read();
+            client.commit(&servers, pathname, prepared)
+        })?;
         self.shared.dedup.lock().accumulate(&report.dedup);
         self.shared
             .catalog
@@ -492,10 +520,16 @@ impl<T: ServerTransport> CdStore<T> {
             if availability[i] {
                 // Best-effort across clouds: a failure on one cloud must not
                 // leave later clouds untouched with nothing recorded. The
-                // server-side delete fails *before* mutating anything, so the
-                // caller can simply retry. Report the first error after every
-                // cloud was attempted.
-                match server.delete_file(user, &encoded[i]) {
+                // server-side delete fails *before* mutating anything, so it
+                // is replay-safe: transient faults are retried in place, and
+                // the first persistent error is reported after every cloud
+                // was attempted.
+                match self
+                    .shared
+                    .config
+                    .retry
+                    .run(|_| server.delete_file(user, &encoded[i]))
+                {
                     Ok(deleted) => any |= deleted,
                     Err(e) => first_err = first_err.or(Some(e)),
                 }
@@ -574,10 +608,12 @@ impl<T: ServerTransport> CdStore<T> {
         self.shared.available.read()[i]
     }
 
-    /// Seals open containers on every server.
+    /// Seals open containers on every server. A transient fault while a
+    /// container seals is retried (a failed seal reinstates the builder, so
+    /// the replay writes the identical container).
     pub fn flush(&self) -> Result<(), CdStoreError> {
         for server in self.shared.servers.read().iter() {
-            server.flush()?;
+            self.shared.config.retry.run(|_| server.flush())?;
         }
         Ok(())
     }

@@ -14,6 +14,9 @@
 //! * [`journal`] — the durable metadata journal: a checksummed write-ahead
 //!   log plus periodic checkpoints, persisted through the same backend, from
 //!   which a server rebuilds its in-memory indices after a crash.
+//! * [`fault`] — deterministic fault injection: a seeded, replayable
+//!   [`FaultPlan`] and the [`FaultyBackend`] decorator the chaos harness and
+//!   the cloud simulator share.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,11 +24,15 @@
 pub mod backend;
 pub mod cache;
 pub mod container;
+pub mod fault;
 pub mod journal;
 pub mod store;
 
 pub use backend::{DirBackend, MemoryBackend, StorageBackend, StorageError};
 pub use cache::LruCache;
 pub use container::{Container, ContainerBuilder, ContainerKind, CONTAINER_CAPACITY};
+pub use fault::{
+    FaultConfig, FaultEvent, FaultKind, FaultPlan, FaultyBackend, Shaping, SlowWindow, Window,
+};
 pub use journal::{Journal, LoadedJournal};
 pub use store::{ContainerStore, ContainerUsage, ShareLocation, StoreStats, StoreUtilisation};

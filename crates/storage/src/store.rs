@@ -336,8 +336,16 @@ impl ContainerStore {
     /// user, then prunes idle per-user entries so a long-lived server does
     /// not accumulate one entry per user ever seen.
     pub fn flush(&self) -> Result<(), StorageError> {
-        let entries: Vec<Arc<Mutex<OpenContainers>>> = self.open.read().values().cloned().collect();
-        for entry in entries {
+        // Seal in user order, not HashMap order: a seeded fault-injection
+        // replay must see the identical backend op sequence on every run.
+        let mut entries: Vec<(u64, Arc<Mutex<OpenContainers>>)> = self
+            .open
+            .read()
+            .iter()
+            .map(|(user, entry)| (*user, Arc::clone(entry)))
+            .collect();
+        entries.sort_by_key(|(user, _)| *user);
+        for (_, entry) in entries {
             let mut open = entry.lock();
             self.seal_slot(&mut open.share)?;
             self.seal_slot(&mut open.recipe)?;
@@ -357,8 +365,14 @@ impl ContainerStore {
     /// containers open, so periodic vacuums do not fragment active backup
     /// streams into under-filled containers.
     pub fn flush_dead(&self) -> Result<(), StorageError> {
-        let entries: Vec<Arc<Mutex<OpenContainers>>> = self.open.read().values().cloned().collect();
-        for entry in entries {
+        let mut entries: Vec<(u64, Arc<Mutex<OpenContainers>>)> = self
+            .open
+            .read()
+            .iter()
+            .map(|(user, entry)| (*user, Arc::clone(entry)))
+            .collect();
+        entries.sort_by_key(|(user, _)| *user);
+        for (_, entry) in entries {
             let mut open = entry.lock();
             for kind in [ContainerKind::Share, ContainerKind::Recipe] {
                 let slot = open.slot(kind);
