@@ -16,6 +16,7 @@ use cdstore_secretsharing::SecretSharing;
 
 pub mod encodebench;
 pub mod indexbench;
+pub mod kernelbench;
 pub mod netbench;
 pub mod transfer;
 

@@ -286,9 +286,12 @@ impl CdStoreClient {
         for (seq, secret) in chunks.iter().enumerate() {
             dedup.logical_bytes += secret.len() as u64;
             let shares = self.scheme.split(secret)?;
-            for (cloud, share) in shares.into_iter().enumerate() {
+            // Fingerprint all n shares in one batch so the multi-lane SHA-256
+            // path can interleave them instead of hashing one at a time.
+            let share_refs: Vec<&[u8]> = shares.iter().map(|s| s.as_slice()).collect();
+            let fingerprints = Fingerprint::of_batch(&share_refs);
+            for (cloud, (share, fp)) in shares.into_iter().zip(fingerprints).enumerate() {
                 dedup.logical_share_bytes += share.len() as u64;
-                let fp = Fingerprint::of(&share);
                 recipes[cloud].push(RecipeEntry {
                     share_fingerprint: fp,
                     secret_size: secret.len() as u32,

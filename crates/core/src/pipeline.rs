@@ -234,8 +234,9 @@ pub fn encode_stream<R: Read + Send>(
                         let mut shares: Vec<Vec<u8>> = (0..n).map(|_| pool.get()).collect();
                         match scheme.split_into(&chunk, &mut shares) {
                             Ok(()) => {
-                                let fingerprints =
-                                    shares.iter().map(|s| Fingerprint::of(s)).collect();
+                                let refs: Vec<&[u8]> =
+                                    shares.iter().map(|s| s.as_slice()).collect();
+                                let fingerprints = Fingerprint::of_batch(&refs);
                                 Ok(EncodedSecret {
                                     seq,
                                     secret_size: chunk.len() as u32,
@@ -368,7 +369,8 @@ fn encode_stream_inline<R: Read>(
             let mut shares: Vec<Vec<u8>> = (0..n).map(|_| pool.get()).collect();
             match scheme.split_into(&chunk, &mut shares) {
                 Ok(()) => {
-                    let fingerprints = shares.iter().map(|s| Fingerprint::of(s)).collect();
+                    let refs: Vec<&[u8]> = shares.iter().map(|s| s.as_slice()).collect();
+                    let fingerprints = Fingerprint::of_batch(&refs);
                     Ok((shares, fingerprints))
                 }
                 Err(e) => {

@@ -24,7 +24,10 @@
 //! assert_eq!(fp.as_bytes().len(), 32);
 //! ```
 
-#![forbid(unsafe_code)]
+// Unsafe is denied crate-wide and re-allowed only for the SHA-NI module in
+// `sha256`, whose intrinsics carry per-function safety contracts (CPU
+// feature detection before dispatch).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod aes;
@@ -46,6 +49,17 @@ impl Fingerprint {
     /// Computes the fingerprint of a byte buffer (SHA-256).
     pub fn of(data: &[u8]) -> Self {
         Fingerprint(sha256::hash(data))
+    }
+
+    /// Computes the fingerprints of many buffers at once through
+    /// [`sha256::hash_batch`] — SHA-NI per message where available, the
+    /// 4-lane interleaved scalar path otherwise. Used by the client to
+    /// fingerprint all `n` shares of a secret in one call.
+    pub fn of_batch(datas: &[&[u8]]) -> Vec<Self> {
+        sha256::hash_batch(datas)
+            .into_iter()
+            .map(Fingerprint)
+            .collect()
     }
 
     /// Computes a *tagged* fingerprint: SHA-256 over a domain-separation tag

@@ -4,7 +4,7 @@ use core::fmt;
 
 use cdstore_gf::{region, Matrix};
 
-use crate::shard::{pad_and_split, reassemble};
+use crate::shard::pad_and_split;
 
 /// Errors returned by Reed-Solomon encoding and decoding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -184,13 +184,12 @@ impl ReedSolomon {
         Ok(())
     }
 
-    /// Reconstructs the `k` data shards from any `k` available shards.
-    ///
-    /// `shards` must have length `n`; missing shards are `None`.
-    pub fn reconstruct_data_shards(
+    /// Validates a reconstruction input: right shard count, at least `k`
+    /// available, equal sizes. Returns the available indices and shard size.
+    fn validate_reconstruct(
         &self,
-        shards: &[Option<Vec<u8>>],
-    ) -> Result<Vec<Vec<u8>>, ErasureError> {
+        shards: &[Option<&[u8]>],
+    ) -> Result<(Vec<usize>, usize), ErasureError> {
         if shards.len() != self.n {
             return Err(ErasureError::WrongShardCount {
                 expected: self.n,
@@ -200,7 +199,7 @@ impl ReedSolomon {
         let available: Vec<usize> = shards
             .iter()
             .enumerate()
-            .filter_map(|(i, s)| s.as_ref().map(|_| i))
+            .filter_map(|(i, s)| s.map(|_| i))
             .collect();
         if available.len() < self.k {
             return Err(ErasureError::NotEnoughShards {
@@ -208,33 +207,63 @@ impl ReedSolomon {
                 available: available.len(),
             });
         }
-        let size = shards[available[0]].as_ref().expect("available").len();
+        let size = shards[available[0]].expect("available").len();
         if available
             .iter()
-            .any(|&i| shards[i].as_ref().expect("available").len() != size)
+            .any(|&i| shards[i].expect("available").len() != size)
         {
             return Err(ErasureError::InconsistentShardSize);
         }
-        // Fast path: all k data shards survive.
-        if available.iter().take_while(|&&i| i < self.k).count() >= self.k {
-            return Ok((0..self.k)
-                .map(|i| shards[i].as_ref().expect("data shard present").clone())
-                .collect());
-        }
-        // General path: invert the k x k submatrix of the first k available rows.
+        Ok((available, size))
+    }
+
+    /// Computes the inverted decode matrix and the `k` chosen input slices
+    /// for the general (non-systematic-survivor) reconstruction path.
+    fn decode_inputs<'a>(
+        &self,
+        shards: &[Option<&'a [u8]>],
+        available: &[usize],
+    ) -> Result<(Matrix, Vec<&'a [u8]>), ErasureError> {
         let chosen = &available[..self.k];
         let sub = self.matrix.select_rows(chosen);
         let inv = sub.invert().map_err(|_| ErasureError::MatrixSingular)?;
         let inputs: Vec<&[u8]> = chosen
             .iter()
-            .map(|&i| shards[i].as_ref().expect("available").as_slice())
+            .map(|&i| shards[i].expect("available"))
             .collect();
-        Ok(region::matrix_apply(
-            inv.as_slice(),
-            self.k,
-            self.k,
-            &inputs,
-        ))
+        Ok((inv, inputs))
+    }
+
+    /// Reconstructs the `k` data shards from any `k` available shards.
+    ///
+    /// `shards` must have length `n`; missing shards are `None`.
+    pub fn reconstruct_data_shards(
+        &self,
+        shards: &[Option<Vec<u8>>],
+    ) -> Result<Vec<Vec<u8>>, ErasureError> {
+        let borrowed: Vec<Option<&[u8]>> = shards.iter().map(|s| s.as_deref()).collect();
+        self.reconstruct_data_shards_borrowed(&borrowed)
+    }
+
+    /// Like [`reconstruct_data_shards`](ReedSolomon::reconstruct_data_shards)
+    /// but over borrowed shard slices, so callers selecting k-subsets (e.g.
+    /// the CAONT-RS brute-force decoder) never copy share bytes.
+    pub fn reconstruct_data_shards_borrowed(
+        &self,
+        shards: &[Option<&[u8]>],
+    ) -> Result<Vec<Vec<u8>>, ErasureError> {
+        let (available, size) = self.validate_reconstruct(shards)?;
+        // Fast path: all k data shards survive.
+        if available.iter().take_while(|&&i| i < self.k).count() >= self.k {
+            return Ok((0..self.k)
+                .map(|i| shards[i].expect("data shard present").to_vec())
+                .collect());
+        }
+        let (inv, inputs) = self.decode_inputs(shards, &available)?;
+        let mut outputs = vec![vec![0u8; size]; self.k];
+        let mut out_refs: Vec<&mut [u8]> = outputs.iter_mut().map(|o| o.as_mut_slice()).collect();
+        region::matrix_apply_into(inv.as_slice(), self.k, self.k, &inputs, &mut out_refs);
+        Ok(outputs)
     }
 
     /// Reconstructs the original byte buffer of length `original_len` from
@@ -244,8 +273,45 @@ impl ReedSolomon {
         shards: &[Option<Vec<u8>>],
         original_len: usize,
     ) -> Result<Vec<u8>, ErasureError> {
-        let data_shards = self.reconstruct_data_shards(shards)?;
-        Ok(reassemble(&data_shards, original_len))
+        let borrowed: Vec<Option<&[u8]>> = shards.iter().map(|s| s.as_deref()).collect();
+        self.reconstruct_data_borrowed(&borrowed, original_len)
+    }
+
+    /// Like [`reconstruct_data`](ReedSolomon::reconstruct_data) but over
+    /// borrowed shard slices, decoding straight into one flat output buffer
+    /// (no per-shard allocation, no reassembly copy) — the kernel the
+    /// streamed-restore decode windows run on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the available shards hold fewer than `original_len` bytes.
+    pub fn reconstruct_data_borrowed(
+        &self,
+        shards: &[Option<&[u8]>],
+        original_len: usize,
+    ) -> Result<Vec<u8>, ErasureError> {
+        let (available, size) = self.validate_reconstruct(shards)?;
+        assert!(
+            size * self.k >= original_len,
+            "shards hold {} bytes but {original_len} were requested",
+            size * self.k
+        );
+        if size == 0 {
+            return Ok(Vec::new());
+        }
+        let mut out = vec![0u8; size * self.k];
+        if available.iter().take_while(|&&i| i < self.k).count() >= self.k {
+            // Fast path: all k data shards survive; copy them through.
+            for (i, chunk) in out.chunks_mut(size).enumerate() {
+                chunk.copy_from_slice(shards[i].expect("data shard present"));
+            }
+        } else {
+            let (inv, inputs) = self.decode_inputs(shards, &available)?;
+            let mut out_refs: Vec<&mut [u8]> = out.chunks_mut(size).collect();
+            region::matrix_apply_into(inv.as_slice(), self.k, self.k, &inputs, &mut out_refs);
+        }
+        out.truncate(original_len);
+        Ok(out)
     }
 
     /// Reconstructs *all* `n` shards (data and parity) from any `k` available

@@ -154,12 +154,15 @@ impl CaontRs {
         let (available, _) = validate_shares(shares, self.n, self.k)?;
         let subsets = k_subsets(&available, self.k);
         let mut last_err = SharingError::IntegrityCheckFailed;
+        // One borrowed candidate view, reset per subset — the share bytes are
+        // never copied, only the k chosen slices are exposed to the decoder.
+        let mut candidate: Vec<Option<&[u8]>> = vec![None; self.n];
         for subset in subsets {
-            let mut candidate: Vec<Option<Vec<u8>>> = vec![None; self.n];
+            candidate.iter_mut().for_each(|c| *c = None);
             for &i in &subset {
-                candidate[i] = shares[i].clone();
+                candidate[i] = shares[i].as_deref();
             }
-            match self.try_reconstruct(&candidate, secret_len) {
+            match self.try_reconstruct_borrowed(&candidate, secret_len) {
                 Ok(secret) => return Ok(secret),
                 Err(e) => last_err = e,
             }
@@ -172,9 +175,18 @@ impl CaontRs {
         shares: &[Option<Vec<u8>>],
         secret_len: usize,
     ) -> Result<Vec<u8>, SharingError> {
+        let borrowed: Vec<Option<&[u8]>> = shares.iter().map(|s| s.as_deref()).collect();
+        self.try_reconstruct_borrowed(&borrowed, secret_len)
+    }
+
+    fn try_reconstruct_borrowed(
+        &self,
+        shares: &[Option<&[u8]>],
+        secret_len: usize,
+    ) -> Result<Vec<u8>, SharingError> {
         let (_, share_len) = validate_shares(shares, self.n, self.k)?;
         let package_len = share_len * self.k;
-        let package = self.rs.reconstruct_data(shares, package_len)?;
+        let package = self.rs.reconstruct_data_borrowed(shares, package_len)?;
         self.open_package(&package, secret_len)
     }
 }

@@ -274,9 +274,11 @@ pub(crate) fn validate_n_k(n: usize, k: usize) -> Result<(), SharingError> {
 }
 
 /// Collects the indices of available shares and validates counts/sizes.
-/// Returns `(indices, share_len)`.
-pub(crate) fn validate_shares(
-    shares: &[Option<Vec<u8>>],
+/// Returns `(indices, share_len)`. Generic over owned (`Vec<u8>`) and
+/// borrowed (`&[u8]`) shares so subset-selecting decoders can validate
+/// without copying share bytes.
+pub(crate) fn validate_shares<S: AsRef<[u8]>>(
+    shares: &[Option<S>],
     n: usize,
     k: usize,
 ) -> Result<(Vec<usize>, usize), SharingError> {
@@ -297,10 +299,14 @@ pub(crate) fn validate_shares(
             available: available.len(),
         });
     }
-    let len = shares[available[0]].as_ref().expect("available").len();
+    let len = shares[available[0]]
+        .as_ref()
+        .expect("available")
+        .as_ref()
+        .len();
     if available
         .iter()
-        .any(|&i| shares[i].as_ref().expect("available").len() != len)
+        .any(|&i| shares[i].as_ref().expect("available").as_ref().len() != len)
     {
         return Err(SharingError::InconsistentShareSize);
     }

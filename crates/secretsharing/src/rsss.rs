@@ -7,7 +7,7 @@
 //! anything, and the storage blowup is `n / (k − r)` — trading
 //! confidentiality (`r`) against storage.
 
-use cdstore_erasure::{pad_and_split, reassemble, shard_size};
+use cdstore_erasure::{pad_and_split, shard_size};
 use cdstore_gf::{region, Matrix};
 use rand::RngCore;
 
@@ -103,7 +103,7 @@ impl SecretSharing for Rsss {
         shares: &[Option<Vec<u8>>],
         secret_len: usize,
     ) -> Result<Vec<u8>, SharingError> {
-        let (available, _) = validate_shares(shares, self.n, self.k)?;
+        let (available, piece_len) = validate_shares(shares, self.n, self.k)?;
         let chosen = &available[..self.k];
         let sub = self.matrix.select_rows(chosen);
         let inv = sub
@@ -113,10 +113,25 @@ impl SecretSharing for Rsss {
             .iter()
             .map(|&i| shares[i].as_ref().expect("available").as_slice())
             .collect();
-        let pieces = region::matrix_apply(inv.as_slice(), self.k, self.k, &inputs);
-        // The first k − r pieces are the (padded) secret; the rest are the
-        // random padding pieces.
-        Ok(reassemble(&pieces[..self.k - self.r], secret_len))
+        // Decode all k pieces straight into one flat buffer: the first
+        // k − r pieces are the (padded) secret laid out contiguously, so
+        // truncating recovers it in place — no per-piece allocation and no
+        // reassembly copy per decode window.
+        let data_len = (self.k - self.r) * piece_len;
+        assert!(
+            data_len >= secret_len,
+            "pieces hold {data_len} bytes but {secret_len} were requested"
+        );
+        if piece_len == 0 {
+            return Ok(Vec::new());
+        }
+        let mut out = vec![0u8; self.k * piece_len];
+        {
+            let mut out_refs: Vec<&mut [u8]> = out.chunks_mut(piece_len).collect();
+            region::matrix_apply_into(inv.as_slice(), self.k, self.k, &inputs, &mut out_refs);
+        }
+        out.truncate(secret_len);
+        Ok(out)
     }
 }
 

@@ -109,6 +109,28 @@ fn large_secret_share_fingerprints_are_pinned() {
 }
 
 #[test]
+fn large_secret_batch_fingerprints_match_pinned_vectors() {
+    // Same pinned digests, computed through the batched hashing entry point
+    // the client uses (`sha256::hash_batch`). On SHA-NI hosts this runs the
+    // hardware path, on scalar hosts the 4-lane interleaved scheduler, and
+    // under CDSTORE_FORCE_SCALAR=1 the portable fallback — CI runs this
+    // suite in both dispatch modes so every path must reproduce the vectors.
+    let scheme = CaontRs::new(4, 3).unwrap();
+    let secret = big_secret();
+    let shares = scheme.split(&secret).unwrap();
+    let refs: Vec<&[u8]> = shares.iter().map(|s| s.as_slice()).collect();
+    let digests = sha256::hash_batch(&refs);
+    assert_eq!(digests.len(), 4);
+    for (i, (digest, expected)) in digests.iter().zip(&BIG_SHARE_HASHES).enumerate() {
+        assert_eq!(
+            hex(digest),
+            *expected,
+            "batched fingerprint of share {i} drifted from the pinned vector"
+        );
+    }
+}
+
+#[test]
 fn salted_secret_shares_are_pinned() {
     let scheme = CaontRs::with_salt(4, 3, b"org-secret").unwrap();
     assert_pinned(&scheme, b"salted golden vector", &SALTED_SHARES);
